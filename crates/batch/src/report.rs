@@ -1,0 +1,89 @@
+//! Run reports produced by the batch service.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of one bag-of-jobs run through the service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Number of jobs in the bag (all of them complete by the end of a run).
+    pub jobs: usize,
+    /// Wall-clock makespan of the whole bag, hours.
+    pub makespan_hours: f64,
+    /// Ideal makespan with no preemptions and no overheads, hours.
+    pub ideal_makespan_hours: f64,
+    /// Number of VM preemptions that interrupted running jobs.
+    pub preemptions: usize,
+    /// Number of job restarts (a preempted job may restart more than once).
+    pub job_restarts: usize,
+    /// Number of VMs launched over the run.
+    pub vms_launched: usize,
+    /// Total cost of all VM usage, USD.
+    pub total_cost: f64,
+    /// Total work (sum of job running times), hours.
+    pub total_work_hours: f64,
+    /// Total VM hours billed.
+    pub vm_hours: f64,
+}
+
+impl RunReport {
+    /// Cost per job, USD.
+    pub fn cost_per_job(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.total_cost / self.jobs as f64
+        }
+    }
+
+    /// Percentage increase of the makespan over the ideal (preemption-free) makespan.
+    pub fn percent_increase_in_running_time(&self) -> f64 {
+        if self.ideal_makespan_hours <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.makespan_hours - self.ideal_makespan_hours) / self.ideal_makespan_hours
+    }
+
+    /// Cluster utilisation: useful work divided by billed VM hours.
+    pub fn utilisation(&self) -> f64 {
+        if self.vm_hours <= 0.0 {
+            0.0
+        } else {
+            (self.total_work_hours / self.vm_hours).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            jobs: 100,
+            makespan_hours: 1.05,
+            ideal_makespan_hours: 1.0,
+            preemptions: 4,
+            job_restarts: 5,
+            vms_launched: 40,
+            total_cost: 25.0,
+            total_work_hours: 23.3,
+            vm_hours: 35.0,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.cost_per_job() - 0.25).abs() < 1e-12);
+        assert!((r.percent_increase_in_running_time() - 5.0).abs() < 1e-9);
+        assert!((r.utilisation() - 23.3 / 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_values_do_not_divide_by_zero() {
+        let r = RunReport { jobs: 0, ideal_makespan_hours: 0.0, vm_hours: 0.0, ..report() };
+        assert_eq!(r.cost_per_job(), 0.0);
+        assert_eq!(r.percent_increase_in_running_time(), 0.0);
+        assert_eq!(r.utilisation(), 0.0);
+    }
+}

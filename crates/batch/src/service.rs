@@ -1,0 +1,478 @@
+//! The batch-service controller.
+//!
+//! An event-driven simulation of the centralised controller described in Section 5: it
+//! drains a bag of jobs through a bounded cluster of simulated VMs, reacting to job
+//! completions, VM preemptions and hot-spare expiries, and applying the model-driven
+//! scheduling and checkpointing policies.
+
+use crate::config::{CheckpointingMode, SchedulingMode, ServiceConfig};
+use crate::report::RunReport;
+use std::collections::{BTreeMap, VecDeque};
+use tcp_cloudsim::{BillingClass, CloudProvider, EventQueue, ProviderConfig, VmId};
+use tcp_core::BathtubModel;
+use tcp_numerics::{NumericsError, Result};
+use tcp_policy::{
+    CheckpointPlanner, DpCheckpointPolicy, MemorylessScheduler, ModelDrivenScheduler, SchedulerPolicy,
+    SchedulingDecision, YoungDalyPolicy,
+};
+use tcp_workloads::BagOfJobs;
+
+/// Events the controller reacts to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// A job assignment finished successfully (stale if the assignment id is outdated).
+    JobFinished { vm: VmId, assignment: u64 },
+    /// The provider preempted a VM.
+    VmPreempted { vm: VmId },
+    /// An idle hot spare reached its retention limit (stale if the VM was reused since).
+    HotSpareExpired { vm: VmId, idle_since: u64 },
+}
+
+/// State of a job currently assigned to a VM.
+#[derive(Debug, Clone)]
+struct Assignment {
+    assignment_id: u64,
+    job_index: usize,
+    started_at: f64,
+    /// Work (hours) already safely checkpointed before this assignment started.
+    base_progress: f64,
+    /// Planned checkpoint intervals for the remaining work of this assignment.
+    intervals: Vec<f64>,
+    /// Checkpoint cost per checkpoint, hours.
+    checkpoint_cost: f64,
+}
+
+impl Assignment {
+    /// Total wall time this assignment needs if it is not preempted (the final segment
+    /// carries no trailing checkpoint).
+    fn planned_duration(&self) -> f64 {
+        let work: f64 = self.intervals.iter().sum();
+        let checkpoints = self.intervals.len().saturating_sub(1) as f64;
+        work + checkpoints * self.checkpoint_cost
+    }
+
+    /// Work safely persisted after `elapsed` hours of this assignment (completed
+    /// checkpoint intervals only).
+    fn checkpointed_progress(&self, elapsed: f64) -> f64 {
+        let mut done = 0.0;
+        let mut t = 0.0;
+        let last = self.intervals.len().saturating_sub(1);
+        for (idx, &work) in self.intervals.iter().enumerate() {
+            let segment = if idx == last { work } else { work + self.checkpoint_cost };
+            if t + segment <= elapsed + 1e-12 {
+                done += work;
+                t += segment;
+            } else {
+                break;
+            }
+        }
+        done
+    }
+}
+
+/// Per-job bookkeeping.
+#[derive(Debug, Clone)]
+struct JobState {
+    remaining_work: f64,
+    restarts: usize,
+    completed: bool,
+}
+
+/// The batch computing service.
+pub struct BatchService {
+    config: ServiceConfig,
+    model: BathtubModel,
+    scheduler: Box<dyn SchedulerPolicy>,
+    planner: Option<Box<dyn CheckpointPlanner>>,
+}
+
+impl BatchService {
+    /// Creates a service driven by a fitted preemption model.
+    pub fn new(config: ServiceConfig, model: BathtubModel) -> Result<Self> {
+        config.validate()?;
+        let scheduler: Box<dyn SchedulerPolicy> = match config.scheduling {
+            SchedulingMode::ModelDriven => Box::new(ModelDrivenScheduler::new(model)),
+            SchedulingMode::Memoryless => Box::new(MemorylessScheduler),
+        };
+        let planner: Option<Box<dyn CheckpointPlanner>> = match config.checkpointing {
+            CheckpointingMode::None => None,
+            CheckpointingMode::ModelDriven => {
+                Some(Box::new(DpCheckpointPolicy::new(model, config.checkpoint_config)?))
+            }
+            CheckpointingMode::YoungDaly => Some(Box::new(YoungDalyPolicy::from_initial_failure_rate(
+                &model,
+                config.checkpoint_config.checkpoint_cost_hours,
+            )?)),
+        };
+        Ok(BatchService { config, model, scheduler, planner })
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The preemption model the policies use.
+    pub fn model(&self) -> &BathtubModel {
+        &self.model
+    }
+
+    fn plan_intervals(&self, remaining: f64, vm_age: f64) -> Result<(Vec<f64>, f64)> {
+        match &self.planner {
+            Some(planner) => Ok((planner.plan(remaining, vm_age.min(self.model.horizon() - 1e-6))?, planner.checkpoint_cost())),
+            None => Ok((vec![remaining], 0.0)),
+        }
+    }
+
+    /// Runs a bag of jobs to completion and reports cost/performance metrics.
+    pub fn run_bag(&self, bag: &BagOfJobs) -> Result<RunReport> {
+        if bag.is_empty() {
+            return Err(NumericsError::invalid("bag must contain at least one job"));
+        }
+        let billing = if self.config.use_preemptible {
+            BillingClass::Preemptible
+        } else {
+            BillingClass::OnDemand
+        };
+        let mut provider = CloudProvider::new(ProviderConfig::default(), self.config.seed);
+        let mut queue: EventQueue<Event> = EventQueue::new();
+
+        let mut jobs: Vec<JobState> = bag
+            .jobs
+            .iter()
+            .map(|j| JobState { remaining_work: j.estimated_runtime_hours, restarts: 0, completed: false })
+            .collect();
+        let mut pending: VecDeque<usize> = (0..jobs.len()).collect();
+
+        // VM bookkeeping.
+        let mut assignments: BTreeMap<VmId, Assignment> = BTreeMap::new();
+        // VM -> idle generation; BTreeMap keeps dispatch order deterministic across runs
+        let mut idle_vms: BTreeMap<VmId, u64> = BTreeMap::new();
+        let mut live_vms: usize = 0;
+        let mut next_assignment_id: u64 = 0;
+        let mut idle_generation: u64 = 0;
+        let mut preemptions_hitting_jobs = 0usize;
+        let mut total_restarts = 0usize;
+        let mut completed_jobs = 0usize;
+        let mut last_completion_time = 0.0f64;
+
+        // Helper closures are impractical with so much shared mutable state; use a small
+        // macro-like inline routine instead via a function-local loop.
+
+        // Seed: dispatch as many jobs as the cluster allows.
+        // The main dispatch routine is invoked whenever capacity or work changes.
+        macro_rules! dispatch {
+            ($now:expr) => {{
+                let now: f64 = $now;
+                while !pending.is_empty() && live_vms.max(assignments.len()) < self.config.cluster_size + idle_vms.len() {
+                    // ensure we do not exceed the cluster size counting idle + busy VMs
+                    if assignments.len() + idle_vms.len() >= self.config.cluster_size && idle_vms.is_empty() {
+                        break;
+                    }
+                    let job_index = *pending.front().expect("non-empty");
+                    let job_len = jobs[job_index].remaining_work;
+
+                    // Choose a VM: prefer an idle hot spare if the policy approves reuse.
+                    let mut chosen: Option<VmId> = None;
+                    let mut launch_fresh = false;
+                    if let Some((&vm_id, _)) = idle_vms.iter().next() {
+                        let age = provider.get(vm_id).map(|vm| vm.age_at(now)).unwrap_or(0.0);
+                        let alive = provider.is_running(vm_id, now);
+                        if alive && self.config.use_preemptible {
+                            match self.scheduler.decide(age, job_len) {
+                                SchedulingDecision::ReuseExisting => chosen = Some(vm_id),
+                                SchedulingDecision::LaunchFresh => {
+                                    // relinquish the stale VM and fall through to a fresh launch
+                                    provider.terminate(vm_id, now);
+                                    idle_vms.remove(&vm_id);
+                                    live_vms = live_vms.saturating_sub(1);
+                                    launch_fresh = true;
+                                }
+                            }
+                        } else if alive {
+                            chosen = Some(vm_id);
+                        } else {
+                            idle_vms.remove(&vm_id);
+                            live_vms = live_vms.saturating_sub(1);
+                        }
+                    }
+
+                    if chosen.is_none() {
+                        if assignments.len() + idle_vms.len() >= self.config.cluster_size && !launch_fresh {
+                            break;
+                        }
+                        let vm = provider.launch(self.config.vm_type, self.config.zone, billing, now)?;
+                        live_vms += 1;
+                        if let Some(p) = vm.preemption_time {
+                            queue.schedule_at(p, Event::VmPreempted { vm: vm.id });
+                        }
+                        chosen = Some(vm.id);
+                    }
+
+                    let vm_id = chosen.expect("vm chosen or launched");
+                    idle_vms.remove(&vm_id);
+                    pending.pop_front();
+
+                    let vm_age = provider.get(vm_id).map(|vm| vm.age_at(now)).unwrap_or(0.0);
+                    let (intervals, checkpoint_cost) = self.plan_intervals(job_len, vm_age)?;
+                    let assignment = Assignment {
+                        assignment_id: next_assignment_id,
+                        job_index,
+                        started_at: now,
+                        base_progress: bag.jobs[job_index].estimated_runtime_hours - job_len,
+                        intervals,
+                        checkpoint_cost,
+                    };
+                    next_assignment_id += 1;
+                    let finish_at = now + assignment.planned_duration();
+                    queue.schedule_at(finish_at, Event::JobFinished { vm: vm_id, assignment: assignment.assignment_id });
+                    assignments.insert(vm_id, assignment);
+                }
+            }};
+        }
+
+        dispatch!(0.0);
+
+        let mut safety_counter = 0usize;
+        let safety_limit = 200_000 + bag.len() * 1_000;
+        while completed_jobs < jobs.len() {
+            safety_counter += 1;
+            if safety_counter > safety_limit {
+                return Err(NumericsError::DidNotConverge {
+                    what: "batch service simulation".into(),
+                    iterations: safety_counter,
+                    residual: (jobs.len() - completed_jobs) as f64,
+                });
+            }
+            let Some((now, event)) = queue.pop() else {
+                // No pending events but jobs remain: dispatch more work (e.g. after all VMs
+                // died simultaneously).
+                dispatch!(last_completion_time);
+                if queue.is_empty() {
+                    return Err(NumericsError::invalid("service deadlocked with pending jobs"));
+                }
+                continue;
+            };
+
+            match event {
+                Event::JobFinished { vm, assignment } => {
+                    let matches = assignments.get(&vm).map(|a| a.assignment_id == assignment).unwrap_or(false);
+                    if !matches {
+                        continue; // stale completion from a preempted assignment
+                    }
+                    let a = assignments.remove(&vm).expect("checked above");
+                    let job = &mut jobs[a.job_index];
+                    job.remaining_work = 0.0;
+                    job.completed = true;
+                    completed_jobs += 1;
+                    last_completion_time = now;
+
+                    // The VM becomes a hot spare (only meaningful for preemptible VMs that
+                    // are still alive).
+                    if provider.is_running(vm, now) {
+                        idle_generation += 1;
+                        idle_vms.insert(vm, idle_generation);
+                        queue.schedule_after(self.config.hot_spare_hours, Event::HotSpareExpired { vm, idle_since: idle_generation });
+                    } else {
+                        live_vms = live_vms.saturating_sub(1);
+                    }
+                    dispatch!(now);
+                }
+                Event::VmPreempted { vm } => {
+                    let was_running = provider.preempt(vm, now);
+                    if !was_running {
+                        continue;
+                    }
+                    live_vms = live_vms.saturating_sub(1);
+                    idle_vms.remove(&vm);
+                    if let Some(a) = assignments.remove(&vm) {
+                        // the preemption interrupted a running job
+                        preemptions_hitting_jobs += 1;
+                        let elapsed = (now - a.started_at).max(0.0);
+                        let persisted = a.checkpointed_progress(elapsed);
+                        let job = &mut jobs[a.job_index];
+                        let done = a.base_progress + persisted;
+                        job.remaining_work = (bag.jobs[a.job_index].estimated_runtime_hours - done).max(1e-6);
+                        job.restarts += 1;
+                        total_restarts += 1;
+                        pending.push_back(a.job_index);
+                    }
+                    dispatch!(now);
+                }
+                Event::HotSpareExpired { vm, idle_since } => {
+                    if idle_vms.get(&vm) == Some(&idle_since) {
+                        idle_vms.remove(&vm);
+                        provider.terminate(vm, now);
+                        live_vms = live_vms.saturating_sub(1);
+                    }
+                }
+            }
+        }
+
+        // Terminate any remaining VMs so billing stops at the makespan.
+        let end = last_completion_time;
+        for (&vm, _) in idle_vms.iter() {
+            provider.terminate(vm, end);
+        }
+        for (&vm, _) in assignments.iter() {
+            provider.terminate(vm, end);
+        }
+        let usage = provider.usage_report(end);
+
+        let total_work: f64 = bag.jobs.iter().map(|j| j.estimated_runtime_hours).sum();
+        let ideal = ideal_makespan(bag, self.config.cluster_size);
+        Ok(RunReport {
+            jobs: bag.len(),
+            makespan_hours: end,
+            ideal_makespan_hours: ideal,
+            preemptions: preemptions_hitting_jobs,
+            job_restarts: total_restarts,
+            vms_launched: usage.vms_launched,
+            total_cost: usage.total_cost,
+            total_work_hours: total_work,
+            vm_hours: usage.preemptible_vm_hours + usage.on_demand_vm_hours,
+        })
+    }
+}
+
+/// The preemption-free, zero-overhead makespan of a bag on `slots` parallel slots
+/// (longest-processing-time list scheduling — exact for the homogeneous bags used here).
+pub fn ideal_makespan(bag: &BagOfJobs, slots: usize) -> f64 {
+    let slots = slots.max(1);
+    let mut finish = vec![0.0f64; slots];
+    let mut lengths: Vec<f64> = bag.jobs.iter().map(|j| j.estimated_runtime_hours).collect();
+    lengths.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    for len in lengths {
+        // place on the least-loaded slot
+        let (idx, _) = finish
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("non-empty slots");
+        finish[idx] += len;
+    }
+    finish.into_iter().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_workloads::profiles::profile_by_name;
+
+    fn model() -> BathtubModel {
+        BathtubModel::paper_representative()
+    }
+
+    fn small_bag(count: usize) -> BagOfJobs {
+        profile_by_name("nanoconfinement").unwrap().bag(count, 11).unwrap()
+    }
+
+    fn base_config(seed: u64) -> ServiceConfig {
+        ServiceConfig {
+            cluster_size: 8,
+            ..ServiceConfig::paper_cost_experiment(seed)
+        }
+    }
+
+    #[test]
+    fn completes_every_job() {
+        let service = BatchService::new(base_config(1), model()).unwrap();
+        let bag = small_bag(40);
+        let report = service.run_bag(&bag).unwrap();
+        assert_eq!(report.jobs, 40);
+        assert!(report.makespan_hours > 0.0);
+        assert!(report.makespan_hours >= report.ideal_makespan_hours * 0.99);
+        assert!(report.total_cost > 0.0);
+        assert!(report.vms_launched >= 1);
+        assert!(report.utilisation() > 0.0);
+    }
+
+    #[test]
+    fn empty_bag_rejected_and_config_validated() {
+        let service = BatchService::new(base_config(1), model()).unwrap();
+        let bag = BagOfJobs::new("x", vec![tcp_workloads::JobSpec::new(0, "a", 0.1, 1, "p").unwrap()]).unwrap();
+        assert!(service.run_bag(&bag).is_ok());
+        let mut bad = base_config(1);
+        bad.cluster_size = 0;
+        assert!(BatchService::new(bad, model()).is_err());
+    }
+
+    #[test]
+    fn preemptible_is_much_cheaper_than_on_demand() {
+        // Figure 9a: ~5× cost reduction.
+        let bag = small_bag(60);
+        let preemptible = BatchService::new(base_config(7), model()).unwrap().run_bag(&bag).unwrap();
+        let on_demand = BatchService::new(
+            ServiceConfig { cluster_size: 8, ..ServiceConfig::on_demand_comparator(7) },
+            model(),
+        )
+        .unwrap()
+        .run_bag(&bag)
+        .unwrap();
+        let ratio = on_demand.cost_per_job() / preemptible.cost_per_job();
+        assert!(ratio > 3.0, "cost ratio = {ratio}");
+        assert_eq!(on_demand.preemptions, 0, "on-demand VMs are never preempted");
+    }
+
+    #[test]
+    fn preemptions_increase_running_time_moderately() {
+        // Figure 9b: each preemption costs a few percent of running time.
+        let bag = small_bag(80);
+        let report = BatchService::new(base_config(3), model()).unwrap().run_bag(&bag).unwrap();
+        let increase = report.percent_increase_in_running_time();
+        assert!(increase >= 0.0);
+        assert!(increase < 120.0, "increase = {increase}%");
+        if report.preemptions == 0 {
+            assert!(increase < 25.0);
+        }
+    }
+
+    #[test]
+    fn checkpointing_mode_runs() {
+        let mut cfg = base_config(5);
+        cfg.checkpointing = CheckpointingMode::ModelDriven;
+        let bag = small_bag(12);
+        let report = BatchService::new(cfg, model()).unwrap().run_bag(&bag).unwrap();
+        assert_eq!(report.jobs, 12);
+        let mut yd = base_config(5);
+        yd.checkpointing = CheckpointingMode::YoungDaly;
+        let report_yd = BatchService::new(yd, model()).unwrap().run_bag(&bag).unwrap();
+        assert_eq!(report_yd.jobs, 12);
+    }
+
+    #[test]
+    fn memoryless_scheduling_mode_runs() {
+        let mut cfg = base_config(9);
+        cfg.scheduling = SchedulingMode::Memoryless;
+        let report = BatchService::new(cfg, model()).unwrap().run_bag(&small_bag(20)).unwrap();
+        assert_eq!(report.jobs, 20);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let bag = small_bag(30);
+        let a = BatchService::new(base_config(42), model()).unwrap().run_bag(&bag).unwrap();
+        let b = BatchService::new(base_config(42), model()).unwrap().run_bag(&bag).unwrap();
+        // structural determinism is exact; float aggregates may differ by rounding only
+        assert!((a.makespan_hours - b.makespan_hours).abs() < 1e-9);
+        assert!((a.total_cost - b.total_cost).abs() < 1e-9);
+        assert_eq!(a.preemptions, b.preemptions);
+        assert_eq!(a.vms_launched, b.vms_launched);
+    }
+
+    #[test]
+    fn ideal_makespan_list_scheduling() {
+        let bag = BagOfJobs::new(
+            "t",
+            vec![
+                tcp_workloads::JobSpec::new(0, "a", 2.0, 1, "").unwrap(),
+                tcp_workloads::JobSpec::new(1, "a", 1.0, 1, "").unwrap(),
+                tcp_workloads::JobSpec::new(2, "a", 1.0, 1, "").unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(ideal_makespan(&bag, 2), 2.0);
+        assert_eq!(ideal_makespan(&bag, 1), 4.0);
+        assert_eq!(ideal_makespan(&bag, 10), 2.0);
+    }
+}

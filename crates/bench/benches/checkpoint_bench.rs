@@ -1,0 +1,42 @@
+//! Figure 8 benchmark: DP checkpoint-schedule computation and Monte-Carlo evaluation of
+//! checkpointed execution (our policy vs Young–Daly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tcp_core::BathtubModel;
+use tcp_policy::checkpoint::simulate::{simulate_checkpointed_job, SimulationOptions};
+use tcp_policy::{CheckpointConfig, DpCheckpointPolicy, YoungDalyPolicy};
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let model = BathtubModel::paper_representative();
+    let mut group = c.benchmark_group("checkpointing");
+
+    for &job_len in &[2.0f64, 5.0, 9.0] {
+        group.bench_with_input(BenchmarkId::new("dp_schedule", job_len as u64), &job_len, |b, &job_len| {
+            b.iter(|| {
+                // a fresh policy per iteration so the solve is not served from the cache
+                let policy = DpCheckpointPolicy::new(model, CheckpointConfig::paper_defaults()).unwrap();
+                policy.schedule(job_len, 0.0).unwrap()
+            })
+        });
+    }
+
+    group.bench_function("young_daly_schedule_5h", |b| {
+        let yd = YoungDalyPolicy::paper_baseline();
+        b.iter(|| yd.schedule(5.0, 0.0).unwrap())
+    });
+
+    let dp = DpCheckpointPolicy::new(model, CheckpointConfig::coarse()).unwrap();
+    let options = SimulationOptions { trials: 100, ..SimulationOptions::default() };
+    group.bench_function("figure8_simulate_dp_100_trials", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            simulate_checkpointed_job(&dp, model.dist(), 4.0, 0.0, &options, &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 1 benchmark: time to fit the constrained-bathtub model (and the classical
+//! baselines) to an empirical CDF of synthetic lifetimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tcp_core::{fit_bathtub_model, fit_model_comparison};
+use tcp_dists::{LifetimeDistribution, PhasedHazard};
+
+fn lifetimes(n: usize) -> Vec<f64> {
+    let truth = PhasedHazard::representative();
+    let mut rng = StdRng::seed_from_u64(1);
+    truth.sample_n(&mut rng, n)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_fitting");
+    for &n in &[100usize, 400, 800] {
+        let data = lifetimes(n);
+        group.bench_with_input(BenchmarkId::new("bathtub_fit", n), &data, |b, data| {
+            b.iter(|| fit_bathtub_model(data, 24.0).unwrap())
+        });
+    }
+    let data = lifetimes(400);
+    group.bench_function("all_families_figure1", |b| {
+        b.iter(|| fit_model_comparison(&data, 24.0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

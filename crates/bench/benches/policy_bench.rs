@@ -1,0 +1,31 @@
+//! Figures 4–7 benchmark: running-time analysis and scheduling-policy evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcp_core::analysis::running_time_analysis;
+use tcp_core::BathtubModel;
+use tcp_policy::{average_failure_probability, MemorylessScheduler, ModelDrivenScheduler};
+
+fn bench_policies(c: &mut Criterion) {
+    let model = BathtubModel::paper_representative();
+    let mut group = c.benchmark_group("scheduling_policy");
+
+    group.bench_function("figure4_running_time_analysis", |b| {
+        b.iter(|| running_time_analysis(model.dist(), 24.0, 96).unwrap())
+    });
+
+    let ours = ModelDrivenScheduler::new(model);
+    let memoryless = MemorylessScheduler;
+    group.bench_function("figure6_average_failure_ours", |b| {
+        b.iter(|| average_failure_probability(&ours, &model, 6.0, 96).unwrap())
+    });
+    group.bench_function("figure6_average_failure_memoryless", |b| {
+        b.iter(|| average_failure_probability(&memoryless, &model, 6.0, 96).unwrap())
+    });
+    group.bench_function("reuse_threshold_6h_job", |b| {
+        b.iter(|| ours.reuse_threshold_age(6.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

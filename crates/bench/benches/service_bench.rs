@@ -1,0 +1,45 @@
+//! Figure 9 benchmark: end-to-end batch-service runs (cost experiment) and the underlying
+//! cloud-provider simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcp_batch::{BatchService, ServiceConfig};
+use tcp_cloudsim::{BillingClass, CloudProvider, ProviderConfig};
+use tcp_core::BathtubModel;
+use tcp_trace::{VmType, Zone};
+use tcp_workloads::profiles::PAPER_APPLICATIONS;
+
+fn bench_service(c: &mut Criterion) {
+    let model = BathtubModel::paper_representative();
+    let mut group = c.benchmark_group("batch_service");
+    group.sample_size(10);
+
+    for &jobs in &[50usize, 100] {
+        let bag = PAPER_APPLICATIONS[0].bag(jobs, 7).unwrap();
+        group.bench_with_input(BenchmarkId::new("figure9a_preemptible_run", jobs), &bag, |b, bag| {
+            b.iter(|| {
+                let service = BatchService::new(
+                    ServiceConfig { cluster_size: 16, ..ServiceConfig::paper_cost_experiment(1) },
+                    model,
+                )
+                .unwrap();
+                service.run_bag(bag).unwrap()
+            })
+        });
+    }
+
+    group.bench_function("provider_launch_1000_vms", |b| {
+        b.iter(|| {
+            let mut provider = CloudProvider::new(ProviderConfig::default(), 3);
+            for i in 0..1000 {
+                provider
+                    .launch(VmType::N1HighCpu16, Zone::UsEast1B, BillingClass::Preemptible, i as f64 * 0.01)
+                    .unwrap();
+            }
+            provider.usage_report(24.0)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

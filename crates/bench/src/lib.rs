@@ -1,0 +1,18 @@
+//! Experiment harness: regenerates every table and figure of the paper's evaluation.
+//!
+//! The [`figures`] module computes the data series behind each figure; the `figures` binary
+//! prints them as CSV to stdout (one block per figure), and the Criterion benches under
+//! `benches/` time the computational kernels (model fitting, DP checkpoint planning,
+//! policy evaluation, the cloud simulation and the workload kernels).
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p tcp-bench --bin figures -- all
+//! cargo bench --workspace
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod figures;

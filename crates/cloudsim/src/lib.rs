@@ -1,0 +1,30 @@
+//! Discrete-event cloud simulator with preemptible VMs.
+//!
+//! The paper evaluates its policies against the real Google Cloud Platform; this crate is
+//! the stand-in substrate: a discrete-event simulation of an IaaS provider that offers
+//! both on-demand (never preempted) and preemptible VMs whose time-to-preemption is drawn
+//! from any [`LifetimeDistribution`](tcp_dists::LifetimeDistribution) — in the experiments,
+//! the same three-phase ground truth that generated the synthetic empirical dataset.
+//!
+//! * [`events`] — a generic time-ordered event queue.
+//! * [`vm`] — VM instances, their lifecycle states, and provisioning metadata.
+//! * [`pricing`] — GCP-style on-demand vs preemptible pricing (the ~5× discount that
+//!   drives Figure 9a).
+//! * [`provider`] — the cloud provider: launch/terminate/preempt VMs, track accounting.
+//! * [`montecarlo`] — a parallel Monte-Carlo experiment driver built on crossbeam scoped
+//!   threads (each trial runs an independent simulation with its own RNG stream).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod events;
+pub mod montecarlo;
+pub mod pricing;
+pub mod provider;
+pub mod vm;
+
+pub use events::EventQueue;
+pub use montecarlo::{run_monte_carlo, MonteCarloSummary};
+pub use pricing::PricingModel;
+pub use provider::{CloudProvider, ProviderConfig, UsageReport};
+pub use vm::{BillingClass, VmHandle, VmId, VmInstance, VmState};

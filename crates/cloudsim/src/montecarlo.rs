@@ -1,0 +1,162 @@
+//! Parallel Monte-Carlo experiment driver.
+//!
+//! Policy evaluations (Figures 8 and 9) average over many independent simulation trials.
+//! This module fans trials out across worker threads with crossbeam's scoped threads, one
+//! deterministic RNG stream per trial, and merges the per-trial metrics with the
+//! numerically stable Welford reduction.
+
+use serde::{Deserialize, Serialize};
+use tcp_numerics::stats::Welford;
+use tcp_numerics::{NumericsError, Result};
+
+/// Summary of a Monte-Carlo experiment over a scalar metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloSummary {
+    /// Number of trials that produced a value.
+    pub trials: usize,
+    /// Mean of the metric.
+    pub mean: f64,
+    /// Unbiased standard deviation across trials.
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+}
+
+/// Runs `trials` independent trials of `trial_fn` in parallel and summarises the scalar
+/// metric each returns.
+///
+/// `trial_fn(trial_index)` must be deterministic given the index (seed its RNG from the
+/// index) so experiments are reproducible regardless of thread scheduling.  `threads = 0`
+/// selects the number of available CPUs.
+pub fn run_monte_carlo<F>(trials: usize, threads: usize, trial_fn: F) -> Result<MonteCarloSummary>
+where
+    F: Fn(usize) -> f64 + Send + Sync,
+{
+    if trials == 0 {
+        return Err(NumericsError::invalid("need at least one trial"));
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let threads = threads.min(trials).max(1);
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<(Welford, f64, f64)>> = (0..threads)
+        .map(|_| std::sync::Mutex::new((Welford::new(), f64::INFINITY, f64::NEG_INFINITY)))
+        .collect();
+
+    crossbeam::thread::scope(|scope| {
+        for worker in 0..threads {
+            let next = &next;
+            let results = &results;
+            let trial_fn = &trial_fn;
+            scope.spawn(move |_| {
+                loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= trials {
+                        break;
+                    }
+                    let value = trial_fn(idx);
+                    if !value.is_finite() {
+                        continue;
+                    }
+                    let mut slot = results[worker].lock().expect("worker slot");
+                    slot.0.add(value);
+                    slot.1 = slot.1.min(value);
+                    slot.2 = slot.2.max(value);
+                }
+            });
+        }
+    })
+    .map_err(|_| NumericsError::invalid("a Monte-Carlo worker thread panicked"))?;
+
+    let mut merged = Welford::new();
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for slot in &results {
+        let guard = slot.lock().expect("worker slot");
+        merged.merge(&guard.0);
+        min = min.min(guard.1);
+        max = max.max(guard.2);
+    }
+    if merged.count() == 0 {
+        return Err(NumericsError::invalid("all trials returned non-finite values"));
+    }
+    Ok(MonteCarloSummary {
+        trials: merged.count() as usize,
+        mean: merged.mean(),
+        std_dev: merged.std_dev(),
+        std_error: merged.std_error(),
+        min,
+        max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_metric_summary() {
+        let summary = run_monte_carlo(100, 4, |i| i as f64).unwrap();
+        assert_eq!(summary.trials, 100);
+        assert!((summary.mean - 49.5).abs() < 1e-9);
+        assert_eq!(summary.min, 0.0);
+        assert_eq!(summary.max, 99.0);
+        assert!(summary.std_dev > 0.0);
+        assert!(summary.std_error > 0.0);
+    }
+
+    #[test]
+    fn result_independent_of_thread_count() {
+        let f = |i: usize| {
+            let mut rng = StdRng::seed_from_u64(i as u64);
+            rng.gen::<f64>() * 10.0
+        };
+        let one = run_monte_carlo(500, 1, f).unwrap();
+        let many = run_monte_carlo(500, 8, f).unwrap();
+        assert!((one.mean - many.mean).abs() < 1e-9);
+        assert!((one.std_dev - many.std_dev).abs() < 1e-9);
+        assert_eq!(one.min, many.min);
+        assert_eq!(one.max, many.max);
+    }
+
+    #[test]
+    fn zero_threads_selects_available_parallelism() {
+        let summary = run_monte_carlo(64, 0, |i| (i % 7) as f64).unwrap();
+        assert_eq!(summary.trials, 64);
+    }
+
+    #[test]
+    fn non_finite_trials_are_dropped() {
+        let summary = run_monte_carlo(10, 2, |i| if i % 2 == 0 { f64::NAN } else { 1.0 }).unwrap();
+        assert_eq!(summary.trials, 5);
+        assert_eq!(summary.mean, 1.0);
+    }
+
+    #[test]
+    fn argument_validation() {
+        assert!(run_monte_carlo(0, 1, |_| 0.0).is_err());
+        assert!(run_monte_carlo(4, 2, |_| f64::NAN).is_err());
+    }
+
+    #[test]
+    fn monte_carlo_estimates_a_known_expectation() {
+        // E[U^2] for U ~ Uniform(0,1) is 1/3.
+        let summary = run_monte_carlo(20_000, 0, |i| {
+            let mut rng = StdRng::seed_from_u64(i as u64 ^ 0xBEEF);
+            let u: f64 = rng.gen();
+            u * u
+        })
+        .unwrap();
+        assert!((summary.mean - 1.0 / 3.0).abs() < 0.01, "mean = {}", summary.mean);
+    }
+}

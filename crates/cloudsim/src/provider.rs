@@ -1,0 +1,316 @@
+//! The simulated cloud provider.
+//!
+//! The provider owns every VM instance in a simulation: it assigns hidden preemption times
+//! to preemptible VMs (drawn from the ground-truth process of the VM's configuration),
+//! processes user launch/terminate requests, answers "is this VM still alive at time t?"
+//! queries, and keeps the usage ledger from which costs are computed.
+
+use crate::pricing::PricingModel;
+use crate::vm::{BillingClass, VmId, VmInstance, VmState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tcp_dists::LifetimeDistribution;
+use tcp_numerics::{NumericsError, Result};
+use tcp_trace::{ConfigKey, TimeOfDay, TraceCatalog, VmType, WorkloadKind, Zone};
+
+/// Provider configuration.
+#[derive(Debug, Clone)]
+pub struct ProviderConfig {
+    /// Pricing used for the usage ledger.
+    pub pricing: PricingModel,
+    /// Time (hours) between a launch request and the VM becoming usable.
+    pub provisioning_delay_hours: f64,
+    /// Maximum lifetime of preemptible VMs, hours (the temporal constraint).
+    pub max_preemptible_lifetime_hours: f64,
+}
+
+impl Default for ProviderConfig {
+    fn default() -> Self {
+        ProviderConfig {
+            pricing: PricingModel::default(),
+            provisioning_delay_hours: 1.0 / 60.0,
+            max_preemptible_lifetime_hours: 24.0,
+        }
+    }
+}
+
+/// Aggregate usage and cost report for one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct UsageReport {
+    /// Total VM-hours billed on preemptible capacity.
+    pub preemptible_vm_hours: f64,
+    /// Total VM-hours billed on on-demand capacity.
+    pub on_demand_vm_hours: f64,
+    /// Total cost in USD.
+    pub total_cost: f64,
+    /// Number of VMs launched.
+    pub vms_launched: usize,
+    /// Number of preemptions that actually hit running VMs.
+    pub preemptions: usize,
+}
+
+/// The simulated IaaS provider.
+pub struct CloudProvider {
+    config: ProviderConfig,
+    catalog: TraceCatalog,
+    rng: StdRng,
+    vms: HashMap<VmId, VmInstance>,
+    next_id: u64,
+    workload_kind: WorkloadKind,
+    time_of_day: TimeOfDay,
+}
+
+impl CloudProvider {
+    /// Creates a provider with the default trace catalog as its hidden preemption process.
+    pub fn new(config: ProviderConfig, seed: u64) -> Self {
+        CloudProvider {
+            config,
+            catalog: TraceCatalog::new(),
+            rng: StdRng::seed_from_u64(seed),
+            vms: HashMap::new(),
+            next_id: 0,
+            workload_kind: WorkloadKind::NonIdle,
+            time_of_day: TimeOfDay::Day,
+        }
+    }
+
+    /// Creates a provider over a custom catalog (used by tests and ablations).
+    pub fn with_catalog(config: ProviderConfig, catalog: TraceCatalog, seed: u64) -> Self {
+        CloudProvider { catalog, ..CloudProvider::new(config, seed) }
+    }
+
+    /// Sets the ambient conditions (time of day, workload) used to select the ground-truth
+    /// preemption process for newly launched VMs.
+    pub fn set_conditions(&mut self, time_of_day: TimeOfDay, workload: WorkloadKind) {
+        self.time_of_day = time_of_day;
+        self.workload_kind = workload;
+    }
+
+    /// The provider configuration.
+    pub fn config(&self) -> &ProviderConfig {
+        &self.config
+    }
+
+    /// Number of VMs ever launched.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Launches a VM at simulation time `now`.  Returns the new instance.
+    ///
+    /// For preemptible VMs a hidden preemption time is drawn from the ground-truth process
+    /// of the `(type, zone, time-of-day, workload)` configuration, truncated to the
+    /// 24-hour constraint.
+    pub fn launch(
+        &mut self,
+        vm_type: VmType,
+        zone: Zone,
+        billing: BillingClass,
+        now: f64,
+    ) -> Result<VmInstance> {
+        if !now.is_finite() || now < 0.0 {
+            return Err(NumericsError::invalid("launch time must be finite and non-negative"));
+        }
+        let id = VmId(self.next_id);
+        self.next_id += 1;
+        let launch_time = now + self.config.provisioning_delay_hours;
+        let preemption_time = match billing {
+            BillingClass::OnDemand => None,
+            BillingClass::Preemptible => {
+                let key = ConfigKey { vm_type, zone, time_of_day: self.time_of_day, workload: self.workload_kind };
+                let truth = self.catalog.ground_truth(&key)?;
+                let lifetime = truth
+                    .sample(&mut self.rng)
+                    .clamp(0.0, self.config.max_preemptible_lifetime_hours);
+                Some(launch_time + lifetime)
+            }
+        };
+        let vm = VmInstance {
+            id,
+            vm_type,
+            zone,
+            billing,
+            launch_time,
+            preemption_time,
+            state: VmState::Running,
+            stop_time: None,
+        };
+        self.vms.insert(id, vm);
+        Ok(vm)
+    }
+
+    /// Looks up a VM by id.
+    pub fn get(&self, id: VmId) -> Option<&VmInstance> {
+        self.vms.get(&id)
+    }
+
+    /// The hidden preemption time of a VM (used by simulation drivers to schedule the
+    /// preemption event; a real controller would only receive the advance warning).
+    pub fn preemption_time(&self, id: VmId) -> Option<f64> {
+        self.vms.get(&id).and_then(|vm| vm.preemption_time)
+    }
+
+    /// Marks a VM as preempted at time `now` (no-op if it is not running).
+    /// Returns true when the VM transitioned from running to preempted.
+    pub fn preempt(&mut self, id: VmId, now: f64) -> bool {
+        if let Some(vm) = self.vms.get_mut(&id) {
+            if vm.state == VmState::Running {
+                vm.state = VmState::Preempted;
+                vm.stop_time = Some(now.max(vm.launch_time));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Terminates a VM at the user's request.
+    /// Returns true when the VM transitioned from running to terminated.
+    pub fn terminate(&mut self, id: VmId, now: f64) -> bool {
+        if let Some(vm) = self.vms.get_mut(&id) {
+            if vm.state == VmState::Running {
+                vm.state = VmState::Terminated;
+                vm.stop_time = Some(now.max(vm.launch_time));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the VM is running (not yet preempted/terminated) at time `now`.
+    pub fn is_running(&self, id: VmId, now: f64) -> bool {
+        self.vms.get(&id).map(|vm| vm.running_at(now)).unwrap_or(false)
+    }
+
+    /// Builds the usage/cost report as of time `now` (running VMs are billed up to `now`).
+    pub fn usage_report(&self, now: f64) -> UsageReport {
+        let mut report = UsageReport { vms_launched: self.vms.len(), ..UsageReport::default() };
+        for vm in self.vms.values() {
+            let hours = vm.billed_hours_at(now);
+            let cost = self.config.pricing.cost(vm.vm_type, vm.billing, hours);
+            report.total_cost += cost;
+            match vm.billing {
+                BillingClass::Preemptible => report.preemptible_vm_hours += hours,
+                BillingClass::OnDemand => report.on_demand_vm_hours += hours,
+            }
+            if vm.state == VmState::Preempted {
+                report.preemptions += 1;
+            }
+        }
+        report
+    }
+}
+
+impl std::fmt::Debug for CloudProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudProvider")
+            .field("vm_count", &self.vms.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provider(seed: u64) -> CloudProvider {
+        CloudProvider::new(ProviderConfig::default(), seed)
+    }
+
+    #[test]
+    fn launch_assigns_preemption_times_within_constraint() {
+        let mut p = provider(1);
+        for i in 0..50 {
+            let vm = p
+                .launch(VmType::N1HighCpu16, Zone::UsEast1B, BillingClass::Preemptible, i as f64 * 0.1)
+                .unwrap();
+            let lifetime = vm.preemption_time.unwrap() - vm.launch_time;
+            assert!((0.0..=24.0 + 1e-9).contains(&lifetime), "lifetime = {lifetime}");
+        }
+        assert_eq!(p.vm_count(), 50);
+    }
+
+    #[test]
+    fn on_demand_vms_never_preempt() {
+        let mut p = provider(2);
+        let vm = p.launch(VmType::N1HighCpu8, Zone::UsWest1A, BillingClass::OnDemand, 0.0).unwrap();
+        assert!(vm.preemption_time.is_none());
+        assert!(p.is_running(vm.id, 1e5));
+    }
+
+    #[test]
+    fn launch_validation_and_lookup() {
+        let mut p = provider(3);
+        assert!(p.launch(VmType::N1HighCpu2, Zone::UsWest1A, BillingClass::Preemptible, f64::NAN).is_err());
+        assert!(p.launch(VmType::N1HighCpu2, Zone::UsWest1A, BillingClass::Preemptible, -1.0).is_err());
+        let vm = p.launch(VmType::N1HighCpu2, Zone::UsWest1A, BillingClass::Preemptible, 0.0).unwrap();
+        assert!(p.get(vm.id).is_some());
+        assert!(p.get(VmId(999)).is_none());
+        assert_eq!(p.preemption_time(vm.id), vm.preemption_time);
+    }
+
+    #[test]
+    fn preempt_and_terminate_transitions() {
+        let mut p = provider(4);
+        let vm = p.launch(VmType::N1HighCpu4, Zone::UsCentral1C, BillingClass::Preemptible, 0.0).unwrap();
+        assert!(p.is_running(vm.id, 0.5));
+        assert!(p.preempt(vm.id, 2.0));
+        assert!(!p.preempt(vm.id, 2.5), "double preemption is a no-op");
+        assert!(!p.is_running(vm.id, 3.0));
+
+        let vm2 = p.launch(VmType::N1HighCpu4, Zone::UsCentral1C, BillingClass::Preemptible, 0.0).unwrap();
+        assert!(p.terminate(vm2.id, 1.0));
+        assert!(!p.terminate(vm2.id, 1.5));
+        assert!(!p.preempt(VmId(12345), 0.0));
+    }
+
+    #[test]
+    fn usage_report_accumulates_cost_and_preemptions() {
+        let mut p = provider(5);
+        let vm1 = p.launch(VmType::N1HighCpu16, Zone::UsEast1B, BillingClass::Preemptible, 0.0).unwrap();
+        let vm2 = p.launch(VmType::N1HighCpu16, Zone::UsEast1B, BillingClass::OnDemand, 0.0).unwrap();
+        p.preempt(vm1.id, 2.0);
+        p.terminate(vm2.id, 4.0);
+        let report = p.usage_report(5.0);
+        assert_eq!(report.vms_launched, 2);
+        assert_eq!(report.preemptions, 1);
+        assert!(report.preemptible_vm_hours > 1.9 && report.preemptible_vm_hours < 2.1);
+        assert!(report.on_demand_vm_hours > 3.9 && report.on_demand_vm_hours < 4.1);
+        let expected_cost = PricingModel::default().cost(VmType::N1HighCpu16, BillingClass::Preemptible, report.preemptible_vm_hours)
+            + PricingModel::default().cost(VmType::N1HighCpu16, BillingClass::OnDemand, report.on_demand_vm_hours);
+        assert!((report.total_cost - expected_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditions_affect_sampled_lifetimes_statistically() {
+        // Idle/night VMs should live longer on average than busy/day VMs.
+        let mut day = provider(6);
+        day.set_conditions(TimeOfDay::Day, WorkloadKind::NonIdle);
+        let mut night = provider(6);
+        night.set_conditions(TimeOfDay::Night, WorkloadKind::Idle);
+        let mean_lifetime = |p: &mut CloudProvider| {
+            let mut total = 0.0;
+            for _ in 0..300 {
+                let vm = p.launch(VmType::N1HighCpu16, Zone::UsEast1B, BillingClass::Preemptible, 0.0).unwrap();
+                total += vm.preemption_time.unwrap() - vm.launch_time;
+            }
+            total / 300.0
+        };
+        let day_mean = mean_lifetime(&mut day);
+        let night_mean = mean_lifetime(&mut night);
+        assert!(night_mean > day_mean, "night {night_mean} day {day_mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = provider(42);
+        let mut b = provider(42);
+        for _ in 0..10 {
+            let va = a.launch(VmType::N1HighCpu8, Zone::UsEast1B, BillingClass::Preemptible, 0.0).unwrap();
+            let vb = b.launch(VmType::N1HighCpu8, Zone::UsEast1B, BillingClass::Preemptible, 0.0).unwrap();
+            assert_eq!(va.preemption_time, vb.preemption_time);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The paper's primary contribution: the constrained-preemption probability model and the
+//! analyses built on top of it.
+//!
+//! * [`model`] — [`BathtubModel`](model::BathtubModel): the fitted Equation (1) model with
+//!   its CDF/PDF, expected lifetime (Equation 3) and phase structure.
+//! * [`fit`] — fitting the model (and the classical baselines) to observed lifetimes, as in
+//!   Figure 1; returns goodness-of-fit diagnostics for every family.
+//! * [`analysis`] — the running-time impact analysis of Section 4.1/6.1: expected wasted
+//!   work `E[W1(T)]` (Equation 5), expected makespan `E[T]` (Equation 7), age-dependent
+//!   makespan `E[T_s]` (Equation 8), and the comparison against uniformly distributed
+//!   preemptions (Figure 4).
+//! * [`phases`] — empirical phase detection and model-drift change-point detection
+//!   (Section 8, "What if preemption characteristics change?").
+//! * [`registry`] — a model registry keyed by VM type / zone / time-of-day / workload, the
+//!   component the batch service uses to parameterise its policies.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod analysis;
+pub mod fit;
+pub mod model;
+pub mod phases;
+pub mod registry;
+
+pub use analysis::{
+    expected_increase_in_running_time, expected_makespan, expected_makespan_from_age,
+    expected_wasted_work, uniform_expected_increase, uniform_expected_wasted_work, RunningTimeAnalysis,
+};
+pub use fit::{fit_bathtub_model, fit_model_comparison, ModelComparison, ModelFit};
+pub use model::BathtubModel;
+pub use phases::{detect_phases, ChangePointDetector, PhaseBreakdown};
+pub use registry::ModelRegistry;

@@ -1,0 +1,241 @@
+//! Phase detection and model-drift (change-point) detection.
+//!
+//! Observation 1 of the paper identifies three phases in the preemption dynamics; this
+//! module detects them directly from data (without assuming the analytic model), and also
+//! implements the "what if preemption characteristics change?" monitoring sketched in
+//! Section 8: compare a window of recent observations against the fitted model and raise a
+//! change-point when the discrepancy exceeds a threshold.
+
+use crate::model::BathtubModel;
+use serde::{Deserialize, Serialize};
+use tcp_numerics::stats::Ecdf;
+use tcp_numerics::{NumericsError, Result};
+
+/// Empirically detected phase structure of a lifetime sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// End of the early (infant-mortality) phase, hours.
+    pub early_end: f64,
+    /// Start of the deadline phase, hours.
+    pub deadline_start: f64,
+    /// Fraction of VMs preempted during the early phase.
+    pub early_fraction: f64,
+    /// Fraction preempted during the stable middle phase.
+    pub middle_fraction: f64,
+    /// Fraction preempted during the deadline phase.
+    pub late_fraction: f64,
+    /// Average preemption rate (per hour) in each of the three phases.
+    pub phase_rates: [f64; 3],
+}
+
+/// Detects the three preemption phases from observed lifetimes.
+///
+/// The detector scans candidate breakpoints on a grid and picks the pair `(t1, t2)` that
+/// maximises the contrast between the outer-phase rates and the middle-phase rate — a
+/// lightweight segmented-regression approach matching the "phase-wise model" discussion in
+/// Section 8.
+pub fn detect_phases(lifetimes: &[f64], horizon: f64) -> Result<PhaseBreakdown> {
+    if lifetimes.len() < 20 {
+        return Err(NumericsError::invalid("phase detection needs at least 20 lifetimes"));
+    }
+    if !(horizon > 0.0) {
+        return Err(NumericsError::invalid("horizon must be positive"));
+    }
+    let ecdf = Ecdf::new(lifetimes)?;
+    let n = lifetimes.len() as f64;
+    let rate = |a: f64, b: f64| -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        let frac = (ecdf.eval(b) - ecdf.eval(a)).max(0.0);
+        frac / (b - a)
+    };
+
+    // Candidate breakpoints on coarse grids (hours).
+    let t1_candidates: Vec<f64> = (1..=16).map(|i| i as f64 * horizon / 48.0).collect(); // 0.5 .. 8 h
+    let t2_candidates: Vec<f64> = (32..48).map(|i| i as f64 * horizon / 48.0).collect(); // 16 .. 23.5 h
+
+    let mut best = (t1_candidates[0], *t2_candidates.last().unwrap());
+    let mut best_score = f64::NEG_INFINITY;
+    for &t1 in &t1_candidates {
+        for &t2 in &t2_candidates {
+            let r_early = rate(0.0, t1);
+            let r_mid = rate(t1, t2);
+            let r_late = rate(t2, horizon);
+            // contrast: outer rates should dominate the middle rate
+            let score = (r_early - r_mid) + (r_late - r_mid);
+            if score > best_score {
+                best_score = score;
+                best = (t1, t2);
+            }
+        }
+    }
+    let (early_end, deadline_start) = best;
+    let early = lifetimes.iter().filter(|&&t| t <= early_end).count() as f64 / n;
+    let late = lifetimes.iter().filter(|&&t| t > deadline_start).count() as f64 / n;
+    let middle = (1.0 - early - late).max(0.0);
+    Ok(PhaseBreakdown {
+        early_end,
+        deadline_start,
+        early_fraction: early,
+        middle_fraction: middle,
+        late_fraction: late,
+        phase_rates: [
+            rate(0.0, early_end),
+            rate(early_end, deadline_start),
+            rate(deadline_start, horizon),
+        ],
+    })
+}
+
+/// Online drift detector comparing recent observations against a fitted model.
+///
+/// The service feeds every observed lifetime into the detector; when a full window has
+/// accumulated, the window's empirical CDF is compared against the model CDF with a
+/// Kolmogorov–Smirnov statistic.  A statistic above the threshold signals that the cloud
+/// provider's preemption behaviour has drifted and the model should be re-fitted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChangePointDetector {
+    window: Vec<f64>,
+    window_size: usize,
+    ks_threshold: f64,
+    /// Number of completed windows evaluated so far.
+    pub windows_evaluated: usize,
+    /// Number of windows that exceeded the threshold.
+    pub change_points_detected: usize,
+}
+
+impl ChangePointDetector {
+    /// Creates a detector with the given window size (≥ 10) and KS threshold in `(0, 1)`.
+    pub fn new(window_size: usize, ks_threshold: f64) -> Result<Self> {
+        if window_size < 10 {
+            return Err(NumericsError::invalid("window size must be at least 10"));
+        }
+        if !(ks_threshold > 0.0 && ks_threshold < 1.0) {
+            return Err(NumericsError::invalid("KS threshold must lie in (0, 1)"));
+        }
+        Ok(ChangePointDetector {
+            window: Vec::with_capacity(window_size),
+            window_size,
+            ks_threshold,
+            windows_evaluated: 0,
+            change_points_detected: 0,
+        })
+    }
+
+    /// A reasonable default: 50-observation windows, KS threshold 0.25.
+    pub fn default_config() -> Self {
+        ChangePointDetector::new(50, 0.25).expect("valid default")
+    }
+
+    /// Number of observations currently buffered (not yet evaluated).
+    pub fn pending(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Feeds one observed lifetime.  Returns `Some(ks_statistic)` when this observation
+    /// completed a window and the window indicates drift; `None` otherwise.
+    pub fn observe(&mut self, lifetime: f64, model: &BathtubModel) -> Option<f64> {
+        if !lifetime.is_finite() || lifetime < 0.0 {
+            return None;
+        }
+        self.window.push(lifetime.min(model.horizon()));
+        if self.window.len() < self.window_size {
+            return None;
+        }
+        let ecdf = Ecdf::new(&self.window).expect("non-empty window");
+        let ks = ecdf.ks_statistic(|t| model.cdf(t));
+        self.window.clear();
+        self.windows_evaluated += 1;
+        if ks > self.ks_threshold {
+            self.change_points_detected += 1;
+            Some(ks)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tcp_dists::{LifetimeDistribution, PhasedHazard};
+
+    fn synthetic(n: usize, seed: u64) -> Vec<f64> {
+        let truth = PhasedHazard::representative();
+        let mut rng = StdRng::seed_from_u64(seed);
+        truth.sample_n(&mut rng, n)
+    }
+
+    #[test]
+    fn detect_phases_finds_three_phase_structure() {
+        let lifetimes = synthetic(1500, 5);
+        let phases = detect_phases(&lifetimes, 24.0).unwrap();
+        // Early phase ends within a few hours, deadline phase starts late.
+        assert!(phases.early_end >= 1.0 && phases.early_end <= 8.0, "early_end = {}", phases.early_end);
+        assert!(phases.deadline_start >= 16.0 && phases.deadline_start < 24.0);
+        // Bathtub: outer rates exceed the middle rate.
+        assert!(phases.phase_rates[0] > phases.phase_rates[1]);
+        assert!(phases.phase_rates[2] > phases.phase_rates[1]);
+        // Fractions sum to one.
+        let total = phases.early_fraction + phases.middle_fraction + phases.late_fraction;
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(phases.early_fraction > 0.2);
+    }
+
+    #[test]
+    fn detect_phases_validation() {
+        assert!(detect_phases(&[1.0; 5], 24.0).is_err());
+        assert!(detect_phases(&synthetic(100, 1), 0.0).is_err());
+    }
+
+    #[test]
+    fn change_point_detector_quiet_when_model_matches() {
+        let model = crate::fit::fit_bathtub_model(&synthetic(600, 7), 24.0).unwrap().model;
+        let mut det = ChangePointDetector::new(60, 0.3).unwrap();
+        let mut detections = 0;
+        for t in synthetic(600, 8) {
+            if det.observe(t, &model).is_some() {
+                detections += 1;
+            }
+        }
+        assert_eq!(detections, 0, "no drift expected when data matches the model");
+        assert!(det.windows_evaluated >= 9);
+    }
+
+    #[test]
+    fn change_point_detector_fires_on_drift() {
+        let model = crate::fit::fit_bathtub_model(&synthetic(600, 9), 24.0).unwrap().model;
+        let mut det = ChangePointDetector::new(50, 0.25).unwrap();
+        // Drifted behaviour: memoryless preemptions with a 2-hour MTTF.
+        let drifted = tcp_dists::Exponential::from_mttf(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut fired = false;
+        for _ in 0..200 {
+            let t = drifted.sample(&mut rng).min(24.0);
+            if det.observe(t, &model).is_some() {
+                fired = true;
+            }
+        }
+        assert!(fired, "drift should be detected");
+        assert!(det.change_points_detected >= 1);
+    }
+
+    #[test]
+    fn change_point_detector_validation_and_bookkeeping() {
+        assert!(ChangePointDetector::new(5, 0.2).is_err());
+        assert!(ChangePointDetector::new(50, 0.0).is_err());
+        assert!(ChangePointDetector::new(50, 1.0).is_err());
+        let mut det = ChangePointDetector::default_config();
+        let model = BathtubModel::paper_representative();
+        assert_eq!(det.pending(), 0);
+        det.observe(3.0, &model);
+        assert_eq!(det.pending(), 1);
+        // invalid observations are ignored
+        det.observe(f64::NAN, &model);
+        det.observe(-2.0, &model);
+        assert_eq!(det.pending(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Model registry keyed by VM configuration.
+//!
+//! Section 5: "the service ... parametrizes the bathtub model based on the VM type, region,
+//! time-of-day, and day-of-week."  The registry stores one fitted [`BathtubModel`] per
+//! configuration cell, falls back along sensible relaxations when an exact cell has not
+//! been fitted (same VM type ignoring workload, then any model for the VM type, then the
+//! global default), and can be bootstrapped wholesale from a preemption dataset.
+
+use crate::fit::fit_bathtub_model;
+use crate::model::BathtubModel;
+use std::collections::HashMap;
+use tcp_numerics::{NumericsError, Result};
+use tcp_trace::{ConfigKey, PreemptionRecord, TimeOfDay, VmType, WorkloadKind, Zone};
+
+/// Minimum observations per cell before the registry will fit a per-cell model.
+pub const MIN_SAMPLES_PER_CELL: usize = 30;
+
+/// A registry of fitted preemption models per VM configuration.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    models: HashMap<ConfigKey, BathtubModel>,
+    default_model: BathtubModel,
+    horizon: f64,
+}
+
+impl ModelRegistry {
+    /// Creates a registry with only a default model.
+    pub fn new(default_model: BathtubModel) -> Self {
+        let horizon = default_model.horizon();
+        ModelRegistry { models: HashMap::new(), default_model, horizon }
+    }
+
+    /// Creates a registry with the paper's representative model as default.
+    pub fn with_representative_default() -> Self {
+        ModelRegistry::new(BathtubModel::paper_representative())
+    }
+
+    /// Number of per-cell models registered.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no per-cell models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The default (fallback) model.
+    pub fn default_model(&self) -> &BathtubModel {
+        &self.default_model
+    }
+
+    /// Registers (or replaces) the model for a configuration cell.
+    pub fn insert(&mut self, key: ConfigKey, model: BathtubModel) {
+        self.models.insert(key, model);
+    }
+
+    /// Looks up the best-matching model for a configuration.
+    ///
+    /// Fallback order: exact cell → same (type, zone, time-of-day) ignoring workload →
+    /// same (type, zone) → same type (any zone/time/workload) → default.
+    pub fn lookup(&self, key: &ConfigKey) -> &BathtubModel {
+        if let Some(m) = self.models.get(key) {
+            return m;
+        }
+        // relax workload
+        for workload in WorkloadKind::all() {
+            let k = ConfigKey { workload, ..*key };
+            if let Some(m) = self.models.get(&k) {
+                return m;
+            }
+        }
+        // relax workload + time of day
+        for time_of_day in TimeOfDay::all() {
+            for workload in WorkloadKind::all() {
+                let k = ConfigKey { time_of_day, workload, ..*key };
+                if let Some(m) = self.models.get(&k) {
+                    return m;
+                }
+            }
+        }
+        // same VM type anywhere
+        for zone in Zone::all() {
+            for time_of_day in TimeOfDay::all() {
+                for workload in WorkloadKind::all() {
+                    let k = ConfigKey { vm_type: key.vm_type, zone, time_of_day, workload };
+                    if let Some(m) = self.models.get(&k) {
+                        return m;
+                    }
+                }
+            }
+        }
+        &self.default_model
+    }
+
+    /// Convenience lookup by VM type only (uses the Figure 1 zone/time/workload defaults).
+    pub fn lookup_vm_type(&self, vm_type: VmType) -> &BathtubModel {
+        self.lookup(&ConfigKey { vm_type, ..ConfigKey::figure1() })
+    }
+
+    /// Fits per-cell models from a preemption dataset.
+    ///
+    /// Cells with at least [`MIN_SAMPLES_PER_CELL`] observations get their own model; the
+    /// remainder fall back through the lookup chain.  Returns the number of cells fitted.
+    pub fn fit_from_records(&mut self, records: &[PreemptionRecord]) -> Result<usize> {
+        if records.is_empty() {
+            return Err(NumericsError::invalid("cannot fit a registry from an empty dataset"));
+        }
+        let mut by_cell: HashMap<ConfigKey, Vec<f64>> = HashMap::new();
+        for r in records {
+            let key = ConfigKey {
+                vm_type: r.vm_type,
+                zone: r.zone,
+                time_of_day: r.time_of_day,
+                workload: r.workload,
+            };
+            by_cell.entry(key).or_default().push(r.lifetime_hours);
+        }
+        let mut fitted = 0;
+        for (key, lifetimes) in by_cell {
+            if lifetimes.len() < MIN_SAMPLES_PER_CELL {
+                continue;
+            }
+            let fit = fit_bathtub_model(&lifetimes, self.horizon)?;
+            self.models.insert(key, fit.model);
+            fitted += 1;
+        }
+        Ok(fitted)
+    }
+
+    /// Builds a registry from a dataset in one call, using the representative default.
+    pub fn from_records(records: &[PreemptionRecord]) -> Result<Self> {
+        let mut registry = ModelRegistry::with_representative_default();
+        registry.fit_from_records(records)?;
+        Ok(registry)
+    }
+
+    /// Iterates over the registered cells and their models.
+    pub fn iter(&self) -> impl Iterator<Item = (&ConfigKey, &BathtubModel)> {
+        self.models.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_trace::TraceGenerator;
+
+    #[test]
+    fn empty_registry_falls_back_to_default() {
+        let reg = ModelRegistry::with_representative_default();
+        assert!(reg.is_empty());
+        let m = reg.lookup(&ConfigKey::figure1());
+        assert_eq!(m.params(), BathtubModel::paper_representative().params());
+    }
+
+    #[test]
+    fn exact_lookup_and_fallbacks() {
+        let mut reg = ModelRegistry::with_representative_default();
+        let exact_key = ConfigKey::figure1();
+        let exact_model = BathtubModel::from_parts(0.48, 0.9, 0.7, 23.5).unwrap();
+        reg.insert(exact_key, exact_model);
+        assert_eq!(reg.len(), 1);
+
+        // exact hit
+        assert_eq!(reg.lookup(&exact_key).params(), exact_model.params());
+
+        // relax workload: same cell but idle workload resolves to the registered one
+        let idle = ConfigKey { workload: WorkloadKind::Idle, ..exact_key };
+        assert_eq!(reg.lookup(&idle).params(), exact_model.params());
+
+        // different zone, same type: still resolves to the registered model
+        let other_zone = ConfigKey { zone: Zone::UsWest1A, ..exact_key };
+        assert_eq!(reg.lookup(&other_zone).params(), exact_model.params());
+
+        // different VM type: falls back to the default
+        let other_type = ConfigKey { vm_type: VmType::N1HighCpu2, ..exact_key };
+        assert_eq!(reg.lookup(&other_type).params(), reg.default_model().params());
+
+        // lookup_vm_type goes through the same chain
+        assert_eq!(reg.lookup_vm_type(VmType::N1HighCpu16).params(), exact_model.params());
+    }
+
+    #[test]
+    fn fit_from_records_populates_dense_cells() {
+        let mut gen = TraceGenerator::new(2021);
+        let records = gen.generate_paper_study().unwrap();
+        let mut reg = ModelRegistry::with_representative_default();
+        let fitted = reg.fit_from_records(&records).unwrap();
+        assert!(fitted >= 1, "at least the Figure 1 cell should be fitted");
+        assert_eq!(reg.len(), fitted);
+        // the Figure 1 cell is guaranteed to have >= 120 samples
+        let m = reg.lookup(&ConfigKey::figure1());
+        // fitted model differs from the default (it was actually fitted)
+        assert_ne!(m.params(), BathtubModel::paper_representative().params());
+        assert!(reg.fit_from_records(&[]).is_err());
+    }
+
+    #[test]
+    fn from_records_one_call() {
+        let mut gen = TraceGenerator::new(11);
+        let records = gen.generate_for(ConfigKey::figure1(), 200).unwrap();
+        let reg = ModelRegistry::from_records(&records).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.iter().count(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types shared by all numerical routines.
+
+use std::fmt;
+
+/// Errors produced by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericsError {
+    /// An argument was outside its valid domain (empty slice, negative tolerance, ...).
+    InvalidArgument(String),
+    /// An iterative solver exhausted its iteration budget before converging.
+    DidNotConverge {
+        /// Human-readable description of the solver that failed.
+        what: String,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Best residual / error measure achieved.
+        residual: f64,
+    },
+    /// A root-bracketing routine was given an interval that does not bracket a root.
+    RootNotBracketed {
+        /// Left end of the interval.
+        a: f64,
+        /// Right end of the interval.
+        b: f64,
+        /// Function value at `a`.
+        fa: f64,
+        /// Function value at `b`.
+        fb: f64,
+    },
+    /// A linear system was singular (or numerically indistinguishable from singular).
+    SingularMatrix,
+    /// A computation produced a NaN or infinity where a finite value was required.
+    NonFinite(String),
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            NumericsError::DidNotConverge {
+                what,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{what} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumericsError::RootNotBracketed { a, b, fa, fb } => write!(
+                f,
+                "root not bracketed on [{a}, {b}]: f(a) = {fa:.3e}, f(b) = {fb:.3e}"
+            ),
+            NumericsError::SingularMatrix => write!(f, "singular matrix in linear solve"),
+            NumericsError::NonFinite(msg) => write!(f, "non-finite value encountered: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+impl NumericsError {
+    /// Shorthand for constructing an [`NumericsError::InvalidArgument`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        NumericsError::InvalidArgument(msg.into())
+    }
+
+    /// Shorthand for constructing a [`NumericsError::NonFinite`].
+    pub fn non_finite(msg: impl Into<String>) -> Self {
+        NumericsError::NonFinite(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NumericsError::invalid("empty data");
+        assert!(e.to_string().contains("empty data"));
+
+        let e = NumericsError::DidNotConverge {
+            what: "levenberg-marquardt".into(),
+            iterations: 100,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("levenberg-marquardt"));
+        assert!(e.to_string().contains("100"));
+
+        let e = NumericsError::RootNotBracketed {
+            a: 0.0,
+            b: 1.0,
+            fa: 1.0,
+            fb: 2.0,
+        };
+        assert!(e.to_string().contains("not bracketed"));
+
+        assert!(NumericsError::SingularMatrix.to_string().contains("singular"));
+        assert!(NumericsError::non_finite("cdf").to_string().contains("cdf"));
+    }
+
+    #[test]
+    fn errors_are_clonable_and_comparable() {
+        let e = NumericsError::SingularMatrix;
+        assert_eq!(e.clone(), e);
+    }
+}

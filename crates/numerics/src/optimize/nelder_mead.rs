@@ -1,0 +1,273 @@
+//! Derivative-free simplex minimisation (Nelder–Mead) with box constraints.
+//!
+//! Used as a robust fallback/polish step for the distribution fits: when the Jacobian of
+//! the bathtub CDF becomes nearly singular (τ2 → 0 makes the deadline term a step function)
+//! the damped Gauss–Newton solver can stall, whereas the simplex method keeps making
+//! progress using only function values.
+
+use super::least_squares::Bounds;
+use crate::{NumericsError, Result};
+
+/// Options controlling the Nelder–Mead iteration.
+#[derive(Debug, Clone)]
+pub struct NelderMeadOptions {
+    /// Maximum number of iterations (simplex updates).
+    pub max_iterations: usize,
+    /// Convergence tolerance on the spread of function values across the simplex.
+    pub f_tol: f64,
+    /// Convergence tolerance on the simplex diameter.
+    pub x_tol: f64,
+    /// Relative size of the initial simplex.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_iterations: 2000,
+            f_tol: 1e-12,
+            x_tol: 1e-10,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Result of a Nelder–Mead minimisation.
+#[derive(Debug, Clone)]
+pub struct NelderMeadReport {
+    /// Best parameter vector found.
+    pub params: Vec<f64>,
+    /// Objective value at `params`.
+    pub objective: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the convergence criteria were met.
+    pub converged: bool,
+}
+
+/// Minimises `objective` over the box `bounds` starting from `initial`.
+pub fn nelder_mead<F>(
+    objective: &F,
+    initial: &[f64],
+    bounds: &Bounds,
+    options: &NelderMeadOptions,
+) -> Result<NelderMeadReport>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let n = initial.len();
+    if n == 0 {
+        return Err(NumericsError::invalid("nelder_mead requires at least one parameter"));
+    }
+    if bounds.dim() != n {
+        return Err(NumericsError::invalid("bounds dimension mismatch"));
+    }
+
+    let eval = |theta: &[f64]| -> f64 {
+        let v = objective(theta);
+        if v.is_finite() {
+            v
+        } else {
+            f64::MAX
+        }
+    };
+
+    // Build the initial simplex: the start point plus one vertex perturbed per coordinate.
+    let mut start = initial.to_vec();
+    bounds.project(&mut start);
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(start.clone());
+    for i in 0..n {
+        let mut v = start.clone();
+        let span = if bounds.upper()[i].is_finite() && bounds.lower()[i].is_finite() {
+            (bounds.upper()[i] - bounds.lower()[i]).max(1e-8)
+        } else {
+            1.0
+        };
+        let step = options.initial_step * v[i].abs().max(0.1 * span).max(1e-4);
+        v[i] += step;
+        bounds.project(&mut v);
+        // if projection collapsed the step (start on the upper bound) go the other way
+        if (v[i] - start[i]).abs() < 1e-15 {
+            v[i] = start[i] - step;
+            bounds.project(&mut v);
+        }
+        simplex.push(v);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|v| eval(v)).collect();
+
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    let mut iterations = 0;
+    let mut converged = false;
+
+    for iter in 0..options.max_iterations {
+        iterations = iter + 1;
+
+        // Order the simplex by objective value.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        // Convergence: spread of function values and simplex size.
+        let f_spread = (values[worst] - values[best]).abs();
+        let x_spread = simplex
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .zip(&simplex[best])
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max)
+            })
+            .fold(0.0f64, f64::max);
+        if f_spread <= options.f_tol && x_spread <= options.x_tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for (idx, v) in simplex.iter().enumerate() {
+            if idx == worst {
+                continue;
+            }
+            for (c, x) in centroid.iter_mut().zip(v) {
+                *c += x / n as f64;
+            }
+        }
+
+        // Reflection.
+        let mut reflected: Vec<f64> = centroid
+            .iter()
+            .zip(&simplex[worst])
+            .map(|(c, w)| c + ALPHA * (c - w))
+            .collect();
+        bounds.project(&mut reflected);
+        let f_reflected = eval(&reflected);
+
+        if f_reflected < values[best] {
+            // Expansion.
+            let mut expanded: Vec<f64> = centroid
+                .iter()
+                .zip(&reflected)
+                .map(|(c, r)| c + GAMMA * (r - c))
+                .collect();
+            bounds.project(&mut expanded);
+            let f_expanded = eval(&expanded);
+            if f_expanded < f_reflected {
+                simplex[worst] = expanded;
+                values[worst] = f_expanded;
+            } else {
+                simplex[worst] = reflected;
+                values[worst] = f_reflected;
+            }
+        } else if f_reflected < values[second_worst] {
+            simplex[worst] = reflected;
+            values[worst] = f_reflected;
+        } else {
+            // Contraction.
+            let mut contracted: Vec<f64> = centroid
+                .iter()
+                .zip(&simplex[worst])
+                .map(|(c, w)| c + RHO * (w - c))
+                .collect();
+            bounds.project(&mut contracted);
+            let f_contracted = eval(&contracted);
+            if f_contracted < values[worst] {
+                simplex[worst] = contracted;
+                values[worst] = f_contracted;
+            } else {
+                // Shrink towards the best vertex.
+                let best_vertex = simplex[best].clone();
+                for (idx, v) in simplex.iter_mut().enumerate() {
+                    if idx == best {
+                        continue;
+                    }
+                    for (x, b) in v.iter_mut().zip(&best_vertex) {
+                        *x = b + SIGMA * (*x - b);
+                    }
+                    bounds.project(v);
+                    values[idx] = eval(v);
+                }
+            }
+        }
+    }
+
+    let (best_idx, _) = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+
+    Ok(NelderMeadReport {
+        params: simplex[best_idx].clone(),
+        objective: values[best_idx],
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic() {
+        let obj = |x: &[f64]| (x[0] - 2.0).powi(2) + (x[1] + 1.0).powi(2);
+        let report = nelder_mead(&obj, &[0.0, 0.0], &Bounds::unbounded(2), &NelderMeadOptions::default()).unwrap();
+        assert!((report.params[0] - 2.0).abs() < 1e-4);
+        assert!((report.params[1] + 1.0).abs() < 1e-4);
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn minimises_rosenbrock() {
+        let obj = |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
+        let report = nelder_mead(&obj, &[-1.2, 1.0], &Bounds::unbounded(2), &NelderMeadOptions::default()).unwrap();
+        assert!((report.params[0] - 1.0).abs() < 1e-3, "{:?}", report.params);
+        assert!((report.params[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let obj = |x: &[f64]| (x[0] - 5.0).powi(2);
+        let bounds = Bounds::new(vec![0.0], vec![1.0]).unwrap();
+        let report = nelder_mead(&obj, &[0.5], &bounds, &NelderMeadOptions::default()).unwrap();
+        assert!(report.params[0] <= 1.0 + 1e-12);
+        assert!((report.params[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn starts_on_upper_bound() {
+        let obj = |x: &[f64]| (x[0] - 0.2).powi(2);
+        let bounds = Bounds::new(vec![0.0], vec![1.0]).unwrap();
+        let report = nelder_mead(&obj, &[1.0], &bounds, &NelderMeadOptions::default()).unwrap();
+        assert!((report.params[0] - 0.2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn handles_non_finite_objective_values() {
+        // objective returns NaN outside a small region; solver should still find the minimum
+        let obj = |x: &[f64]| {
+            if x[0] < -10.0 {
+                f64::NAN
+            } else {
+                (x[0] - 1.0).powi(2)
+            }
+        };
+        let report = nelder_mead(&obj, &[0.0], &Bounds::unbounded(1), &NelderMeadOptions::default()).unwrap();
+        assert!((report.params[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let obj = |x: &[f64]| x[0];
+        assert!(nelder_mead(&obj, &[], &Bounds::unbounded(0), &NelderMeadOptions::default()).is_err());
+        assert!(nelder_mead(&obj, &[1.0], &Bounds::unbounded(2), &NelderMeadOptions::default()).is_err());
+    }
+}

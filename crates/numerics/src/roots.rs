@@ -1,0 +1,293 @@
+//! Scalar root finding.
+//!
+//! Root finding is used for inverse-transform sampling from fitted CDFs (find `t` such that
+//! `F(t) = u`), for locating the job-length crossover point between the bathtub and uniform
+//! preemption regimes (Figure 4b), and for the reuse-threshold age `s*` of the scheduling
+//! policy.
+
+use crate::{NumericsError, Result};
+
+/// Configuration for the bracketing root finders.
+#[derive(Debug, Clone, Copy)]
+pub struct RootConfig {
+    /// Absolute tolerance on the root location.
+    pub x_tol: f64,
+    /// Absolute tolerance on the function value.
+    pub f_tol: f64,
+    /// Maximum number of iterations.
+    pub max_iter: usize,
+}
+
+impl Default for RootConfig {
+    fn default() -> Self {
+        RootConfig {
+            x_tol: 1e-12,
+            f_tol: 1e-12,
+            max_iter: 200,
+        }
+    }
+}
+
+/// Finds a root of `f` on `[a, b]` by bisection.  Requires a sign change on the interval.
+pub fn bisect<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, cfg: RootConfig) -> Result<f64> {
+    let (mut lo, mut hi) = (a.min(b), a.max(b));
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo * fhi > 0.0 {
+        return Err(NumericsError::RootNotBracketed {
+            a: lo,
+            b: hi,
+            fa: flo,
+            fb: fhi,
+        });
+    }
+    for _ in 0..cfg.max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid.abs() <= cfg.f_tol || (hi - lo) <= cfg.x_tol {
+            return Ok(mid);
+        }
+        if flo * fmid < 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+            flo = fmid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Brent's method: inverse-quadratic interpolation with a bisection fallback.
+///
+/// This mirrors the classic Brent–Dekker algorithm and converges superlinearly for the
+/// smooth CDFs used throughout the workspace.
+pub fn brent<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, cfg: RootConfig) -> Result<f64> {
+    let mut a = a;
+    let mut b = b;
+    let mut fa = f(a);
+    let mut fb = f(b);
+
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa * fb > 0.0 {
+        return Err(NumericsError::RootNotBracketed { a, b, fa, fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+
+    for _ in 0..cfg.max_iter {
+        if fb.abs() <= cfg.f_tol || (b - a).abs() <= cfg.x_tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // inverse quadratic interpolation
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // secant
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo = (3.0 * a + b) / 4.0;
+        let hi = b;
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let cond1 = s < lo || s > hi;
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < cfg.x_tol;
+        let cond5 = !mflag && (c - d).abs() < cfg.x_tol;
+
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+
+        if fa * fs < 0.0 {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Ok(b)
+}
+
+/// Finds the minimizer of a unimodal scalar function on `[a, b]` by golden-section search.
+///
+/// Used for one-dimensional policy tuning (e.g. the best single checkpoint interval when a
+/// uniform schedule is forced) and for sanity-checking the DP optimizer.
+pub fn golden_section_min<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64, max_iter: usize) -> Result<f64> {
+    if !(a < b) {
+        return Err(NumericsError::invalid("golden_section_min requires a < b"));
+    }
+    if tol <= 0.0 {
+        return Err(NumericsError::invalid("tolerance must be positive"));
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let mut lo = a;
+    let mut hi = b;
+    let mut c = hi - INV_PHI * (hi - lo);
+    let mut d = lo + INV_PHI * (hi - lo);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..max_iter {
+        if (hi - lo).abs() <= tol {
+            break;
+        }
+        if fc < fd {
+            hi = d;
+            d = c;
+            fd = fc;
+            c = hi - INV_PHI * (hi - lo);
+            fc = f(c);
+        } else {
+            lo = c;
+            c = d;
+            fc = fd;
+            d = lo + INV_PHI * (hi - lo);
+            fd = f(d);
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Expands an initial guess interval until it brackets a root (or gives up).
+///
+/// `f` is evaluated at geometrically spaced points to the right of `a`; useful when the
+/// caller only knows a lower bound of the root (e.g. the crossover job length).
+pub fn bracket_root<F: Fn(f64) -> f64>(f: F, a: f64, initial_step: f64, max_expansions: usize) -> Result<(f64, f64)> {
+    if initial_step <= 0.0 {
+        return Err(NumericsError::invalid("initial_step must be positive"));
+    }
+    let fa = f(a);
+    if fa == 0.0 {
+        return Ok((a, a));
+    }
+    let mut step = initial_step;
+    let mut lo = a;
+    let mut flo = fa;
+    for _ in 0..max_expansions {
+        let hi = lo + step;
+        let fhi = f(hi);
+        if flo * fhi <= 0.0 {
+            return Ok((lo, hi));
+        }
+        lo = hi;
+        flo = fhi;
+        step *= 2.0;
+    }
+    Err(NumericsError::DidNotConverge {
+        what: "bracket_root".into(),
+        iterations: max_expansions,
+        residual: flo.abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, RootConfig::default()).unwrap();
+        assert!(approx_eq(r, std::f64::consts::SQRT_2, 1e-9, 0.0));
+    }
+
+    #[test]
+    fn bisect_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, RootConfig::default()).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, RootConfig::default()).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_requires_bracket() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, RootConfig::default()),
+            Err(NumericsError::RootNotBracketed { .. })
+        ));
+    }
+
+    #[test]
+    fn brent_finds_cos_root() {
+        let r = brent(|x| x.cos(), 0.0, 3.0, RootConfig::default()).unwrap();
+        assert!(approx_eq(r, std::f64::consts::FRAC_PI_2, 1e-10, 0.0));
+    }
+
+    #[test]
+    fn brent_cdf_style_inversion() {
+        // invert a steep CDF-like function: F(t) = 1 - exp(-(t/0.8)) shifted near 24
+        let target = 0.5;
+        let f = |t: f64| 1.0 - (-(t / 3.0)).exp() - target;
+        let r = brent(f, 0.0, 24.0, RootConfig::default()).unwrap();
+        assert!(approx_eq(1.0 - (-(r / 3.0)).exp(), target, 1e-10, 0.0));
+    }
+
+    #[test]
+    fn brent_requires_bracket() {
+        assert!(brent(|x| x * x + 1.0, -1.0, 1.0, RootConfig::default()).is_err());
+    }
+
+    #[test]
+    fn brent_matches_bisect() {
+        let f = |x: f64| x.exp() - 3.0;
+        let cfg = RootConfig::default();
+        let r1 = brent(f, 0.0, 2.0, cfg).unwrap();
+        let r2 = bisect(f, 0.0, 2.0, cfg).unwrap();
+        assert!(approx_eq(r1, r2, 1e-8, 0.0));
+        assert!(approx_eq(r1, 3.0f64.ln(), 1e-10, 0.0));
+    }
+
+    #[test]
+    fn golden_section_minimizes_parabola() {
+        let m = golden_section_min(|x| (x - 1.3).powi(2), -5.0, 5.0, 1e-8, 200).unwrap();
+        assert!(approx_eq(m, 1.3, 1e-6, 0.0));
+    }
+
+    #[test]
+    fn golden_section_validates_args() {
+        assert!(golden_section_min(|x| x, 1.0, 0.0, 1e-8, 10).is_err());
+        assert!(golden_section_min(|x| x, 0.0, 1.0, 0.0, 10).is_err());
+    }
+
+    #[test]
+    fn bracket_root_expands() {
+        let (lo, hi) = bracket_root(|x| x - 10.0, 0.0, 1.0, 20).unwrap();
+        assert!(lo <= 10.0 && 10.0 <= hi);
+    }
+
+    #[test]
+    fn bracket_root_gives_up() {
+        assert!(bracket_root(|_| 1.0, 0.0, 1.0, 5).is_err());
+    }
+}

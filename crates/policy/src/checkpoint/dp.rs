@@ -1,0 +1,440 @@
+//! The dynamic-programming checkpointing policy (Section 4.3, Equations 9–13).
+//!
+//! The job is divided into steps of `step_hours` each.  From a checkpointed state with `j`
+//! steps remaining and VM age `t`, the policy chooses how many steps `i` to run before the
+//! next checkpoint (cost `δ`).  Over that window the job either succeeds (no preemption)
+//! and continues from age `t + iΔ + δ` with `j − i` steps left, or is preempted, loses the
+//! un-checkpointed work, and resumes from the most recent checkpoint on a **fresh VM**
+//! (age 0), exactly as the paper's prose describes.  The expected-makespan recursion is
+//!
+//! ```text
+//! V(0, t) = 0
+//! V(j, t) = min_{1 ≤ i ≤ j}  p_succ(t, w) · ( w + V(j−i, t+w) )
+//!                          + p_fail(t, w) · ( E[lost | fail] + restart + V(j, 0) )
+//! with w = iΔ + δ
+//! ```
+//!
+//! The self-reference through `V(j, 0)` (a failure sends the job back to a fresh VM with
+//! the same remaining work) is resolved by a fixed-point iteration per `j`; the map is a
+//! contraction because the failure probability of the chosen action is strictly below one.
+
+use serde::{Deserialize, Serialize};
+use tcp_core::BathtubModel;
+use tcp_dists::LifetimeDistribution;
+use tcp_numerics::{NumericsError, Result};
+
+/// Configuration of the checkpointing policies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    /// Cost of writing one checkpoint, in hours (the paper uses 1 minute).
+    pub checkpoint_cost_hours: f64,
+    /// Work-step granularity of the dynamic program, in hours.
+    pub step_hours: f64,
+    /// Time to acquire and boot a replacement VM after a preemption, in hours.
+    pub restart_overhead_hours: f64,
+}
+
+impl CheckpointConfig {
+    /// The paper's evaluation settings: 1-minute checkpoints, 5-minute DP steps, 1-minute
+    /// restart overhead.
+    pub fn paper_defaults() -> Self {
+        CheckpointConfig {
+            checkpoint_cost_hours: 1.0 / 60.0,
+            step_hours: 5.0 / 60.0,
+            restart_overhead_hours: 1.0 / 60.0,
+        }
+    }
+
+    /// A coarse configuration (15-minute steps) suitable for unit tests and quick sweeps.
+    pub fn coarse() -> Self {
+        CheckpointConfig {
+            checkpoint_cost_hours: 1.0 / 60.0,
+            step_hours: 0.25,
+            restart_overhead_hours: 1.0 / 60.0,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.checkpoint_cost_hours > 0.0) || !self.checkpoint_cost_hours.is_finite() {
+            return Err(NumericsError::invalid("checkpoint cost must be positive"));
+        }
+        if !(self.step_hours > 0.0) || !self.step_hours.is_finite() {
+            return Err(NumericsError::invalid("step size must be positive"));
+        }
+        if !(self.restart_overhead_hours >= 0.0) || !self.restart_overhead_hours.is_finite() {
+            return Err(NumericsError::invalid("restart overhead must be non-negative"));
+        }
+        Ok(())
+    }
+}
+
+/// A concrete checkpoint schedule for one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointSchedule {
+    /// Amount of work (hours) executed before each checkpoint, in order.  Sums to the job
+    /// length (up to step-quantisation).
+    pub intervals_hours: Vec<f64>,
+    /// Expected makespan (hours) of the job under this policy, from the DP value function.
+    pub expected_makespan: f64,
+    /// The job length the schedule was computed for (hours, after step quantisation).
+    pub job_len: f64,
+    /// The VM age (hours) the job was assumed to start at.
+    pub start_age: f64,
+}
+
+impl CheckpointSchedule {
+    /// Number of checkpoints taken (= number of intervals).
+    pub fn checkpoint_count(&self) -> usize {
+        self.intervals_hours.len()
+    }
+
+    /// Expected fractional increase in running time over the bare job length.
+    pub fn expected_overhead_fraction(&self) -> f64 {
+        if self.job_len <= 0.0 {
+            return 0.0;
+        }
+        (self.expected_makespan - self.job_len) / self.job_len
+    }
+}
+
+/// The model-driven DP checkpointing policy.
+#[derive(Debug)]
+pub struct DpCheckpointPolicy {
+    model: BathtubModel,
+    config: CheckpointConfig,
+    age_step: f64,
+    age_bins: usize,
+    /// Cache of solved DP tables, keyed by the number of job steps they cover.  The tables
+    /// for `j` steps contain every smaller job as a sub-problem, so the largest solve is
+    /// reused for all subsequent (re-)planning calls — which the Monte-Carlo evaluator and
+    /// the batch service issue constantly.
+    cache: std::sync::Mutex<Option<SolvedTables>>,
+}
+
+#[derive(Debug, Clone)]
+struct SolvedTables {
+    job_steps: usize,
+    value: std::sync::Arc<Vec<Vec<f64>>>,
+    choice: std::sync::Arc<Vec<Vec<usize>>>,
+}
+
+impl Clone for DpCheckpointPolicy {
+    fn clone(&self) -> Self {
+        DpCheckpointPolicy {
+            model: self.model,
+            config: self.config,
+            age_step: self.age_step,
+            age_bins: self.age_bins,
+            cache: std::sync::Mutex::new(self.cache.lock().expect("cache lock").clone()),
+        }
+    }
+}
+
+impl DpCheckpointPolicy {
+    /// Creates a policy for a fitted preemption model.
+    pub fn new(model: BathtubModel, config: CheckpointConfig) -> Result<Self> {
+        config.validate()?;
+        let horizon = model.horizon();
+        // Age grid resolution: half a work step is plenty (ages only influence the DP
+        // through the slowly varying CDF), capped to at most ~2000 bins.
+        let age_step = (0.5 * config.step_hours).clamp(horizon / 2000.0, 0.25);
+        let age_bins = (horizon / age_step).ceil() as usize + 1;
+        Ok(DpCheckpointPolicy {
+            model,
+            config,
+            age_step,
+            age_bins,
+            cache: std::sync::Mutex::new(None),
+        })
+    }
+
+    /// The policy configuration.
+    pub fn config(&self) -> CheckpointConfig {
+        self.config
+    }
+
+    /// The preemption model driving the policy.
+    pub fn model(&self) -> &BathtubModel {
+        &self.model
+    }
+
+    fn age_of_bin(&self, bin: usize) -> f64 {
+        (bin as f64 * self.age_step).min(self.model.horizon())
+    }
+
+    fn bin_of_age(&self, age: f64) -> usize {
+        ((age / self.age_step).round() as usize).min(self.age_bins - 1)
+    }
+
+    /// Conditional survival of the window `(t, t+w]` given the VM is alive at age `t`.
+    fn window_survival(&self, t: f64, w: f64) -> f64 {
+        let horizon = self.model.horizon();
+        if t + w >= horizon {
+            return 0.0;
+        }
+        let s_t = self.model.survival(t);
+        if s_t <= 1e-12 {
+            return 0.0;
+        }
+        (self.model.survival(t + w) / s_t).clamp(0.0, 1.0)
+    }
+
+    /// Expected time lost (hours since the window start) given a preemption occurs inside
+    /// the window `(t, t+w]` — Equation 13 adapted to the conditional setting.
+    fn expected_lost_given_failure(&self, t: f64, w: f64) -> f64 {
+        let horizon = self.model.horizon();
+        let u = (t + w).min(horizon);
+        let dist = self.model.dist();
+        let mut mass = self.model.cdf(u) - self.model.cdf(t);
+        let mut first_moment = dist.partial_expectation(t, u) - t * (dist.cdf(u.min(horizon - 1e-9)) - dist.cdf(t));
+        if t + w >= horizon {
+            // window crosses the deadline: include the reclamation atom at the horizon
+            let atom = dist.deadline_atom();
+            mass = (1.0 - self.model.cdf(t)).max(mass);
+            first_moment += atom * (horizon - t);
+        }
+        if mass <= 1e-12 {
+            return 0.5 * w;
+        }
+        (first_moment / mass).clamp(0.0, w)
+    }
+
+    /// Computes the full DP tables for a job of `job_steps` steps.  Returns
+    /// `(value, choice)` tables indexed `[j][age_bin]`.
+    fn solve(&self, job_steps: usize) -> (Vec<Vec<f64>>, Vec<Vec<usize>>) {
+        let delta = self.config.checkpoint_cost_hours;
+        let step = self.config.step_hours;
+        let restart = self.config.restart_overhead_hours;
+        let bins = self.age_bins;
+
+        let mut value = vec![vec![0.0f64; bins]; job_steps + 1];
+        let mut choice = vec![vec![1usize; bins]; job_steps + 1];
+
+        for j in 1..=job_steps {
+            // Fixed-point for v0 = V(j, 0): the failure branch of every state returns to a
+            // fresh VM with the same remaining work.
+            let mut v0 = j as f64 * step + delta; // optimistic seed
+            for _ in 0..60 {
+                let (new_v0, _) = self.best_action(j, 0.0, v0, &value);
+                if (new_v0 - v0).abs() < 1e-9 {
+                    v0 = new_v0;
+                    break;
+                }
+                v0 = new_v0;
+            }
+            // Fill the row with v0 fixed.
+            for bin in 0..bins {
+                let t = self.age_of_bin(bin);
+                let (v, best_i) = self.best_action(j, t, v0, &value);
+                value[j][bin] = v;
+                choice[j][bin] = best_i;
+            }
+            let _ = restart; // restart is consumed inside best_action
+        }
+        (value, choice)
+    }
+
+    /// Evaluates `min_i Q(j, t, i)` given the lower rows of the value table and the current
+    /// estimate of `V(j, 0)`.
+    fn best_action(&self, j: usize, t: f64, v0: f64, value: &[Vec<f64>]) -> (f64, usize) {
+        let delta = self.config.checkpoint_cost_hours;
+        let step = self.config.step_hours;
+        let restart = self.config.restart_overhead_hours;
+
+        let mut best = f64::INFINITY;
+        let mut best_i = 1;
+        for i in 1..=j {
+            let work = i as f64 * step;
+            let w = work + delta;
+            let p_succ = self.window_survival(t, w);
+            let p_fail = 1.0 - p_succ;
+            let lost = self.expected_lost_given_failure(t, w);
+            let next_age = t + w;
+            let cont = if j - i == 0 {
+                0.0
+            } else {
+                value[j - i][self.bin_of_age(next_age)]
+            };
+            let q = p_succ * (w + cont) + p_fail * (lost + restart + v0);
+            if q < best {
+                best = q;
+                best_i = i;
+            }
+        }
+        (best, best_i)
+    }
+
+    /// Returns cached DP tables covering at least `job_steps` steps, solving if necessary.
+    fn solved(&self, job_steps: usize) -> (std::sync::Arc<Vec<Vec<f64>>>, std::sync::Arc<Vec<Vec<usize>>>) {
+        let mut guard = self.cache.lock().expect("cache lock");
+        if let Some(tables) = guard.as_ref() {
+            if tables.job_steps >= job_steps {
+                return (tables.value.clone(), tables.choice.clone());
+            }
+        }
+        let (value, choice) = self.solve(job_steps);
+        let tables = SolvedTables {
+            job_steps,
+            value: std::sync::Arc::new(value),
+            choice: std::sync::Arc::new(choice),
+        };
+        let out = (tables.value.clone(), tables.choice.clone());
+        *guard = Some(tables);
+        out
+    }
+
+    /// Computes the optimal checkpoint schedule for a job of length `job_len` hours
+    /// starting at VM age `start_age` hours.
+    pub fn schedule(&self, job_len: f64, start_age: f64) -> Result<CheckpointSchedule> {
+        if !(job_len > 0.0) || !job_len.is_finite() {
+            return Err(NumericsError::invalid("job length must be positive"));
+        }
+        if !(0.0..self.model.horizon()).contains(&start_age) {
+            return Err(NumericsError::invalid(format!(
+                "start age {start_age} must lie in [0, horizon)"
+            )));
+        }
+        let step = self.config.step_hours;
+        let job_steps = (job_len / step).round().max(1.0) as usize;
+        let (value, choice) = self.solved(job_steps);
+
+        // Extract the success-path schedule.
+        let mut intervals = Vec::new();
+        let mut j = job_steps;
+        let mut age = start_age;
+        while j > 0 {
+            let bin = self.bin_of_age(age);
+            let i = choice[j][bin].clamp(1, j);
+            intervals.push(i as f64 * step);
+            age = (age + i as f64 * step + self.config.checkpoint_cost_hours).min(self.model.horizon());
+            j -= i;
+        }
+
+        let start_bin = self.bin_of_age(start_age);
+        Ok(CheckpointSchedule {
+            intervals_hours: intervals,
+            expected_makespan: value[job_steps][start_bin],
+            job_len: job_steps as f64 * step,
+            start_age,
+        })
+    }
+
+    /// Expected makespan only (no schedule extraction).
+    pub fn expected_makespan(&self, job_len: f64, start_age: f64) -> Result<f64> {
+        Ok(self.schedule(job_len, start_age)?.expected_makespan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(config: CheckpointConfig) -> DpCheckpointPolicy {
+        DpCheckpointPolicy::new(BathtubModel::paper_representative(), config).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let model = BathtubModel::paper_representative();
+        let mut bad = CheckpointConfig::coarse();
+        bad.checkpoint_cost_hours = 0.0;
+        assert!(DpCheckpointPolicy::new(model, bad).is_err());
+        let mut bad = CheckpointConfig::coarse();
+        bad.step_hours = -1.0;
+        assert!(DpCheckpointPolicy::new(model, bad).is_err());
+        let mut bad = CheckpointConfig::coarse();
+        bad.restart_overhead_hours = f64::NAN;
+        assert!(DpCheckpointPolicy::new(model, bad).is_err());
+    }
+
+    #[test]
+    fn schedule_covers_the_whole_job() {
+        let p = policy(CheckpointConfig::coarse());
+        let sched = p.schedule(4.0, 0.0).unwrap();
+        let total: f64 = sched.intervals_hours.iter().sum();
+        assert!((total - sched.job_len).abs() < 1e-9);
+        assert!(sched.checkpoint_count() >= 2, "expected multiple checkpoints, got {sched:?}");
+        assert!(sched.intervals_hours.iter().all(|&i| i > 0.0));
+        assert!(sched.expected_makespan >= sched.job_len);
+    }
+
+    #[test]
+    fn schedule_argument_validation() {
+        let p = policy(CheckpointConfig::coarse());
+        assert!(p.schedule(0.0, 0.0).is_err());
+        assert!(p.schedule(-1.0, 0.0).is_err());
+        assert!(p.schedule(2.0, 25.0).is_err());
+    }
+
+    #[test]
+    fn intervals_grow_as_the_vm_stabilises() {
+        // The paper's example: a 5-hour job on a fresh VM gets increasing intervals
+        // (15, 28, 38, 59, 128 minutes) because the failure rate drops after the early
+        // phase.  Exact values depend on the fitted parameters; the qualitative property is
+        // that the first interval is the shortest and the last is the longest.
+        let p = policy(CheckpointConfig::paper_defaults());
+        let sched = p.schedule(5.0, 0.0).unwrap();
+        let first = sched.intervals_hours[0];
+        let last = *sched.intervals_hours.last().unwrap();
+        assert!(sched.checkpoint_count() >= 3, "{sched:?}");
+        assert!(last > first, "expected increasing intervals: {:?}", sched.intervals_hours);
+        // first interval should be well under an hour on a fresh VM
+        assert!(first <= 0.75, "first interval = {first}");
+    }
+
+    #[test]
+    fn stable_phase_jobs_checkpoint_less() {
+        let p = policy(CheckpointConfig::coarse());
+        let fresh = p.schedule(3.0, 0.0).unwrap();
+        let stable = p.schedule(3.0, 8.0).unwrap();
+        // In the stable phase the failure rate is low, so the DP takes fewer checkpoints
+        // and expects a lower makespan.
+        assert!(stable.expected_makespan <= fresh.expected_makespan + 1e-9);
+        assert!(stable.checkpoint_count() <= fresh.checkpoint_count());
+    }
+
+    #[test]
+    fn overhead_fraction_small_in_stable_phase() {
+        // Figure 8a: with the model-driven policy the increase in running time is ~1-5 %
+        // when the job starts in the stable phase.
+        let p = policy(CheckpointConfig::paper_defaults());
+        let sched = p.schedule(4.0, 8.0).unwrap();
+        let overhead = sched.expected_overhead_fraction();
+        assert!(overhead < 0.06, "overhead = {overhead}");
+        assert!(overhead > 0.0);
+    }
+
+    #[test]
+    fn near_deadline_start_is_expensive() {
+        let p = policy(CheckpointConfig::coarse());
+        let stable = p.expected_makespan(4.0, 8.0).unwrap();
+        let late = p.expected_makespan(4.0, 21.0).unwrap();
+        assert!(late > stable, "late {late} stable {stable}");
+    }
+
+    #[test]
+    fn expected_lost_is_bounded_by_window() {
+        let p = policy(CheckpointConfig::coarse());
+        for &t in &[0.0, 2.0, 10.0, 22.0, 23.5] {
+            for &w in &[0.25, 1.0, 3.0] {
+                let lost = p.expected_lost_given_failure(t, w);
+                assert!(lost >= 0.0 && lost <= w + 1e-9, "t={t} w={w} lost={lost}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_survival_monotone_in_window_length() {
+        let p = policy(CheckpointConfig::coarse());
+        for &t in &[0.0, 5.0, 15.0] {
+            let mut prev = 1.0;
+            for k in 1..10 {
+                let s = p.window_survival(t, k as f64 * 0.5);
+                assert!(s <= prev + 1e-12);
+                prev = s;
+            }
+        }
+        // windows crossing the deadline never survive
+        assert_eq!(p.window_survival(23.0, 2.0), 0.0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Checkpointing policies for constrained preemptions (Section 4.3).
+//!
+//! * [`dp`] — the paper's dynamic-programming policy producing non-uniform,
+//!   failure-rate-dependent checkpoint intervals.
+//! * [`young_daly`] — the classical periodic baseline `τ = √(2 δ MTTF)` that assumes
+//!   memoryless failures.
+//! * [`simulate`] — a Monte-Carlo evaluator of checkpointed execution under any preemption
+//!   model, used to produce the Figure 8 comparisons and to validate the DP analytically.
+
+pub mod dp;
+pub mod simulate;
+pub mod young_daly;

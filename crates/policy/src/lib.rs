@@ -1,0 +1,26 @@
+//! Model-driven resource-management policies for temporally constrained preemptions.
+//!
+//! Section 4 of the paper derives two policies from the bathtub preemption model:
+//!
+//! * [`scheduling`] — the job-scheduling / VM-reuse policy (Section 4.2): run a job of
+//!   length `T` on an existing VM of age `s` only if `E[T_s] ≤ E[T_0]`, otherwise launch a
+//!   fresh VM.  The memoryless baseline (always reuse, as in SpotOn-style systems) is also
+//!   implemented for the Figure 5–7 comparisons.
+//! * [`checkpoint`] — the dynamic-programming checkpointing policy (Section 4.3), which
+//!   chooses non-uniform, failure-rate-dependent checkpoint intervals, plus the classical
+//!   Young–Daly periodic baseline and a Monte-Carlo evaluator of checkpointed execution
+//!   (Figures 8a and 8b).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod checkpoint;
+pub mod scheduling;
+
+pub use checkpoint::dp::{CheckpointConfig, CheckpointSchedule, DpCheckpointPolicy};
+pub use checkpoint::simulate::{simulate_checkpointed_job, CheckpointExecutionStats, CheckpointPlanner};
+pub use checkpoint::young_daly::YoungDalyPolicy;
+pub use scheduling::{
+    average_failure_probability, job_failure_probability, MemorylessScheduler, ModelDrivenScheduler,
+    SchedulerPolicy, SchedulingDecision,
+};

@@ -1,0 +1,179 @@
+//! CSV persistence for preemption datasets.
+//!
+//! The published dataset accompanying the paper is a simple tabular file of one VM per row;
+//! this module reads and writes the same layout without pulling in a CSV dependency:
+//!
+//! ```csv
+//! vm_type,zone,time_of_day,workload,lifetime_hours,preempted_before_deadline
+//! n1-highcpu-16,us-east1-b,day,non-idle,3.274,true
+//! ```
+
+use crate::record::PreemptionRecord;
+use std::fs;
+use std::path::Path;
+use tcp_numerics::{NumericsError, Result};
+
+/// Header row written and expected by the CSV routines.
+pub const CSV_HEADER: &str = "vm_type,zone,time_of_day,workload,lifetime_hours,preempted_before_deadline";
+
+/// Serialises records to a CSV string (with header).
+pub fn records_to_csv_string(records: &[PreemptionRecord]) -> String {
+    let mut out = String::with_capacity(64 * (records.len() + 1));
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&format!(
+            "{},{},{},{},{:.6},{}\n",
+            r.vm_type, r.zone, r.time_of_day, r.workload, r.lifetime_hours, r.preempted_before_deadline
+        ));
+    }
+    out
+}
+
+/// Parses records from CSV text (header required, blank lines ignored).
+pub fn records_from_csv_str(text: &str) -> Result<Vec<PreemptionRecord>> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| NumericsError::invalid("empty CSV input"))?;
+    if header.trim() != CSV_HEADER {
+        return Err(NumericsError::invalid(format!(
+            "unexpected CSV header: {header:?} (expected {CSV_HEADER:?})"
+        )));
+    }
+    let mut records = Vec::new();
+    for (line_no, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 6 {
+            return Err(NumericsError::invalid(format!(
+                "line {}: expected 6 fields, found {}",
+                line_no + 2,
+                fields.len()
+            )));
+        }
+        let parse_err = |what: &str, detail: String| {
+            NumericsError::invalid(format!("line {}: bad {what}: {detail}", line_no + 2))
+        };
+        let vm_type = fields[0].parse().map_err(|e: String| parse_err("vm_type", e))?;
+        let zone = fields[1].parse().map_err(|e: String| parse_err("zone", e))?;
+        let time_of_day = fields[2].parse().map_err(|e: String| parse_err("time_of_day", e))?;
+        let workload = fields[3].parse().map_err(|e: String| parse_err("workload", e))?;
+        let lifetime: f64 = fields[4]
+            .trim()
+            .parse()
+            .map_err(|e: std::num::ParseFloatError| parse_err("lifetime_hours", e.to_string()))?;
+        let record = PreemptionRecord::new(vm_type, zone, time_of_day, workload, lifetime)
+            .map_err(|e| parse_err("record", e))?;
+        // `preempted_before_deadline` is derived from the lifetime; the stored flag is
+        // validated for consistency rather than trusted.
+        let stored_flag: bool = fields[5]
+            .trim()
+            .parse()
+            .map_err(|e: std::str::ParseBoolError| parse_err("preempted_before_deadline", e.to_string()))?;
+        if stored_flag != record.preempted_before_deadline {
+            return Err(parse_err(
+                "preempted_before_deadline",
+                format!("inconsistent with lifetime {lifetime}"),
+            ));
+        }
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Writes records to a CSV file, creating parent directories as needed.
+pub fn save_records_csv(path: &Path, records: &[PreemptionRecord]) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)
+                .map_err(|e| NumericsError::invalid(format!("cannot create {parent:?}: {e}")))?;
+        }
+    }
+    fs::write(path, records_to_csv_string(records))
+        .map_err(|e| NumericsError::invalid(format!("cannot write {path:?}: {e}")))
+}
+
+/// Loads records from a CSV file.
+pub fn load_records_csv(path: &Path) -> Result<Vec<PreemptionRecord>> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| NumericsError::invalid(format!("cannot read {path:?}: {e}")))?;
+    records_from_csv_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::record::{TimeOfDay, VmType, WorkloadKind, Zone};
+    use crate::catalog::ConfigKey;
+
+    fn sample_records() -> Vec<PreemptionRecord> {
+        vec![
+            PreemptionRecord::new(VmType::N1HighCpu16, Zone::UsEast1B, TimeOfDay::Day, WorkloadKind::NonIdle, 3.25).unwrap(),
+            PreemptionRecord::new(VmType::N1HighCpu2, Zone::UsWest1A, TimeOfDay::Night, WorkloadKind::Idle, 24.0).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn round_trip_string() {
+        let records = sample_records();
+        let csv = records_to_csv_string(&records);
+        assert!(csv.starts_with(CSV_HEADER));
+        let parsed = records_from_csv_str(&csv).unwrap();
+        assert_eq!(parsed.len(), records.len());
+        for (a, b) in parsed.iter().zip(&records) {
+            assert_eq!(a.vm_type, b.vm_type);
+            assert_eq!(a.zone, b.zone);
+            assert!((a.lifetime_hours - b.lifetime_hours).abs() < 1e-6);
+            assert_eq!(a.preempted_before_deadline, b.preempted_before_deadline);
+        }
+    }
+
+    #[test]
+    fn round_trip_file() {
+        let dir = std::env::temp_dir().join("tcp_trace_csv_test");
+        let path = dir.join("records.csv");
+        let mut gen = TraceGenerator::new(9);
+        let records = gen.generate_for(ConfigKey::figure1(), 40).unwrap();
+        save_records_csv(&path, &records).unwrap();
+        let loaded = load_records_csv(&path).unwrap();
+        assert_eq!(loaded.len(), 40);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(records_from_csv_str("a,b,c\n1,2,3\n").is_err());
+        assert!(records_from_csv_str("").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let bad_fields = format!("{CSV_HEADER}\nn1-highcpu-16,us-east1-b,day,non-idle,3.2\n");
+        assert!(records_from_csv_str(&bad_fields).is_err());
+
+        let bad_type = format!("{CSV_HEADER}\nn9-mega-64,us-east1-b,day,non-idle,3.2,true\n");
+        assert!(records_from_csv_str(&bad_type).is_err());
+
+        let bad_lifetime = format!("{CSV_HEADER}\nn1-highcpu-16,us-east1-b,day,non-idle,notanumber,true\n");
+        assert!(records_from_csv_str(&bad_lifetime).is_err());
+
+        let too_long = format!("{CSV_HEADER}\nn1-highcpu-16,us-east1-b,day,non-idle,31.0,true\n");
+        assert!(records_from_csv_str(&too_long).is_err());
+
+        let inconsistent_flag = format!("{CSV_HEADER}\nn1-highcpu-16,us-east1-b,day,non-idle,3.0,false\n");
+        assert!(records_from_csv_str(&inconsistent_flag).is_err());
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let csv = format!("{CSV_HEADER}\n\nn1-highcpu-16,us-east1-b,day,non-idle,3.2,true\n\n");
+        let parsed = records_from_csv_str(&csv).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_records_csv(Path::new("/nonexistent/definitely/missing.csv")).is_err());
+    }
+}

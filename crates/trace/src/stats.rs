@@ -1,0 +1,198 @@
+//! Per-group statistics over preemption datasets.
+//!
+//! The figures in Section 3 are all "empirical CDF per group" plots; this module provides
+//! the grouping and summary machinery that the figure harness and the model registry use.
+
+use crate::catalog::ConfigKey;
+use crate::record::{PreemptionRecord, TimeOfDay, VmType, WorkloadKind, Zone};
+use std::collections::BTreeMap;
+use tcp_numerics::stats::{summarize, Ecdf, Summary};
+use tcp_numerics::{NumericsError, Result};
+
+/// The grouping dimensions supported when splitting a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupBy {
+    /// Group by machine type (Figure 2a).
+    VmType,
+    /// Group by zone (Figure 2c).
+    Zone,
+    /// Group by time of day (Figure 2b).
+    TimeOfDay,
+    /// Group by workload kind (Figure 2b).
+    Workload,
+}
+
+/// Extracts the group label of a record along a dimension.
+pub fn group_label(record: &PreemptionRecord, by: GroupBy) -> String {
+    match by {
+        GroupBy::VmType => record.vm_type.to_string(),
+        GroupBy::Zone => record.zone.to_string(),
+        GroupBy::TimeOfDay => record.time_of_day.to_string(),
+        GroupBy::Workload => record.workload.to_string(),
+    }
+}
+
+/// Groups lifetimes by a dimension, returning `label -> sorted lifetimes`.
+pub fn group_lifetimes(records: &[PreemptionRecord], by: GroupBy) -> BTreeMap<String, Vec<f64>> {
+    let mut map: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for r in records {
+        map.entry(group_label(r, by)).or_default().push(r.lifetime_hours);
+    }
+    for v in map.values_mut() {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+    map
+}
+
+/// Selects the lifetimes of records matching a full configuration cell.
+pub fn lifetimes_for_config(records: &[PreemptionRecord], key: &ConfigKey) -> Vec<f64> {
+    records
+        .iter()
+        .filter(|r| {
+            r.vm_type == key.vm_type
+                && r.zone == key.zone
+                && r.time_of_day == key.time_of_day
+                && r.workload == key.workload
+        })
+        .map(|r| r.lifetime_hours)
+        .collect()
+}
+
+/// Selects lifetimes matching a partial filter (any `None` dimension matches everything).
+pub fn lifetimes_matching(
+    records: &[PreemptionRecord],
+    vm_type: Option<VmType>,
+    zone: Option<Zone>,
+    time_of_day: Option<TimeOfDay>,
+    workload: Option<WorkloadKind>,
+) -> Vec<f64> {
+    records
+        .iter()
+        .filter(|r| vm_type.map_or(true, |v| r.vm_type == v))
+        .filter(|r| zone.map_or(true, |z| r.zone == z))
+        .filter(|r| time_of_day.map_or(true, |t| r.time_of_day == t))
+        .filter(|r| workload.map_or(true, |w| r.workload == w))
+        .map(|r| r.lifetime_hours)
+        .collect()
+}
+
+/// Dataset-level summary used by reports and the README quickstart.
+#[derive(Debug, Clone)]
+pub struct DatasetSummary {
+    /// Number of records.
+    pub count: usize,
+    /// Summary statistics of all lifetimes.
+    pub lifetime: Summary,
+    /// Fraction of VMs preempted before the 24 h deadline (vs reclaimed at the deadline).
+    pub preempted_before_deadline_fraction: f64,
+    /// Fraction preempted within the first 3 hours (the "early phase" of Observation 1).
+    pub early_phase_fraction: f64,
+    /// Per-VM-type mean lifetimes.
+    pub mean_lifetime_by_vm_type: BTreeMap<String, f64>,
+}
+
+impl DatasetSummary {
+    /// Computes a summary over a non-empty dataset.
+    pub fn compute(records: &[PreemptionRecord]) -> Result<Self> {
+        if records.is_empty() {
+            return Err(NumericsError::invalid("cannot summarize an empty dataset"));
+        }
+        let lifetimes: Vec<f64> = records.iter().map(|r| r.lifetime_hours).collect();
+        let lifetime = summarize(&lifetimes)?;
+        let preempted = records.iter().filter(|r| r.preempted_before_deadline).count();
+        let early = records.iter().filter(|r| r.lifetime_hours <= 3.0).count();
+        let mut by_type: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+        for r in records {
+            let e = by_type.entry(r.vm_type.to_string()).or_insert((0.0, 0));
+            e.0 += r.lifetime_hours;
+            e.1 += 1;
+        }
+        let mean_lifetime_by_vm_type = by_type
+            .into_iter()
+            .map(|(k, (sum, n))| (k, sum / n as f64))
+            .collect();
+        Ok(DatasetSummary {
+            count: records.len(),
+            lifetime,
+            preempted_before_deadline_fraction: preempted as f64 / records.len() as f64,
+            early_phase_fraction: early as f64 / records.len() as f64,
+            mean_lifetime_by_vm_type,
+        })
+    }
+}
+
+/// Builds the empirical CDF of a group of lifetimes.
+pub fn group_ecdf(lifetimes: &[f64]) -> Result<Ecdf> {
+    Ecdf::new(lifetimes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+
+    fn study() -> Vec<PreemptionRecord> {
+        TraceGenerator::new(11).generate_study(600, 100).unwrap()
+    }
+
+    #[test]
+    fn grouping_covers_all_records() {
+        let records = study();
+        for by in [GroupBy::VmType, GroupBy::Zone, GroupBy::TimeOfDay, GroupBy::Workload] {
+            let groups = group_lifetimes(&records, by);
+            let total: usize = groups.values().map(|v| v.len()).sum();
+            assert_eq!(total, records.len());
+            for v in groups.values() {
+                assert!(v.windows(2).all(|w| w[0] <= w[1]), "lifetimes sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn config_filter_matches_manual_count() {
+        let records = study();
+        let key = ConfigKey::figure1();
+        let filtered = lifetimes_for_config(&records, &key);
+        let manual = records
+            .iter()
+            .filter(|r| r.vm_type == key.vm_type && r.zone == key.zone && r.time_of_day == key.time_of_day && r.workload == key.workload)
+            .count();
+        assert_eq!(filtered.len(), manual);
+        assert!(filtered.len() >= 100);
+    }
+
+    #[test]
+    fn partial_filter_is_superset_of_full_filter() {
+        let records = study();
+        let key = ConfigKey::figure1();
+        let full = lifetimes_for_config(&records, &key);
+        let partial = lifetimes_matching(&records, Some(key.vm_type), Some(key.zone), None, None);
+        assert!(partial.len() >= full.len());
+        let all = lifetimes_matching(&records, None, None, None, None);
+        assert_eq!(all.len(), records.len());
+    }
+
+    #[test]
+    fn dataset_summary_sane() {
+        let records = study();
+        let summary = DatasetSummary::compute(&records).unwrap();
+        assert_eq!(summary.count, records.len());
+        assert!(summary.lifetime.mean > 0.0 && summary.lifetime.mean < 24.0);
+        assert!(summary.preempted_before_deadline_fraction > 0.5);
+        assert!(summary.early_phase_fraction > 0.15 && summary.early_phase_fraction < 0.6);
+        assert!(!summary.mean_lifetime_by_vm_type.is_empty());
+        assert!(DatasetSummary::compute(&[]).is_err());
+    }
+
+    #[test]
+    fn group_ecdf_valid() {
+        let records = study();
+        let groups = group_lifetimes(&records, GroupBy::VmType);
+        for (_, lifetimes) in groups {
+            let ecdf = group_ecdf(&lifetimes).unwrap();
+            assert_eq!(ecdf.len(), lifetimes.len());
+            assert!(ecdf.eval(24.0) >= 1.0 - 1e-12);
+        }
+        assert!(group_ecdf(&[]).is_err());
+    }
+}

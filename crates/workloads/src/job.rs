@@ -1,0 +1,131 @@
+//! The checkpointable-job abstraction.
+//!
+//! A job is a deterministic, time-stepped computation whose complete state can be captured
+//! into bytes and later restored, possibly in a different process or on a different
+//! (simulated) VM.  The batch service only relies on this interface; the concrete kernels
+//! in [`crate::md`], [`crate::shapes`] and [`crate::hydro`] implement it.
+
+use bytes::Bytes;
+use tcp_numerics::{NumericsError, Result};
+
+/// Progress of a job through its total step budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Steps completed so far.
+    pub completed_steps: u64,
+    /// Total steps the job must run.
+    pub total_steps: u64,
+}
+
+impl JobProgress {
+    /// Fraction of the job completed, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.total_steps == 0 {
+            1.0
+        } else {
+            self.completed_steps as f64 / self.total_steps as f64
+        }
+    }
+
+    /// True when every step has been executed.
+    pub fn is_complete(&self) -> bool {
+        self.completed_steps >= self.total_steps
+    }
+}
+
+/// A deterministic, checkpointable, step-based computation.
+pub trait CheckpointableJob: Send {
+    /// A short human-readable name of the application.
+    fn name(&self) -> &'static str;
+
+    /// Current progress.
+    fn progress(&self) -> JobProgress;
+
+    /// Runs up to `steps` further steps (fewer if the job finishes).  Returns the number of
+    /// steps actually executed.
+    fn run_steps(&mut self, steps: u64) -> u64;
+
+    /// Serialises the complete job state (including progress) into a checkpoint.
+    fn checkpoint(&self) -> Bytes;
+
+    /// Restores the job state from a checkpoint produced by the same application.
+    fn restore(&mut self, checkpoint: &Bytes) -> Result<()>;
+
+    /// A scalar fingerprint of the physical state (total energy, mean density, …) used by
+    /// tests to verify that checkpoint/restore preserves the computation exactly.
+    fn state_fingerprint(&self) -> f64;
+
+    /// Convenience: runs the job to completion.
+    fn run_to_completion(&mut self) {
+        let remaining = self.progress().total_steps - self.progress().completed_steps;
+        self.run_steps(remaining);
+    }
+}
+
+/// Helper for the kernels: serialise a slice of `f64` plus a step counter into bytes.
+pub(crate) fn encode_state(completed_steps: u64, total_steps: u64, values: &[f64]) -> Bytes {
+    let mut out = Vec::with_capacity(16 + values.len() * 8);
+    out.extend_from_slice(&completed_steps.to_le_bytes());
+    out.extend_from_slice(&total_steps.to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Helper for the kernels: inverse of [`encode_state`].
+pub(crate) fn decode_state(bytes: &Bytes, expected_values: usize) -> Result<(u64, u64, Vec<f64>)> {
+    let expected_len = 16 + expected_values * 8;
+    if bytes.len() != expected_len {
+        return Err(NumericsError::invalid(format!(
+            "checkpoint has {} bytes, expected {expected_len}",
+            bytes.len()
+        )));
+    }
+    let completed = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+    let total = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let mut values = Vec::with_capacity(expected_values);
+    for i in 0..expected_values {
+        let start = 16 + i * 8;
+        let v = f64::from_le_bytes(bytes[start..start + 8].try_into().expect("8 bytes"));
+        if !v.is_finite() {
+            return Err(NumericsError::non_finite("checkpoint value"));
+        }
+        values.push(v);
+    }
+    Ok((completed, total, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_fraction_and_completion() {
+        let p = JobProgress { completed_steps: 25, total_steps: 100 };
+        assert!((p.fraction() - 0.25).abs() < 1e-12);
+        assert!(!p.is_complete());
+        let done = JobProgress { completed_steps: 100, total_steps: 100 };
+        assert!(done.is_complete());
+        let empty = JobProgress { completed_steps: 0, total_steps: 0 };
+        assert_eq!(empty.fraction(), 1.0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let values = vec![1.5, -2.25, 1e-9, 42.0];
+        let bytes = encode_state(7, 100, &values);
+        let (c, t, v) = decode_state(&bytes, 4).unwrap();
+        assert_eq!(c, 7);
+        assert_eq!(t, 100);
+        assert_eq!(v, values);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length_and_nan() {
+        let bytes = encode_state(1, 2, &[1.0, 2.0]);
+        assert!(decode_state(&bytes, 3).is_err());
+        let bad = encode_state(1, 2, &[f64::NAN]);
+        assert!(decode_state(&bad, 1).is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Nanoconfinement molecular-dynamics kernel.
+//!
+//! A laptop-scale stand-in for the paper's "nanoconfinement" application: ions confined
+//! between two planar walls, interacting through a truncated Lennard-Jones potential, with
+//! reflective confinement in `z` and periodic boundaries in `x`/`y`, integrated with
+//! velocity Verlet.  The physics is simplified (no electrostatics) but the computational
+//! structure — an O(N²) force loop advanced over many small steps with a fully
+//! serialisable state — matches the role the real application plays in the paper's
+//! evaluation: a checkpointable, restartable batch job.
+
+use crate::job::{decode_state, encode_state, CheckpointableJob, JobProgress};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcp_numerics::{NumericsError, Result};
+
+/// Parameters of the nanoconfinement MD simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MdParams {
+    /// Number of ions.
+    pub particles: usize,
+    /// Box edge length in the periodic directions (reduced units).
+    pub box_size: f64,
+    /// Wall separation in the confined direction.
+    pub confinement_gap: f64,
+    /// Integration time step (reduced units).
+    pub dt: f64,
+    /// Total number of MD steps the job must run.
+    pub total_steps: u64,
+}
+
+impl Default for MdParams {
+    fn default() -> Self {
+        MdParams { particles: 64, box_size: 8.0, confinement_gap: 4.0, dt: 2e-3, total_steps: 2000 }
+    }
+}
+
+/// The nanoconfinement MD job.
+#[derive(Debug, Clone)]
+pub struct NanoconfinementJob {
+    params: MdParams,
+    completed: u64,
+    // state: positions then velocities, flattened [x0,y0,z0, x1,...], [vx0,...]
+    positions: Vec<f64>,
+    velocities: Vec<f64>,
+}
+
+impl NanoconfinementJob {
+    /// Creates a new job with `params`, initial conditions seeded from `seed`.
+    pub fn new(params: MdParams, seed: u64) -> Result<Self> {
+        if params.particles == 0 {
+            return Err(NumericsError::invalid("need at least one particle"));
+        }
+        if !(params.box_size > 1.0) || !(params.confinement_gap > 1.0) || !(params.dt > 0.0) {
+            return Err(NumericsError::invalid("invalid MD geometry or time step"));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = params.particles;
+        let mut positions = Vec::with_capacity(3 * n);
+        let mut velocities = Vec::with_capacity(3 * n);
+        // place particles on a loose grid with jitter to avoid overlaps
+        let per_side = (n as f64).cbrt().ceil() as usize;
+        let spacing = params.box_size / per_side as f64;
+        let mut placed = 0;
+        'outer: for ix in 0..per_side {
+            for iy in 0..per_side {
+                for iz in 0..per_side {
+                    if placed >= n {
+                        break 'outer;
+                    }
+                    let jitter = 0.1 * spacing;
+                    positions.push((ix as f64 + 0.5) * spacing + rng.gen_range(-jitter..jitter));
+                    positions.push((iy as f64 + 0.5) * spacing + rng.gen_range(-jitter..jitter));
+                    let z_spacing = params.confinement_gap / per_side as f64;
+                    positions.push(
+                        ((iz as f64 + 0.5) * z_spacing + rng.gen_range(-0.1 * z_spacing..0.1 * z_spacing))
+                            .clamp(0.1, params.confinement_gap - 0.1),
+                    );
+                    for _ in 0..3 {
+                        velocities.push(rng.gen_range(-0.5..0.5));
+                    }
+                    placed += 1;
+                }
+            }
+        }
+        Ok(NanoconfinementJob { params, completed: 0, positions, velocities })
+    }
+
+    /// The simulation parameters.
+    pub fn params(&self) -> MdParams {
+        self.params
+    }
+
+    fn forces(&self) -> Vec<f64> {
+        let n = self.params.particles;
+        let box_size = self.params.box_size;
+        let mut forces = vec![0.0; 3 * n];
+        let cutoff2 = 2.5f64 * 2.5;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut dx = self.positions[3 * i] - self.positions[3 * j];
+                let mut dy = self.positions[3 * i + 1] - self.positions[3 * j + 1];
+                let dz = self.positions[3 * i + 2] - self.positions[3 * j + 2];
+                // minimum image in the periodic directions
+                dx -= box_size * (dx / box_size).round();
+                dy -= box_size * (dy / box_size).round();
+                let r2 = dx * dx + dy * dy + dz * dz;
+                if r2 > cutoff2 || r2 < 1e-12 {
+                    continue;
+                }
+                // truncated LJ force: 24ε(2(σ/r)^12 − (σ/r)^6)/r² with ε = σ = 1
+                let inv_r2 = 1.0 / r2;
+                let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+                let f_scalar = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+                let (fx, fy, fz) = (f_scalar * dx, f_scalar * dy, f_scalar * dz);
+                forces[3 * i] += fx;
+                forces[3 * i + 1] += fy;
+                forces[3 * i + 2] += fz;
+                forces[3 * j] -= fx;
+                forces[3 * j + 1] -= fy;
+                forces[3 * j + 2] -= fz;
+            }
+        }
+        // soft repulsive walls at z = 0 and z = gap
+        let gap = self.params.confinement_gap;
+        for i in 0..n {
+            let z = self.positions[3 * i + 2];
+            let near_low = z.max(1e-3);
+            let near_high = (gap - z).max(1e-3);
+            forces[3 * i + 2] += 1.0 / (near_low * near_low) - 1.0 / (near_high * near_high);
+        }
+        forces
+    }
+
+    /// Total kinetic energy (used as the state fingerprint component).
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self.velocities.iter().map(|v| v * v).sum::<f64>()
+    }
+}
+
+impl CheckpointableJob for NanoconfinementJob {
+    fn name(&self) -> &'static str {
+        "nanoconfinement"
+    }
+
+    fn progress(&self) -> JobProgress {
+        JobProgress { completed_steps: self.completed, total_steps: self.params.total_steps }
+    }
+
+    fn run_steps(&mut self, steps: u64) -> u64 {
+        let remaining = self.params.total_steps.saturating_sub(self.completed);
+        let to_run = steps.min(remaining);
+        let dt = self.params.dt;
+        let n = self.params.particles;
+        let box_size = self.params.box_size;
+        let gap = self.params.confinement_gap;
+        let mut forces = self.forces();
+        for _ in 0..to_run {
+            // velocity Verlet
+            for i in 0..3 * n {
+                self.velocities[i] += 0.5 * dt * forces[i];
+                self.positions[i] += dt * self.velocities[i];
+            }
+            // boundary conditions: periodic in x/y, reflective walls in z
+            for i in 0..n {
+                for d in 0..2 {
+                    let p = &mut self.positions[3 * i + d];
+                    *p = p.rem_euclid(box_size);
+                }
+                let z = &mut self.positions[3 * i + 2];
+                if *z < 0.0 {
+                    *z = -*z;
+                    self.velocities[3 * i + 2] = self.velocities[3 * i + 2].abs();
+                } else if *z > gap {
+                    *z = 2.0 * gap - *z;
+                    self.velocities[3 * i + 2] = -self.velocities[3 * i + 2].abs();
+                }
+                self.positions[3 * i + 2] = self.positions[3 * i + 2].clamp(1e-3, gap - 1e-3);
+            }
+            forces = self.forces();
+            for i in 0..3 * n {
+                self.velocities[i] += 0.5 * dt * forces[i];
+            }
+            self.completed += 1;
+        }
+        to_run
+    }
+
+    fn checkpoint(&self) -> Bytes {
+        let mut state = Vec::with_capacity(self.positions.len() + self.velocities.len());
+        state.extend_from_slice(&self.positions);
+        state.extend_from_slice(&self.velocities);
+        encode_state(self.completed, self.params.total_steps, &state)
+    }
+
+    fn restore(&mut self, checkpoint: &Bytes) -> Result<()> {
+        let expected = self.positions.len() + self.velocities.len();
+        let (completed, total, state) = decode_state(checkpoint, expected)?;
+        if total != self.params.total_steps {
+            return Err(NumericsError::invalid("checkpoint is for a different job configuration"));
+        }
+        self.completed = completed;
+        let n3 = self.positions.len();
+        self.positions.copy_from_slice(&state[..n3]);
+        self.velocities.copy_from_slice(&state[n3..]);
+        Ok(())
+    }
+
+    fn state_fingerprint(&self) -> f64 {
+        let pos_sum: f64 = self.positions.iter().sum();
+        self.kinetic_energy() + pos_sum * 1e-3 + self.completed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_job(seed: u64) -> NanoconfinementJob {
+        NanoconfinementJob::new(MdParams { particles: 27, total_steps: 200, ..MdParams::default() }, seed).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(NanoconfinementJob::new(MdParams { particles: 0, ..MdParams::default() }, 1).is_err());
+        assert!(NanoconfinementJob::new(MdParams { dt: 0.0, ..MdParams::default() }, 1).is_err());
+        assert!(NanoconfinementJob::new(MdParams { box_size: 0.5, ..MdParams::default() }, 1).is_err());
+    }
+
+    #[test]
+    fn runs_to_completion_and_stays_in_bounds() {
+        let mut job = small_job(1);
+        assert_eq!(job.run_steps(50), 50);
+        assert_eq!(job.run_steps(1000), 150, "only the remaining steps run");
+        assert!(job.progress().is_complete());
+        let gap = job.params().confinement_gap;
+        for i in 0..job.params().particles {
+            let z = job.positions[3 * i + 2];
+            assert!((0.0..=gap).contains(&z), "particle escaped confinement: z = {z}");
+        }
+        // energies stay finite (the integrator did not blow up)
+        assert!(job.kinetic_energy().is_finite());
+        assert!(job.kinetic_energy() < 1e4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = small_job(7);
+        let mut b = small_job(7);
+        a.run_steps(100);
+        b.run_steps(100);
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+        let mut c = small_job(8);
+        c.run_steps(100);
+        assert_ne!(a.state_fingerprint(), c.state_fingerprint());
+    }
+
+    #[test]
+    fn checkpoint_restore_preserves_trajectory() {
+        // run 120 steps straight vs 60 + checkpoint/restore + 60: identical state
+        let mut straight = small_job(3);
+        straight.run_steps(120);
+
+        let mut chunked = small_job(3);
+        chunked.run_steps(60);
+        let ckpt = chunked.checkpoint();
+        let mut resumed = small_job(3); // fresh object, different initial RNG state irrelevant after restore
+        resumed.restore(&ckpt).unwrap();
+        resumed.run_steps(60);
+
+        assert!((straight.state_fingerprint() - resumed.state_fingerprint()).abs() < 1e-9);
+        assert_eq!(resumed.progress().completed_steps, 120);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_checkpoint() {
+        let job = small_job(1);
+        let ckpt = job.checkpoint();
+        let mut other = NanoconfinementJob::new(MdParams { particles: 27, total_steps: 999, ..MdParams::default() }, 1).unwrap();
+        assert!(other.restore(&ckpt).is_err());
+        let mut smaller = NanoconfinementJob::new(MdParams { particles: 8, total_steps: 200, ..MdParams::default() }, 1).unwrap();
+        assert!(smaller.restore(&ckpt).is_err());
+    }
+
+    #[test]
+    fn job_name_and_progress() {
+        let job = small_job(1);
+        assert_eq!(job.name(), "nanoconfinement");
+        assert_eq!(job.progress().completed_steps, 0);
+        assert_eq!(job.progress().total_steps, 200);
+    }
+}
