@@ -27,6 +27,52 @@ pub enum SchedulingMode {
     Memoryless,
 }
 
+impl std::fmt::Display for CheckpointingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CheckpointingMode::None => "none",
+            CheckpointingMode::ModelDriven => "model-driven",
+            CheckpointingMode::YoungDaly => "young-daly",
+        })
+    }
+}
+
+impl std::str::FromStr for CheckpointingMode {
+    type Err = String;
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "none" => Ok(CheckpointingMode::None),
+            "model-driven" | "modeldriven" | "dp" => Ok(CheckpointingMode::ModelDriven),
+            "young-daly" | "youngdaly" => Ok(CheckpointingMode::YoungDaly),
+            other => Err(format!(
+                "unknown checkpointing mode: {other} (expected none, model-driven or young-daly)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SchedulingMode::ModelDriven => "model-driven",
+            SchedulingMode::Memoryless => "memoryless",
+        })
+    }
+}
+
+impl std::str::FromStr for SchedulingMode {
+    type Err = String;
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "model-driven" | "modeldriven" => Ok(SchedulingMode::ModelDriven),
+            "memoryless" | "always-reuse" => Ok(SchedulingMode::Memoryless),
+            other => Err(format!(
+                "unknown scheduling mode: {other} (expected model-driven or memoryless)"
+            )),
+        }
+    }
+}
+
 /// Full configuration of one service run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServiceConfig {
@@ -70,7 +116,16 @@ impl ServiceConfig {
 
     /// The on-demand comparator of Figure 9a (same cluster, conventional VMs).
     pub fn on_demand_comparator(seed: u64) -> Self {
-        ServiceConfig { use_preemptible: false, ..ServiceConfig::paper_cost_experiment(seed) }
+        ServiceConfig {
+            use_preemptible: false,
+            ..ServiceConfig::paper_cost_experiment(seed)
+        }
+    }
+
+    /// Returns this configuration with a different RNG seed — the hook sweep runners use
+    /// to run one scenario across many deterministic trials.
+    pub fn with_seed(&self, seed: u64) -> Self {
+        ServiceConfig { seed, ..*self }
     }
 
     /// Validates the configuration.
@@ -79,7 +134,9 @@ impl ServiceConfig {
             return Err(NumericsError::invalid("cluster size must be positive"));
         }
         if !(self.hot_spare_hours >= 0.0) || !self.hot_spare_hours.is_finite() {
-            return Err(NumericsError::invalid("hot spare duration must be non-negative"));
+            return Err(NumericsError::invalid(
+                "hot spare duration must be non-negative",
+            ));
         }
         Ok(())
     }

@@ -21,11 +21,14 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`
+// they are false for NaN, which is exactly the validation we want for config values.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod config;
 pub mod report;
 pub mod service;
 
-pub use config::{CheckpointingMode, ServiceConfig};
+pub use config::{CheckpointingMode, SchedulingMode, ServiceConfig};
 pub use report::RunReport;
 pub use service::BatchService;

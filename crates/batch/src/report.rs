@@ -81,7 +81,12 @@ mod tests {
 
     #[test]
     fn degenerate_values_do_not_divide_by_zero() {
-        let r = RunReport { jobs: 0, ideal_makespan_hours: 0.0, vm_hours: 0.0, ..report() };
+        let r = RunReport {
+            jobs: 0,
+            ideal_makespan_hours: 0.0,
+            vm_hours: 0.0,
+            ..report()
+        };
         assert_eq!(r.cost_per_job(), 0.0);
         assert_eq!(r.percent_increase_in_running_time(), 0.0);
         assert_eq!(r.utilisation(), 0.0);

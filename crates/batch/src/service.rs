@@ -8,12 +8,12 @@
 use crate::config::{CheckpointingMode, SchedulingMode, ServiceConfig};
 use crate::report::RunReport;
 use std::collections::{BTreeMap, VecDeque};
-use tcp_cloudsim::{BillingClass, CloudProvider, EventQueue, ProviderConfig, VmId};
+use tcp_cloudsim::{BillingClass, EventQueue, ProviderTemplate, VmId};
 use tcp_core::BathtubModel;
 use tcp_numerics::{NumericsError, Result};
 use tcp_policy::{
-    CheckpointPlanner, DpCheckpointPolicy, MemorylessScheduler, ModelDrivenScheduler, SchedulerPolicy,
-    SchedulingDecision, YoungDalyPolicy,
+    CheckpointPlanner, DpCheckpointPolicy, MemorylessScheduler, ModelDrivenScheduler,
+    SchedulerPolicy, SchedulingDecision, YoungDalyPolicy,
 };
 use tcp_workloads::BagOfJobs;
 
@@ -58,7 +58,11 @@ impl Assignment {
         let mut t = 0.0;
         let last = self.intervals.len().saturating_sub(1);
         for (idx, &work) in self.intervals.iter().enumerate() {
-            let segment = if idx == last { work } else { work + self.checkpoint_cost };
+            let segment = if idx == last {
+                work
+            } else {
+                work + self.checkpoint_cost
+            };
             if t + segment <= elapsed + 1e-12 {
                 done += work;
                 t += segment;
@@ -96,15 +100,23 @@ impl BatchService {
         };
         let planner: Option<Box<dyn CheckpointPlanner>> = match config.checkpointing {
             CheckpointingMode::None => None,
-            CheckpointingMode::ModelDriven => {
-                Some(Box::new(DpCheckpointPolicy::new(model, config.checkpoint_config)?))
-            }
-            CheckpointingMode::YoungDaly => Some(Box::new(YoungDalyPolicy::from_initial_failure_rate(
-                &model,
-                config.checkpoint_config.checkpoint_cost_hours,
+            CheckpointingMode::ModelDriven => Some(Box::new(DpCheckpointPolicy::new(
+                model,
+                config.checkpoint_config,
             )?)),
+            CheckpointingMode::YoungDaly => {
+                Some(Box::new(YoungDalyPolicy::from_initial_failure_rate(
+                    &model,
+                    config.checkpoint_config.checkpoint_cost_hours,
+                )?))
+            }
         };
-        Ok(BatchService { config, model, scheduler, planner })
+        Ok(BatchService {
+            config,
+            model,
+            scheduler,
+            planner,
+        })
     }
 
     /// The service configuration.
@@ -119,13 +131,30 @@ impl BatchService {
 
     fn plan_intervals(&self, remaining: f64, vm_age: f64) -> Result<(Vec<f64>, f64)> {
         match &self.planner {
-            Some(planner) => Ok((planner.plan(remaining, vm_age.min(self.model.horizon() - 1e-6))?, planner.checkpoint_cost())),
+            Some(planner) => Ok((
+                planner.plan(remaining, vm_age.min(self.model.horizon() - 1e-6))?,
+                planner.checkpoint_cost(),
+            )),
             None => Ok((vec![remaining], 0.0)),
         }
     }
 
-    /// Runs a bag of jobs to completion and reports cost/performance metrics.
+    /// Runs a bag of jobs to completion and reports cost/performance metrics, using the
+    /// default provider (trace-catalog preemptions, default pricing).
     pub fn run_bag(&self, bag: &BagOfJobs) -> Result<RunReport> {
+        self.run_bag_with(bag, &ProviderTemplate::default(), self.config.seed)
+    }
+
+    /// Runs a bag of jobs against a provider built from `template` with an explicit
+    /// provider seed — the entry point scenario sweeps use to vary the preemption regime
+    /// and pricing across many deterministic trials while reusing one service (and its
+    /// precomputed checkpoint planner).
+    pub fn run_bag_with(
+        &self,
+        bag: &BagOfJobs,
+        template: &ProviderTemplate,
+        seed: u64,
+    ) -> Result<RunReport> {
         if bag.is_empty() {
             return Err(NumericsError::invalid("bag must contain at least one job"));
         }
@@ -134,13 +163,17 @@ impl BatchService {
         } else {
             BillingClass::OnDemand
         };
-        let mut provider = CloudProvider::new(ProviderConfig::default(), self.config.seed);
+        let mut provider = template.build(seed);
         let mut queue: EventQueue<Event> = EventQueue::new();
 
         let mut jobs: Vec<JobState> = bag
             .jobs
             .iter()
-            .map(|j| JobState { remaining_work: j.estimated_runtime_hours, restarts: 0, completed: false })
+            .map(|j| JobState {
+                remaining_work: j.estimated_runtime_hours,
+                restarts: 0,
+                completed: false,
+            })
             .collect();
         let mut pending: VecDeque<usize> = (0..jobs.len()).collect();
 
@@ -164,9 +197,13 @@ impl BatchService {
         macro_rules! dispatch {
             ($now:expr) => {{
                 let now: f64 = $now;
-                while !pending.is_empty() && live_vms.max(assignments.len()) < self.config.cluster_size + idle_vms.len() {
+                while !pending.is_empty()
+                    && live_vms.max(assignments.len()) < self.config.cluster_size + idle_vms.len()
+                {
                     // ensure we do not exceed the cluster size counting idle + busy VMs
-                    if assignments.len() + idle_vms.len() >= self.config.cluster_size && idle_vms.is_empty() {
+                    if assignments.len() + idle_vms.len() >= self.config.cluster_size
+                        && idle_vms.is_empty()
+                    {
                         break;
                     }
                     let job_index = *pending.front().expect("non-empty");
@@ -198,10 +235,13 @@ impl BatchService {
                     }
 
                     if chosen.is_none() {
-                        if assignments.len() + idle_vms.len() >= self.config.cluster_size && !launch_fresh {
+                        if assignments.len() + idle_vms.len() >= self.config.cluster_size
+                            && !launch_fresh
+                        {
                             break;
                         }
-                        let vm = provider.launch(self.config.vm_type, self.config.zone, billing, now)?;
+                        let vm =
+                            provider.launch(self.config.vm_type, self.config.zone, billing, now)?;
                         live_vms += 1;
                         if let Some(p) = vm.preemption_time {
                             queue.schedule_at(p, Event::VmPreempted { vm: vm.id });
@@ -225,7 +265,13 @@ impl BatchService {
                     };
                     next_assignment_id += 1;
                     let finish_at = now + assignment.planned_duration();
-                    queue.schedule_at(finish_at, Event::JobFinished { vm: vm_id, assignment: assignment.assignment_id });
+                    queue.schedule_at(
+                        finish_at,
+                        Event::JobFinished {
+                            vm: vm_id,
+                            assignment: assignment.assignment_id,
+                        },
+                    );
                     assignments.insert(vm_id, assignment);
                 }
             }};
@@ -249,14 +295,19 @@ impl BatchService {
                 // died simultaneously).
                 dispatch!(last_completion_time);
                 if queue.is_empty() {
-                    return Err(NumericsError::invalid("service deadlocked with pending jobs"));
+                    return Err(NumericsError::invalid(
+                        "service deadlocked with pending jobs",
+                    ));
                 }
                 continue;
             };
 
             match event {
                 Event::JobFinished { vm, assignment } => {
-                    let matches = assignments.get(&vm).map(|a| a.assignment_id == assignment).unwrap_or(false);
+                    let matches = assignments
+                        .get(&vm)
+                        .map(|a| a.assignment_id == assignment)
+                        .unwrap_or(false);
                     if !matches {
                         continue; // stale completion from a preempted assignment
                     }
@@ -272,7 +323,13 @@ impl BatchService {
                     if provider.is_running(vm, now) {
                         idle_generation += 1;
                         idle_vms.insert(vm, idle_generation);
-                        queue.schedule_after(self.config.hot_spare_hours, Event::HotSpareExpired { vm, idle_since: idle_generation });
+                        queue.schedule_after(
+                            self.config.hot_spare_hours,
+                            Event::HotSpareExpired {
+                                vm,
+                                idle_since: idle_generation,
+                            },
+                        );
                     } else {
                         live_vms = live_vms.saturating_sub(1);
                     }
@@ -292,7 +349,8 @@ impl BatchService {
                         let persisted = a.checkpointed_progress(elapsed);
                         let job = &mut jobs[a.job_index];
                         let done = a.base_progress + persisted;
-                        job.remaining_work = (bag.jobs[a.job_index].estimated_runtime_hours - done).max(1e-6);
+                        job.remaining_work =
+                            (bag.jobs[a.job_index].estimated_runtime_hours - done).max(1e-6);
                         job.restarts += 1;
                         total_restarts += 1;
                         pending.push_back(a.job_index);
@@ -364,7 +422,10 @@ mod tests {
     }
 
     fn small_bag(count: usize) -> BagOfJobs {
-        profile_by_name("nanoconfinement").unwrap().bag(count, 11).unwrap()
+        profile_by_name("nanoconfinement")
+            .unwrap()
+            .bag(count, 11)
+            .unwrap()
     }
 
     fn base_config(seed: u64) -> ServiceConfig {
@@ -390,7 +451,11 @@ mod tests {
     #[test]
     fn empty_bag_rejected_and_config_validated() {
         let service = BatchService::new(base_config(1), model()).unwrap();
-        let bag = BagOfJobs::new("x", vec![tcp_workloads::JobSpec::new(0, "a", 0.1, 1, "p").unwrap()]).unwrap();
+        let bag = BagOfJobs::new(
+            "x",
+            vec![tcp_workloads::JobSpec::new(0, "a", 0.1, 1, "p").unwrap()],
+        )
+        .unwrap();
         assert!(service.run_bag(&bag).is_ok());
         let mut bad = base_config(1);
         bad.cluster_size = 0;
@@ -401,9 +466,15 @@ mod tests {
     fn preemptible_is_much_cheaper_than_on_demand() {
         // Figure 9a: ~5× cost reduction.
         let bag = small_bag(60);
-        let preemptible = BatchService::new(base_config(7), model()).unwrap().run_bag(&bag).unwrap();
+        let preemptible = BatchService::new(base_config(7), model())
+            .unwrap()
+            .run_bag(&bag)
+            .unwrap();
         let on_demand = BatchService::new(
-            ServiceConfig { cluster_size: 8, ..ServiceConfig::on_demand_comparator(7) },
+            ServiceConfig {
+                cluster_size: 8,
+                ..ServiceConfig::on_demand_comparator(7)
+            },
             model(),
         )
         .unwrap()
@@ -411,14 +482,20 @@ mod tests {
         .unwrap();
         let ratio = on_demand.cost_per_job() / preemptible.cost_per_job();
         assert!(ratio > 3.0, "cost ratio = {ratio}");
-        assert_eq!(on_demand.preemptions, 0, "on-demand VMs are never preempted");
+        assert_eq!(
+            on_demand.preemptions, 0,
+            "on-demand VMs are never preempted"
+        );
     }
 
     #[test]
     fn preemptions_increase_running_time_moderately() {
         // Figure 9b: each preemption costs a few percent of running time.
         let bag = small_bag(80);
-        let report = BatchService::new(base_config(3), model()).unwrap().run_bag(&bag).unwrap();
+        let report = BatchService::new(base_config(3), model())
+            .unwrap()
+            .run_bag(&bag)
+            .unwrap();
         let increase = report.percent_increase_in_running_time();
         assert!(increase >= 0.0);
         assert!(increase < 120.0, "increase = {increase}%");
@@ -432,11 +509,17 @@ mod tests {
         let mut cfg = base_config(5);
         cfg.checkpointing = CheckpointingMode::ModelDriven;
         let bag = small_bag(12);
-        let report = BatchService::new(cfg, model()).unwrap().run_bag(&bag).unwrap();
+        let report = BatchService::new(cfg, model())
+            .unwrap()
+            .run_bag(&bag)
+            .unwrap();
         assert_eq!(report.jobs, 12);
         let mut yd = base_config(5);
         yd.checkpointing = CheckpointingMode::YoungDaly;
-        let report_yd = BatchService::new(yd, model()).unwrap().run_bag(&bag).unwrap();
+        let report_yd = BatchService::new(yd, model())
+            .unwrap()
+            .run_bag(&bag)
+            .unwrap();
         assert_eq!(report_yd.jobs, 12);
     }
 
@@ -444,15 +527,24 @@ mod tests {
     fn memoryless_scheduling_mode_runs() {
         let mut cfg = base_config(9);
         cfg.scheduling = SchedulingMode::Memoryless;
-        let report = BatchService::new(cfg, model()).unwrap().run_bag(&small_bag(20)).unwrap();
+        let report = BatchService::new(cfg, model())
+            .unwrap()
+            .run_bag(&small_bag(20))
+            .unwrap();
         assert_eq!(report.jobs, 20);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let bag = small_bag(30);
-        let a = BatchService::new(base_config(42), model()).unwrap().run_bag(&bag).unwrap();
-        let b = BatchService::new(base_config(42), model()).unwrap().run_bag(&bag).unwrap();
+        let a = BatchService::new(base_config(42), model())
+            .unwrap()
+            .run_bag(&bag)
+            .unwrap();
+        let b = BatchService::new(base_config(42), model())
+            .unwrap()
+            .run_bag(&bag)
+            .unwrap();
         // structural determinism is exact; float aggregates may differ by rounding only
         assert!((a.makespan_hours - b.makespan_hours).abs() < 1e-9);
         assert!((a.total_cost - b.total_cost).abs() < 1e-9);

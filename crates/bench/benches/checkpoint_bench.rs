@@ -13,13 +13,18 @@ fn bench_checkpoint(c: &mut Criterion) {
     let mut group = c.benchmark_group("checkpointing");
 
     for &job_len in &[2.0f64, 5.0, 9.0] {
-        group.bench_with_input(BenchmarkId::new("dp_schedule", job_len as u64), &job_len, |b, &job_len| {
-            b.iter(|| {
-                // a fresh policy per iteration so the solve is not served from the cache
-                let policy = DpCheckpointPolicy::new(model, CheckpointConfig::paper_defaults()).unwrap();
-                policy.schedule(job_len, 0.0).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dp_schedule", job_len as u64),
+            &job_len,
+            |b, &job_len| {
+                b.iter(|| {
+                    // a fresh policy per iteration so the solve is not served from the cache
+                    let policy =
+                        DpCheckpointPolicy::new(model, CheckpointConfig::paper_defaults()).unwrap();
+                    policy.schedule(job_len, 0.0).unwrap()
+                })
+            },
+        );
     }
 
     group.bench_function("young_daly_schedule_5h", |b| {
@@ -28,7 +33,10 @@ fn bench_checkpoint(c: &mut Criterion) {
     });
 
     let dp = DpCheckpointPolicy::new(model, CheckpointConfig::coarse()).unwrap();
-    let options = SimulationOptions { trials: 100, ..SimulationOptions::default() };
+    let options = SimulationOptions {
+        trials: 100,
+        ..SimulationOptions::default()
+    };
     group.bench_function("figure8_simulate_dp_100_trials", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(9);

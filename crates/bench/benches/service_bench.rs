@@ -15,16 +15,23 @@ fn bench_service(c: &mut Criterion) {
 
     for &jobs in &[50usize, 100] {
         let bag = PAPER_APPLICATIONS[0].bag(jobs, 7).unwrap();
-        group.bench_with_input(BenchmarkId::new("figure9a_preemptible_run", jobs), &bag, |b, bag| {
-            b.iter(|| {
-                let service = BatchService::new(
-                    ServiceConfig { cluster_size: 16, ..ServiceConfig::paper_cost_experiment(1) },
-                    model,
-                )
-                .unwrap();
-                service.run_bag(bag).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("figure9a_preemptible_run", jobs),
+            &bag,
+            |b, bag| {
+                b.iter(|| {
+                    let service = BatchService::new(
+                        ServiceConfig {
+                            cluster_size: 16,
+                            ..ServiceConfig::paper_cost_experiment(1)
+                        },
+                        model,
+                    )
+                    .unwrap();
+                    service.run_bag(bag).unwrap()
+                })
+            },
+        );
     }
 
     group.bench_function("provider_launch_1000_vms", |b| {
@@ -32,7 +39,12 @@ fn bench_service(c: &mut Criterion) {
             let mut provider = CloudProvider::new(ProviderConfig::default(), 3);
             for i in 0..1000 {
                 provider
-                    .launch(VmType::N1HighCpu16, Zone::UsEast1B, BillingClass::Preemptible, i as f64 * 0.01)
+                    .launch(
+                        VmType::N1HighCpu16,
+                        Zone::UsEast1B,
+                        BillingClass::Preemptible,
+                        i as f64 * 0.01,
+                    )
                     .unwrap();
             }
             provider.usage_report(24.0)

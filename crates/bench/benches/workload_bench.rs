@@ -2,10 +2,10 @@
 //! cost of taking a checkpoint (the δ that parameterises the checkpointing policies).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tcp_workloads::{CheckpointableJob, HydroJob, NanoconfinementJob, ShapesJob};
 use tcp_workloads::hydro::HydroParams;
 use tcp_workloads::md::MdParams;
 use tcp_workloads::shapes::ShapesParams;
+use tcp_workloads::{CheckpointableJob, HydroJob, NanoconfinementJob, ShapesJob};
 
 fn bench_workloads(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_kernels");
@@ -13,7 +13,11 @@ fn bench_workloads(c: &mut Criterion) {
     group.bench_function("nanoconfinement_100_steps", |b| {
         b.iter(|| {
             let mut job = NanoconfinementJob::new(
-                MdParams { particles: 64, total_steps: 100, ..MdParams::default() },
+                MdParams {
+                    particles: 64,
+                    total_steps: 100,
+                    ..MdParams::default()
+                },
                 1,
             )
             .unwrap();
@@ -23,24 +27,48 @@ fn bench_workloads(c: &mut Criterion) {
 
     group.bench_function("shapes_500_steps", |b| {
         b.iter(|| {
-            let mut job = ShapesJob::new(ShapesParams { total_steps: 500, ..ShapesParams::default() }).unwrap();
+            let mut job = ShapesJob::new(ShapesParams {
+                total_steps: 500,
+                ..ShapesParams::default()
+            })
+            .unwrap();
             job.run_steps(500)
         })
     });
 
     group.bench_function("hydro_500_steps", |b| {
         b.iter(|| {
-            let mut job = HydroJob::new(HydroParams { total_steps: 500, ..HydroParams::default() }).unwrap();
+            let mut job = HydroJob::new(HydroParams {
+                total_steps: 500,
+                ..HydroParams::default()
+            })
+            .unwrap();
             job.run_steps(500)
         })
     });
 
     group.bench_function("md_checkpoint_and_restore", |b| {
-        let mut job = NanoconfinementJob::new(MdParams { particles: 128, total_steps: 10, ..MdParams::default() }, 2).unwrap();
+        let mut job = NanoconfinementJob::new(
+            MdParams {
+                particles: 128,
+                total_steps: 10,
+                ..MdParams::default()
+            },
+            2,
+        )
+        .unwrap();
         job.run_steps(10);
         b.iter(|| {
             let ckpt = job.checkpoint();
-            let mut fresh = NanoconfinementJob::new(MdParams { particles: 128, total_steps: 10, ..MdParams::default() }, 3).unwrap();
+            let mut fresh = NanoconfinementJob::new(
+                MdParams {
+                    particles: 128,
+                    total_steps: 10,
+                    ..MdParams::default()
+                },
+                3,
+            )
+            .unwrap();
             fresh.restore(&ckpt).unwrap();
             fresh.state_fingerprint()
         })

@@ -4,15 +4,15 @@
 //! the integration tests can assert the qualitative shape (who wins, where crossovers lie)
 //! without touching stdout.
 
+use tcp_batch::{BatchService, ServiceConfig};
 use tcp_core::analysis::{running_time_analysis, RunningTimeAnalysis};
 use tcp_core::{fit_bathtub_model, fit_model_comparison, BathtubModel, ModelComparison};
-use tcp_batch::{BatchService, ServiceConfig};
 use tcp_numerics::Result;
+use tcp_policy::checkpoint::simulate::{simulate_checkpointed_job, SimulationOptions};
 use tcp_policy::{
     average_failure_probability, job_failure_probability, CheckpointConfig, DpCheckpointPolicy,
     MemorylessScheduler, ModelDrivenScheduler, YoungDalyPolicy,
 };
-use tcp_policy::checkpoint::simulate::{simulate_checkpointed_job, SimulationOptions};
 use tcp_trace::{stats, ConfigKey, TimeOfDay, TraceGenerator, VmType, WorkloadKind, Zone};
 use tcp_workloads::profiles::PAPER_APPLICATIONS;
 
@@ -137,7 +137,10 @@ pub fn fitted_model(seed: u64) -> Result<BathtubModel> {
 }
 
 /// Figure 4a/4b: wasted computation and expected increase in running time vs job length.
-pub fn figure4(model: &BathtubModel, steps: usize) -> Result<(FigureData, FigureData, RunningTimeAnalysis)> {
+pub fn figure4(
+    model: &BathtubModel,
+    steps: usize,
+) -> Result<(FigureData, FigureData, RunningTimeAnalysis)> {
     let analysis = running_time_analysis(model.dist(), model.horizon(), steps)?;
     let mut fig4a = FigureData::new("fig4a", &["job_length_hours", "wasted_hours"]);
     let mut fig4b = FigureData::new("fig4b", &["job_length_hours", "expected_increase_hours"]);
@@ -157,8 +160,17 @@ pub fn figure5(model: &BathtubModel, job_len: f64, steps: usize) -> FigureData {
     let mut fig = FigureData::new("fig5", &["start_time_hours", "failure_probability"]);
     for i in 0..steps {
         let start = i as f64 * model.horizon() / steps as f64;
-        fig.push("Memoryless Policy", vec![start, job_failure_probability(&memoryless, model, start, job_len)]);
-        fig.push("Our Policy", vec![start, job_failure_probability(&ours, model, start, job_len)]);
+        fig.push(
+            "Memoryless Policy",
+            vec![
+                start,
+                job_failure_probability(&memoryless, model, start, job_len),
+            ],
+        );
+        fig.push(
+            "Our Policy",
+            vec![start, job_failure_probability(&ours, model, start, job_len)],
+        );
     }
     fig
 }
@@ -172,15 +184,28 @@ pub fn figure6(model: &BathtubModel, steps: usize) -> Result<FigureData> {
         let job_len = i as f64 * model.horizon() / steps as f64;
         fig.push(
             "Memoryless Policy",
-            vec![job_len, average_failure_probability(&memoryless, model, job_len, 96)?],
+            vec![
+                job_len,
+                average_failure_probability(&memoryless, model, job_len, 96)?,
+            ],
         );
-        fig.push("Our Policy", vec![job_len, average_failure_probability(&ours, model, job_len, 96)?]);
+        fig.push(
+            "Our Policy",
+            vec![
+                job_len,
+                average_failure_probability(&ours, model, job_len, 96)?,
+            ],
+        );
     }
     Ok(fig)
 }
 
 /// Figure 7: best-fit vs deliberately suboptimal bathtub model vs memoryless.
-pub fn figure7(truth: &BathtubModel, suboptimal: &BathtubModel, steps: usize) -> Result<FigureData> {
+pub fn figure7(
+    truth: &BathtubModel,
+    suboptimal: &BathtubModel,
+    steps: usize,
+) -> Result<FigureData> {
     let best = ModelDrivenScheduler::new(*truth);
     let misfit = ModelDrivenScheduler::new(*suboptimal);
     let memoryless = MemorylessScheduler;
@@ -189,15 +214,24 @@ pub fn figure7(truth: &BathtubModel, suboptimal: &BathtubModel, steps: usize) ->
         let job_len = i as f64 * truth.horizon() / steps as f64;
         fig.push(
             "Memoryless Policy",
-            vec![job_len, average_failure_probability(&memoryless, truth, job_len, 96)?],
+            vec![
+                job_len,
+                average_failure_probability(&memoryless, truth, job_len, 96)?,
+            ],
         );
         fig.push(
             "Best-fit Bathtub Model",
-            vec![job_len, average_failure_probability(&best, truth, job_len, 96)?],
+            vec![
+                job_len,
+                average_failure_probability(&best, truth, job_len, 96)?,
+            ],
         );
         fig.push(
             "Suboptimal Bathtub Model",
-            vec![job_len, average_failure_probability(&misfit, truth, job_len, 96)?],
+            vec![
+                job_len,
+                average_failure_probability(&misfit, truth, job_len, 96)?,
+            ],
         );
     }
     Ok(fig)
@@ -218,15 +252,25 @@ pub fn checkpoint_schedule_example(model: &BathtubModel) -> Result<FigureData> {
 pub fn figure8a(model: &BathtubModel, trials: usize) -> Result<FigureData> {
     let dp = DpCheckpointPolicy::new(*model, CheckpointConfig::paper_defaults())?;
     let yd = YoungDalyPolicy::paper_baseline();
-    let options = SimulationOptions { trials, ..SimulationOptions::default() };
+    let options = SimulationOptions {
+        trials,
+        ..SimulationOptions::default()
+    };
     let mut fig = FigureData::new("fig8a", &["start_time_hours", "percent_increase"]);
     let mut rng = rand::rngs::StdRng::seed_from_u64(808);
     use rand::SeedableRng;
     for start in [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0] {
         let ours = simulate_checkpointed_job(&dp, model.dist(), 4.0, start, &options, &mut rng)?;
-        let baseline = simulate_checkpointed_job(&yd, model.dist(), 4.0, start, &options, &mut rng)?;
-        fig.push("Our Policy", vec![start, 100.0 * ours.mean_overhead_fraction]);
-        fig.push("Young-Daly", vec![start, 100.0 * baseline.mean_overhead_fraction]);
+        let baseline =
+            simulate_checkpointed_job(&yd, model.dist(), 4.0, start, &options, &mut rng)?;
+        fig.push(
+            "Our Policy",
+            vec![start, 100.0 * ours.mean_overhead_fraction],
+        );
+        fig.push(
+            "Young-Daly",
+            vec![start, 100.0 * baseline.mean_overhead_fraction],
+        );
     }
     Ok(fig)
 }
@@ -235,57 +279,94 @@ pub fn figure8a(model: &BathtubModel, trials: usize) -> Result<FigureData> {
 pub fn figure8b(model: &BathtubModel, trials: usize) -> Result<FigureData> {
     let dp = DpCheckpointPolicy::new(*model, CheckpointConfig::paper_defaults())?;
     let yd = YoungDalyPolicy::paper_baseline();
-    let options = SimulationOptions { trials, ..SimulationOptions::default() };
+    let options = SimulationOptions {
+        trials,
+        ..SimulationOptions::default()
+    };
     let mut fig = FigureData::new("fig8b", &["job_length_hours", "percent_increase"]);
     let mut rng = rand::rngs::StdRng::seed_from_u64(809);
     use rand::SeedableRng;
     for job_len in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0] {
         let ours = simulate_checkpointed_job(&dp, model.dist(), job_len, 0.0, &options, &mut rng)?;
-        let baseline = simulate_checkpointed_job(&yd, model.dist(), job_len, 0.0, &options, &mut rng)?;
-        fig.push("Our Policy", vec![job_len, 100.0 * ours.mean_overhead_fraction]);
-        fig.push("Young-Daly", vec![job_len, 100.0 * baseline.mean_overhead_fraction]);
+        let baseline =
+            simulate_checkpointed_job(&yd, model.dist(), job_len, 0.0, &options, &mut rng)?;
+        fig.push(
+            "Our Policy",
+            vec![job_len, 100.0 * ours.mean_overhead_fraction],
+        );
+        fig.push(
+            "Young-Daly",
+            vec![job_len, 100.0 * baseline.mean_overhead_fraction],
+        );
     }
     Ok(fig)
 }
 
 /// Figure 9a: cost per job of the service on preemptible VMs vs on-demand, per application.
-pub fn figure9a(model: &BathtubModel, jobs_per_bag: usize, cluster_size: usize) -> Result<FigureData> {
+pub fn figure9a(
+    model: &BathtubModel,
+    jobs_per_bag: usize,
+    cluster_size: usize,
+) -> Result<FigureData> {
     let mut fig = FigureData::new("fig9a", &["cost_per_job_usd", "cost_ratio"]);
     for (i, profile) in PAPER_APPLICATIONS.iter().enumerate() {
         let bag = profile.bag(jobs_per_bag, 90 + i as u64)?;
         let ours = BatchService::new(
-            ServiceConfig { cluster_size, ..ServiceConfig::paper_cost_experiment(100 + i as u64) },
+            ServiceConfig {
+                cluster_size,
+                ..ServiceConfig::paper_cost_experiment(100 + i as u64)
+            },
             *model,
         )?
         .run_bag(&bag)?;
         let on_demand = BatchService::new(
-            ServiceConfig { cluster_size, ..ServiceConfig::on_demand_comparator(100 + i as u64) },
+            ServiceConfig {
+                cluster_size,
+                ..ServiceConfig::on_demand_comparator(100 + i as u64)
+            },
             *model,
         )?
         .run_bag(&bag)?;
         fig.push(
             format!("{} (Our Service)", profile.name),
-            vec![ours.cost_per_job(), on_demand.cost_per_job() / ours.cost_per_job()],
+            vec![
+                ours.cost_per_job(),
+                on_demand.cost_per_job() / ours.cost_per_job(),
+            ],
         );
-        fig.push(format!("{} (On-demand)", profile.name), vec![on_demand.cost_per_job(), 1.0]);
+        fig.push(
+            format!("{} (On-demand)", profile.name),
+            vec![on_demand.cost_per_job(), 1.0],
+        );
     }
     Ok(fig)
 }
 
 /// Figure 9b: % increase in running time vs number of preemptions observed (repeated runs).
-pub fn figure9b(model: &BathtubModel, jobs_per_bag: usize, cluster_size: usize, repetitions: usize) -> Result<FigureData> {
+pub fn figure9b(
+    model: &BathtubModel,
+    jobs_per_bag: usize,
+    cluster_size: usize,
+    repetitions: usize,
+) -> Result<FigureData> {
     let profile = &PAPER_APPLICATIONS[0]; // nanoconfinement, as in the paper
     let mut fig = FigureData::new("fig9b", &["preemptions", "percent_increase"]);
     for rep in 0..repetitions {
         let bag = profile.bag(jobs_per_bag, 500 + rep as u64)?;
         let report = BatchService::new(
-            ServiceConfig { cluster_size, ..ServiceConfig::paper_cost_experiment(600 + rep as u64) },
+            ServiceConfig {
+                cluster_size,
+                ..ServiceConfig::paper_cost_experiment(600 + rep as u64)
+            },
             *model,
         )?
         .run_bag(&bag)?;
         fig.push(
             "Our Service",
-            vec![report.preemptions as f64, report.percent_increase_in_running_time()],
+            vec![
+                report.preemptions as f64,
+                report.percent_increase_in_running_time(),
+            ],
         );
     }
     Ok(fig)

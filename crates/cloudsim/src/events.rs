@@ -52,7 +52,11 @@ pub struct EventQueue<E> {
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0.0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
     }
 }
 
@@ -80,7 +84,11 @@ impl<E> EventQueue<E> {
     /// Schedules an event at an absolute time.  Events scheduled in the past are clamped
     /// to the current time (they will be delivered next).
     pub fn schedule_at(&mut self, time: SimTime, payload: E) {
-        let time = if time.is_finite() { time.max(self.now) } else { self.now };
+        let time = if time.is_finite() {
+            time.max(self.now)
+        } else {
+            self.now
+        };
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(QueuedEvent { time, seq, payload });

@@ -11,11 +11,15 @@
 //! * [`pricing`] — GCP-style on-demand vs preemptible pricing (the ~5× discount that
 //!   drives Figure 9a).
 //! * [`provider`] — the cloud provider: launch/terminate/preempt VMs, track accounting.
-//! * [`montecarlo`] — a parallel Monte-Carlo experiment driver built on crossbeam scoped
-//!   threads (each trial runs an independent simulation with its own RNG stream).
+//! * [`montecarlo`] — parallel experiment drivers built on `std::thread::scope` (each
+//!   trial runs an independent simulation with its own RNG stream; results are reduced
+//!   in task order so aggregates are bit-identical for every thread count).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`
+// they are false for NaN, which is exactly the validation we want for config values.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod events;
 pub mod montecarlo;
@@ -24,7 +28,7 @@ pub mod provider;
 pub mod vm;
 
 pub use events::EventQueue;
-pub use montecarlo::{run_monte_carlo, MonteCarloSummary};
+pub use montecarlo::{resolve_threads, run_monte_carlo, run_tasks, MonteCarloSummary};
 pub use pricing::PricingModel;
-pub use provider::{CloudProvider, ProviderConfig, UsageReport};
+pub use provider::{CloudProvider, ProviderConfig, ProviderTemplate, UsageReport};
 pub use vm::{BillingClass, VmHandle, VmId, VmInstance, VmState};

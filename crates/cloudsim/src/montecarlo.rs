@@ -1,9 +1,17 @@
-//! Parallel Monte-Carlo experiment driver.
+//! Parallel experiment drivers.
 //!
-//! Policy evaluations (Figures 8 and 9) average over many independent simulation trials.
-//! This module fans trials out across worker threads with crossbeam's scoped threads, one
-//! deterministic RNG stream per trial, and merges the per-trial metrics with the
-//! numerically stable Welford reduction.
+//! Policy evaluations (Figures 8 and 9) average over many independent simulation trials,
+//! and scenario sweeps fan whole grids of configurations out over the same machinery.
+//! [`run_tasks`] is the shared work-stealing driver: it executes `count` independent
+//! tasks on scoped `std::thread` workers (stable since Rust 1.63 — no external
+//! dependency), pulling task indices from a shared atomic counter so threads steal work
+//! from a common queue, and returns the results **in task order**.  Because every task is
+//! seeded from its index and the reduction happens sequentially over the ordered results,
+//! every aggregate is bit-identical regardless of thread count or scheduling.
+//!
+//! [`run_monte_carlo`] keeps the original trial-averaging interface on top: one
+//! deterministic RNG stream per trial, merged with the numerically stable Welford
+//! reduction.
 
 use serde::{Deserialize, Serialize};
 use tcp_numerics::stats::Welford;
@@ -26,12 +34,74 @@ pub struct MonteCarloSummary {
     pub max: f64,
 }
 
+/// Resolves a `threads` argument: `0` selects the number of available CPUs, and the
+/// worker count never exceeds the task count.
+pub fn resolve_threads(threads: usize, tasks: usize) -> usize {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    threads.min(tasks).max(1)
+}
+
+/// Runs `count` independent tasks on `threads` scoped worker threads and returns their
+/// results in task order.
+///
+/// Workers pull the next task index from a shared atomic counter (work stealing), so a
+/// handful of slow tasks cannot serialise the rest of the batch.  `task(index)` must be
+/// deterministic given the index for results to be reproducible; because results are
+/// returned in index order, any sequential reduction over them is bit-identical for every
+/// thread count.  `threads = 0` selects the number of available CPUs.
+pub fn run_tasks<T, F>(count: usize, threads: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    let threads = resolve_threads(threads, count);
+    if count == 0 {
+        return Vec::new();
+    }
+    if threads == 1 {
+        return (0..count).map(task).collect();
+    }
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        (0..count).map(|_| std::sync::Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= count {
+                    break;
+                }
+                let value = task(idx);
+                *slots[idx].lock().expect("task slot") = Some(value);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("task slot")
+                .expect("every index ran")
+        })
+        .collect()
+}
+
 /// Runs `trials` independent trials of `trial_fn` in parallel and summarises the scalar
 /// metric each returns.
 ///
 /// `trial_fn(trial_index)` must be deterministic given the index (seed its RNG from the
-/// index) so experiments are reproducible regardless of thread scheduling.  `threads = 0`
-/// selects the number of available CPUs.
+/// index) so experiments are reproducible regardless of thread scheduling.  Non-finite
+/// trial values are dropped from the summary.  `threads = 0` selects the number of
+/// available CPUs.
 pub fn run_monte_carlo<F>(trials: usize, threads: usize, trial_fn: F) -> Result<MonteCarloSummary>
 where
     F: Fn(usize) -> f64 + Send + Sync,
@@ -39,60 +109,36 @@ where
     if trials == 0 {
         return Err(NumericsError::invalid("need at least one trial"));
     }
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
-    };
-    let threads = threads.min(trials).max(1);
+    // Convert trial panics into an Err instead of unwinding through the public Result
+    // API (run_tasks itself re-raises worker panics on join).
+    let values = run_tasks(trials, threads, |i| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| trial_fn(i)))
+    });
 
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<(Welford, f64, f64)>> = (0..threads)
-        .map(|_| std::sync::Mutex::new((Welford::new(), f64::INFINITY, f64::NEG_INFINITY)))
-        .collect();
-
-    crossbeam::thread::scope(|scope| {
-        for worker in 0..threads {
-            let next = &next;
-            let results = &results;
-            let trial_fn = &trial_fn;
-            scope.spawn(move |_| {
-                loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= trials {
-                        break;
-                    }
-                    let value = trial_fn(idx);
-                    if !value.is_finite() {
-                        continue;
-                    }
-                    let mut slot = results[worker].lock().expect("worker slot");
-                    slot.0.add(value);
-                    slot.1 = slot.1.min(value);
-                    slot.2 = slot.2.max(value);
-                }
-            });
-        }
-    })
-    .map_err(|_| NumericsError::invalid("a Monte-Carlo worker thread panicked"))?;
-
-    let mut merged = Welford::new();
+    let mut welford = Welford::new();
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
-    for slot in &results {
-        let guard = slot.lock().expect("worker slot");
-        merged.merge(&guard.0);
-        min = min.min(guard.1);
-        max = max.max(guard.2);
+    for value in values {
+        let Ok(value) = value else {
+            return Err(NumericsError::invalid("a Monte-Carlo trial panicked"));
+        };
+        if !value.is_finite() {
+            continue;
+        }
+        welford.add(value);
+        min = min.min(value);
+        max = max.max(value);
     }
-    if merged.count() == 0 {
-        return Err(NumericsError::invalid("all trials returned non-finite values"));
+    if welford.count() == 0 {
+        return Err(NumericsError::invalid(
+            "all trials returned non-finite values",
+        ));
     }
     Ok(MonteCarloSummary {
-        trials: merged.count() as usize,
-        mean: merged.mean(),
-        std_dev: merged.std_dev(),
-        std_error: merged.std_error(),
+        trials: welford.count() as usize,
+        mean: welford.mean(),
+        std_dev: welford.std_dev(),
+        std_error: welford.std_error(),
         min,
         max,
     })
@@ -123,10 +169,9 @@ mod tests {
         };
         let one = run_monte_carlo(500, 1, f).unwrap();
         let many = run_monte_carlo(500, 8, f).unwrap();
-        assert!((one.mean - many.mean).abs() < 1e-9);
-        assert!((one.std_dev - many.std_dev).abs() < 1e-9);
-        assert_eq!(one.min, many.min);
-        assert_eq!(one.max, many.max);
+        // Sequential reduction over index-ordered results makes this exact, not
+        // approximate: the float operations happen in the same order for any thread count.
+        assert_eq!(one, many);
     }
 
     #[test]
@@ -149,6 +194,16 @@ mod tests {
     }
 
     #[test]
+    fn panicking_trial_becomes_an_error() {
+        let result = run_monte_carlo(8, 2, |i| {
+            assert!(i != 3, "simulated trial failure");
+            1.0
+        });
+        let err = result.expect_err("panic must surface as Err");
+        assert!(err.to_string().contains("panicked"), "{err}");
+    }
+
+    #[test]
     fn monte_carlo_estimates_a_known_expectation() {
         // E[U^2] for U ~ Uniform(0,1) is 1/3.
         let summary = run_monte_carlo(20_000, 0, |i| {
@@ -157,6 +212,33 @@ mod tests {
             u * u
         })
         .unwrap();
-        assert!((summary.mean - 1.0 / 3.0).abs() < 0.01, "mean = {}", summary.mean);
+        assert!(
+            (summary.mean - 1.0 / 3.0).abs() < 0.01,
+            "mean = {}",
+            summary.mean
+        );
+    }
+
+    #[test]
+    fn run_tasks_returns_results_in_task_order() {
+        let results = run_tasks(257, 8, |i| i * 3);
+        assert_eq!(results.len(), 257);
+        for (i, v) in results.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+        assert!(run_tasks(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn run_tasks_handles_non_copy_results_and_more_threads_than_tasks() {
+        let results = run_tasks(3, 64, |i| format!("task-{i}"));
+        assert_eq!(results, vec!["task-0", "task-1", "task-2"]);
+    }
+
+    #[test]
+    fn resolve_threads_bounds() {
+        assert_eq!(resolve_threads(4, 100), 4);
+        assert_eq!(resolve_threads(16, 3), 3);
+        assert!(resolve_threads(0, 1000) >= 1);
     }
 }

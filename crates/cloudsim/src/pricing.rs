@@ -25,7 +25,10 @@ impl PricingModel {
     /// GCP-like default prices for the `n1-highcpu` family (USD/vCPU-hour):
     /// $0.0354 on-demand vs $0.0071 preemptible, a 5.0× discount.
     pub fn gcp_n1_highcpu() -> Self {
-        PricingModel { on_demand_per_vcpu_hour: 0.035_42, preemptible_per_vcpu_hour: 0.007_08 }
+        PricingModel {
+            on_demand_per_vcpu_hour: 0.035_42,
+            preemptible_per_vcpu_hour: 0.007_08,
+        }
     }
 
     /// Creates a custom pricing model.
@@ -38,7 +41,10 @@ impl PricingModel {
                 "preemptible price must not exceed the on-demand price",
             ));
         }
-        Ok(PricingModel { on_demand_per_vcpu_hour, preemptible_per_vcpu_hour })
+        Ok(PricingModel {
+            on_demand_per_vcpu_hour,
+            preemptible_per_vcpu_hour,
+        })
     }
 
     /// The discount factor (on-demand / preemptible price).
@@ -92,7 +98,10 @@ mod tests {
         let small = p.hourly_rate(VmType::N1HighCpu2, BillingClass::Preemptible);
         let large = p.hourly_rate(VmType::N1HighCpu32, BillingClass::Preemptible);
         assert!((large / small - 16.0).abs() < 1e-9);
-        assert!(p.hourly_rate(VmType::N1HighCpu16, BillingClass::OnDemand) > p.hourly_rate(VmType::N1HighCpu16, BillingClass::Preemptible));
+        assert!(
+            p.hourly_rate(VmType::N1HighCpu16, BillingClass::OnDemand)
+                > p.hourly_rate(VmType::N1HighCpu16, BillingClass::Preemptible)
+        );
     }
 
     #[test]
@@ -101,7 +110,10 @@ mod tests {
         let one = p.cost(VmType::N1HighCpu8, BillingClass::OnDemand, 1.0);
         let three = p.cost(VmType::N1HighCpu8, BillingClass::OnDemand, 3.0);
         assert!((three - 3.0 * one).abs() < 1e-12);
-        assert_eq!(p.cost(VmType::N1HighCpu8, BillingClass::OnDemand, -1.0), 0.0);
+        assert_eq!(
+            p.cost(VmType::N1HighCpu8, BillingClass::OnDemand, -1.0),
+            0.0
+        );
     }
 
     #[test]
@@ -110,7 +122,13 @@ mod tests {
         let p = PricingModel::gcp_n1_highcpu();
         let preemptible: f64 = 32.0 * p.hourly_rate(VmType::N1HighCpu32, BillingClass::Preemptible);
         let on_demand: f64 = 32.0 * p.hourly_rate(VmType::N1HighCpu32, BillingClass::OnDemand);
-        assert!(preemptible > 5.0 && preemptible < 10.0, "preemptible = {preemptible}");
-        assert!(on_demand > 30.0 && on_demand < 40.0, "on_demand = {on_demand}");
+        assert!(
+            preemptible > 5.0 && preemptible < 10.0,
+            "preemptible = {preemptible}"
+        );
+        assert!(
+            on_demand > 30.0 && on_demand < 40.0,
+            "on_demand = {on_demand}"
+        );
     }
 }

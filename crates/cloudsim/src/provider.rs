@@ -10,7 +10,8 @@ use crate::vm::{BillingClass, VmId, VmInstance, VmState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use tcp_dists::LifetimeDistribution;
 use tcp_numerics::{NumericsError, Result};
 use tcp_trace::{ConfigKey, TimeOfDay, TraceCatalog, VmType, WorkloadKind, Zone};
@@ -51,12 +52,93 @@ pub struct UsageReport {
     pub preemptions: usize,
 }
 
+/// A reusable recipe for building identically configured providers that differ only in
+/// their RNG seed — the building block scenario sweeps use to run one provider
+/// configuration across many deterministic trials.
+#[derive(Clone)]
+pub struct ProviderTemplate {
+    /// Provider configuration (pricing, provisioning delay, lifetime cap).
+    pub config: ProviderConfig,
+    /// Preemption process override: when set, every preemptible VM draws its lifetime
+    /// from this distribution instead of the trace catalog.
+    pub ground_truth: Option<Arc<dyn LifetimeDistribution>>,
+    /// Ambient conditions selecting the catalog's ground-truth process (ignored when
+    /// `ground_truth` is set).
+    pub time_of_day: TimeOfDay,
+    /// Ambient workload kind (ignored when `ground_truth` is set).
+    pub workload: WorkloadKind,
+    /// Extra multiplicative hazard scale applied to catalog-drawn processes, preserving
+    /// the catalog's per-(VM type, zone) structure (ignored when `ground_truth` is set).
+    pub catalog_scale: f64,
+}
+
+impl Default for ProviderTemplate {
+    fn default() -> Self {
+        ProviderTemplate {
+            config: ProviderConfig::default(),
+            ground_truth: None,
+            time_of_day: TimeOfDay::Day,
+            workload: WorkloadKind::NonIdle,
+            catalog_scale: 1.0,
+        }
+    }
+}
+
+impl ProviderTemplate {
+    /// A template drawing preemptions from an explicit lifetime distribution.
+    pub fn from_distribution(dist: Arc<dyn LifetimeDistribution>) -> Self {
+        ProviderTemplate {
+            ground_truth: Some(dist),
+            ..ProviderTemplate::default()
+        }
+    }
+
+    /// A template drawing preemptions from the default catalog under the given ambient
+    /// conditions.
+    pub fn from_conditions(time_of_day: TimeOfDay, workload: WorkloadKind) -> Self {
+        ProviderTemplate {
+            time_of_day,
+            workload,
+            ..ProviderTemplate::default()
+        }
+    }
+
+    /// Instantiates a provider with this template's configuration and the given seed.
+    pub fn build(&self, seed: u64) -> CloudProvider {
+        let mut provider = CloudProvider::new(self.config.clone(), seed);
+        provider.set_conditions(self.time_of_day, self.workload);
+        provider.override_truth = self.ground_truth.clone();
+        provider.catalog_scale = self.catalog_scale;
+        provider
+    }
+}
+
+impl std::fmt::Debug for ProviderTemplate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProviderTemplate")
+            .field("config", &self.config)
+            .field(
+                "ground_truth",
+                &self.ground_truth.as_ref().map(|d| d.name()),
+            )
+            .field("time_of_day", &self.time_of_day)
+            .field("workload", &self.workload)
+            .field("catalog_scale", &self.catalog_scale)
+            .finish()
+    }
+}
+
 /// The simulated IaaS provider.
 pub struct CloudProvider {
     config: ProviderConfig,
     catalog: TraceCatalog,
+    override_truth: Option<Arc<dyn LifetimeDistribution>>,
+    catalog_scale: f64,
     rng: StdRng,
-    vms: HashMap<VmId, VmInstance>,
+    // BTreeMap, not HashMap: `usage_report` sums costs while iterating, and the random
+    // per-process hash seed would make those float sums differ between runs in the last
+    // ulp, breaking byte-identical sweep reports.
+    vms: BTreeMap<VmId, VmInstance>,
     next_id: u64,
     workload_kind: WorkloadKind,
     time_of_day: TimeOfDay,
@@ -68,8 +150,10 @@ impl CloudProvider {
         CloudProvider {
             config,
             catalog: TraceCatalog::new(),
+            override_truth: None,
+            catalog_scale: 1.0,
             rng: StdRng::seed_from_u64(seed),
-            vms: HashMap::new(),
+            vms: BTreeMap::new(),
             next_id: 0,
             workload_kind: WorkloadKind::NonIdle,
             time_of_day: TimeOfDay::Day,
@@ -78,7 +162,23 @@ impl CloudProvider {
 
     /// Creates a provider over a custom catalog (used by tests and ablations).
     pub fn with_catalog(config: ProviderConfig, catalog: TraceCatalog, seed: u64) -> Self {
-        CloudProvider { catalog, ..CloudProvider::new(config, seed) }
+        CloudProvider {
+            catalog,
+            ..CloudProvider::new(config, seed)
+        }
+    }
+
+    /// Creates a provider whose preemptible VMs draw lifetimes from an explicit
+    /// distribution (the hook scenario sweeps use for synthetic preemption regimes).
+    pub fn with_ground_truth(
+        config: ProviderConfig,
+        ground_truth: Arc<dyn LifetimeDistribution>,
+        seed: u64,
+    ) -> Self {
+        CloudProvider {
+            override_truth: Some(ground_truth),
+            ..CloudProvider::new(config, seed)
+        }
     }
 
     /// Sets the ambient conditions (time of day, workload) used to select the ground-truth
@@ -111,7 +211,9 @@ impl CloudProvider {
         now: f64,
     ) -> Result<VmInstance> {
         if !now.is_finite() || now < 0.0 {
-            return Err(NumericsError::invalid("launch time must be finite and non-negative"));
+            return Err(NumericsError::invalid(
+                "launch time must be finite and non-negative",
+            ));
         }
         let id = VmId(self.next_id);
         self.next_id += 1;
@@ -119,12 +221,25 @@ impl CloudProvider {
         let preemption_time = match billing {
             BillingClass::OnDemand => None,
             BillingClass::Preemptible => {
-                let key = ConfigKey { vm_type, zone, time_of_day: self.time_of_day, workload: self.workload_kind };
-                let truth = self.catalog.ground_truth(&key)?;
-                let lifetime = truth
-                    .sample(&mut self.rng)
-                    .clamp(0.0, self.config.max_preemptible_lifetime_hours);
-                Some(launch_time + lifetime)
+                let lifetime = match &self.override_truth {
+                    Some(truth) => truth.sample(&mut self.rng),
+                    None => {
+                        let key = ConfigKey {
+                            vm_type,
+                            zone,
+                            time_of_day: self.time_of_day,
+                            workload: self.workload_kind,
+                        };
+                        let truth = self.catalog.ground_truth(&key)?;
+                        let truth = if self.catalog_scale == 1.0 {
+                            truth
+                        } else {
+                            truth.scale_rates(self.catalog_scale)?
+                        };
+                        truth.sample(&mut self.rng)
+                    }
+                };
+                Some(launch_time + lifetime.clamp(0.0, self.config.max_preemptible_lifetime_hours))
             }
         };
         let vm = VmInstance {
@@ -180,12 +295,18 @@ impl CloudProvider {
 
     /// Whether the VM is running (not yet preempted/terminated) at time `now`.
     pub fn is_running(&self, id: VmId, now: f64) -> bool {
-        self.vms.get(&id).map(|vm| vm.running_at(now)).unwrap_or(false)
+        self.vms
+            .get(&id)
+            .map(|vm| vm.running_at(now))
+            .unwrap_or(false)
     }
 
     /// Builds the usage/cost report as of time `now` (running VMs are billed up to `now`).
     pub fn usage_report(&self, now: f64) -> UsageReport {
-        let mut report = UsageReport { vms_launched: self.vms.len(), ..UsageReport::default() };
+        let mut report = UsageReport {
+            vms_launched: self.vms.len(),
+            ..UsageReport::default()
+        };
         for vm in self.vms.values() {
             let hours = vm.billed_hours_at(now);
             let cost = self.config.pricing.cost(vm.vm_type, vm.billing, hours);
@@ -224,10 +345,18 @@ mod tests {
         let mut p = provider(1);
         for i in 0..50 {
             let vm = p
-                .launch(VmType::N1HighCpu16, Zone::UsEast1B, BillingClass::Preemptible, i as f64 * 0.1)
+                .launch(
+                    VmType::N1HighCpu16,
+                    Zone::UsEast1B,
+                    BillingClass::Preemptible,
+                    i as f64 * 0.1,
+                )
                 .unwrap();
             let lifetime = vm.preemption_time.unwrap() - vm.launch_time;
-            assert!((0.0..=24.0 + 1e-9).contains(&lifetime), "lifetime = {lifetime}");
+            assert!(
+                (0.0..=24.0 + 1e-9).contains(&lifetime),
+                "lifetime = {lifetime}"
+            );
         }
         assert_eq!(p.vm_count(), 50);
     }
@@ -235,7 +364,14 @@ mod tests {
     #[test]
     fn on_demand_vms_never_preempt() {
         let mut p = provider(2);
-        let vm = p.launch(VmType::N1HighCpu8, Zone::UsWest1A, BillingClass::OnDemand, 0.0).unwrap();
+        let vm = p
+            .launch(
+                VmType::N1HighCpu8,
+                Zone::UsWest1A,
+                BillingClass::OnDemand,
+                0.0,
+            )
+            .unwrap();
         assert!(vm.preemption_time.is_none());
         assert!(p.is_running(vm.id, 1e5));
     }
@@ -243,9 +379,30 @@ mod tests {
     #[test]
     fn launch_validation_and_lookup() {
         let mut p = provider(3);
-        assert!(p.launch(VmType::N1HighCpu2, Zone::UsWest1A, BillingClass::Preemptible, f64::NAN).is_err());
-        assert!(p.launch(VmType::N1HighCpu2, Zone::UsWest1A, BillingClass::Preemptible, -1.0).is_err());
-        let vm = p.launch(VmType::N1HighCpu2, Zone::UsWest1A, BillingClass::Preemptible, 0.0).unwrap();
+        assert!(p
+            .launch(
+                VmType::N1HighCpu2,
+                Zone::UsWest1A,
+                BillingClass::Preemptible,
+                f64::NAN
+            )
+            .is_err());
+        assert!(p
+            .launch(
+                VmType::N1HighCpu2,
+                Zone::UsWest1A,
+                BillingClass::Preemptible,
+                -1.0
+            )
+            .is_err());
+        let vm = p
+            .launch(
+                VmType::N1HighCpu2,
+                Zone::UsWest1A,
+                BillingClass::Preemptible,
+                0.0,
+            )
+            .unwrap();
         assert!(p.get(vm.id).is_some());
         assert!(p.get(VmId(999)).is_none());
         assert_eq!(p.preemption_time(vm.id), vm.preemption_time);
@@ -254,13 +411,27 @@ mod tests {
     #[test]
     fn preempt_and_terminate_transitions() {
         let mut p = provider(4);
-        let vm = p.launch(VmType::N1HighCpu4, Zone::UsCentral1C, BillingClass::Preemptible, 0.0).unwrap();
+        let vm = p
+            .launch(
+                VmType::N1HighCpu4,
+                Zone::UsCentral1C,
+                BillingClass::Preemptible,
+                0.0,
+            )
+            .unwrap();
         assert!(p.is_running(vm.id, 0.5));
         assert!(p.preempt(vm.id, 2.0));
         assert!(!p.preempt(vm.id, 2.5), "double preemption is a no-op");
         assert!(!p.is_running(vm.id, 3.0));
 
-        let vm2 = p.launch(VmType::N1HighCpu4, Zone::UsCentral1C, BillingClass::Preemptible, 0.0).unwrap();
+        let vm2 = p
+            .launch(
+                VmType::N1HighCpu4,
+                Zone::UsCentral1C,
+                BillingClass::Preemptible,
+                0.0,
+            )
+            .unwrap();
         assert!(p.terminate(vm2.id, 1.0));
         assert!(!p.terminate(vm2.id, 1.5));
         assert!(!p.preempt(VmId(12345), 0.0));
@@ -269,8 +440,22 @@ mod tests {
     #[test]
     fn usage_report_accumulates_cost_and_preemptions() {
         let mut p = provider(5);
-        let vm1 = p.launch(VmType::N1HighCpu16, Zone::UsEast1B, BillingClass::Preemptible, 0.0).unwrap();
-        let vm2 = p.launch(VmType::N1HighCpu16, Zone::UsEast1B, BillingClass::OnDemand, 0.0).unwrap();
+        let vm1 = p
+            .launch(
+                VmType::N1HighCpu16,
+                Zone::UsEast1B,
+                BillingClass::Preemptible,
+                0.0,
+            )
+            .unwrap();
+        let vm2 = p
+            .launch(
+                VmType::N1HighCpu16,
+                Zone::UsEast1B,
+                BillingClass::OnDemand,
+                0.0,
+            )
+            .unwrap();
         p.preempt(vm1.id, 2.0);
         p.terminate(vm2.id, 4.0);
         let report = p.usage_report(5.0);
@@ -278,8 +463,15 @@ mod tests {
         assert_eq!(report.preemptions, 1);
         assert!(report.preemptible_vm_hours > 1.9 && report.preemptible_vm_hours < 2.1);
         assert!(report.on_demand_vm_hours > 3.9 && report.on_demand_vm_hours < 4.1);
-        let expected_cost = PricingModel::default().cost(VmType::N1HighCpu16, BillingClass::Preemptible, report.preemptible_vm_hours)
-            + PricingModel::default().cost(VmType::N1HighCpu16, BillingClass::OnDemand, report.on_demand_vm_hours);
+        let expected_cost = PricingModel::default().cost(
+            VmType::N1HighCpu16,
+            BillingClass::Preemptible,
+            report.preemptible_vm_hours,
+        ) + PricingModel::default().cost(
+            VmType::N1HighCpu16,
+            BillingClass::OnDemand,
+            report.on_demand_vm_hours,
+        );
         assert!((report.total_cost - expected_cost).abs() < 1e-9);
     }
 
@@ -293,7 +485,14 @@ mod tests {
         let mean_lifetime = |p: &mut CloudProvider| {
             let mut total = 0.0;
             for _ in 0..300 {
-                let vm = p.launch(VmType::N1HighCpu16, Zone::UsEast1B, BillingClass::Preemptible, 0.0).unwrap();
+                let vm = p
+                    .launch(
+                        VmType::N1HighCpu16,
+                        Zone::UsEast1B,
+                        BillingClass::Preemptible,
+                        0.0,
+                    )
+                    .unwrap();
                 total += vm.preemption_time.unwrap() - vm.launch_time;
             }
             total / 300.0
@@ -308,9 +507,46 @@ mod tests {
         let mut a = provider(42);
         let mut b = provider(42);
         for _ in 0..10 {
-            let va = a.launch(VmType::N1HighCpu8, Zone::UsEast1B, BillingClass::Preemptible, 0.0).unwrap();
-            let vb = b.launch(VmType::N1HighCpu8, Zone::UsEast1B, BillingClass::Preemptible, 0.0).unwrap();
+            let va = a
+                .launch(
+                    VmType::N1HighCpu8,
+                    Zone::UsEast1B,
+                    BillingClass::Preemptible,
+                    0.0,
+                )
+                .unwrap();
+            let vb = b
+                .launch(
+                    VmType::N1HighCpu8,
+                    Zone::UsEast1B,
+                    BillingClass::Preemptible,
+                    0.0,
+                )
+                .unwrap();
             assert_eq!(va.preemption_time, vb.preemption_time);
         }
+    }
+
+    #[test]
+    fn catalog_scale_shortens_lifetimes_but_preserves_vm_type_structure() {
+        let mean_lifetime = |scale: f64, vm_type: VmType| {
+            let template = ProviderTemplate {
+                catalog_scale: scale,
+                ..ProviderTemplate::default()
+            };
+            let mut p = template.build(9);
+            let mut total = 0.0;
+            for _ in 0..200 {
+                let vm = p
+                    .launch(vm_type, Zone::UsEast1B, BillingClass::Preemptible, 0.0)
+                    .unwrap();
+                total += vm.preemption_time.unwrap() - vm.launch_time;
+            }
+            total / 200.0
+        };
+        // A higher hazard scale shortens lifetimes...
+        assert!(mean_lifetime(3.0, VmType::N1HighCpu16) < mean_lifetime(1.0, VmType::N1HighCpu16));
+        // ...while the catalog's per-VM-type structure (Observation 4) still applies.
+        assert!(mean_lifetime(2.0, VmType::N1HighCpu32) < mean_lifetime(2.0, VmType::N1HighCpu2));
     }
 }

@@ -96,7 +96,12 @@ pub struct VmHandle {
 
 impl From<&VmInstance> for VmHandle {
     fn from(vm: &VmInstance) -> Self {
-        VmHandle { id: vm.id, vm_type: vm.vm_type, zone: vm.zone, launch_time: vm.launch_time }
+        VmHandle {
+            id: vm.id,
+            vm_type: vm.vm_type,
+            zone: vm.zone,
+            launch_time: vm.launch_time,
+        }
     }
 }
 

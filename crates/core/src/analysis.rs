@@ -42,7 +42,11 @@ pub fn expected_makespan(dist: &dyn LifetimeDistribution, job_len: f64) -> f64 {
 
 /// Expected total running time of a job of length `T` starting at VM age `s`
 /// (Equation 8): `E[T_s] = T + ∫_s^{s+T} t f(t) dt`.
-pub fn expected_makespan_from_age(dist: &dyn LifetimeDistribution, vm_age: f64, job_len: f64) -> f64 {
+pub fn expected_makespan_from_age(
+    dist: &dyn LifetimeDistribution,
+    vm_age: f64,
+    job_len: f64,
+) -> f64 {
     let s = vm_age.max(0.0);
     job_len + dist.partial_expectation(s, s + job_len.max(0.0))
 }
@@ -94,7 +98,9 @@ pub fn running_time_analysis(
     steps: usize,
 ) -> Result<RunningTimeAnalysis> {
     if steps < 2 {
-        return Err(NumericsError::invalid("running_time_analysis requires at least 2 steps"));
+        return Err(NumericsError::invalid(
+            "running_time_analysis requires at least 2 steps",
+        ));
     }
     if !(horizon > 0.0) {
         return Err(NumericsError::invalid("horizon must be positive"));
@@ -128,7 +134,11 @@ pub fn running_time_analysis(
             uniform_increase,
         });
     }
-    Ok(RunningTimeAnalysis { points, crossover_job_len: crossover, max_uniform_to_bathtub_ratio: max_ratio })
+    Ok(RunningTimeAnalysis {
+        points,
+        crossover_job_len: crossover,
+        max_uniform_to_bathtub_ratio: max_ratio,
+    })
 }
 
 /// Convenience: the uniform distribution the paper compares against (horizon = 24 h).
@@ -192,21 +202,38 @@ mod tests {
         let m = model();
         let analysis = running_time_analysis(m.dist(), 24.0, 96).unwrap();
         let crossover = analysis.crossover_job_len.expect("crossover should exist");
-        assert!(crossover > 1.0 && crossover < 10.0, "crossover = {crossover}");
-        assert!(analysis.max_uniform_to_bathtub_ratio > 2.0, "max ratio = {}", analysis.max_uniform_to_bathtub_ratio);
+        assert!(
+            crossover > 1.0 && crossover < 10.0,
+            "crossover = {crossover}"
+        );
+        assert!(
+            analysis.max_uniform_to_bathtub_ratio > 2.0,
+            "max ratio = {}",
+            analysis.max_uniform_to_bathtub_ratio
+        );
 
         // for a 10-hour job the uniform increase (≈ 2h) must exceed the bathtub increase
         let p10 = analysis
             .points
             .iter()
-            .min_by(|a, b| (a.job_len - 10.0).abs().partial_cmp(&(b.job_len - 10.0).abs()).unwrap())
+            .min_by(|a, b| {
+                (a.job_len - 10.0)
+                    .abs()
+                    .partial_cmp(&(b.job_len - 10.0).abs())
+                    .unwrap()
+            })
             .unwrap();
         assert!(p10.uniform_increase > p10.bathtub_increase);
         // short jobs: bathtub slightly worse (high early failure rate)
         let p1 = analysis
             .points
             .iter()
-            .min_by(|a, b| (a.job_len - 1.0).abs().partial_cmp(&(b.job_len - 1.0).abs()).unwrap())
+            .min_by(|a, b| {
+                (a.job_len - 1.0)
+                    .abs()
+                    .partial_cmp(&(b.job_len - 1.0).abs())
+                    .unwrap()
+            })
             .unwrap();
         assert!(p1.bathtub_increase >= p1.uniform_increase);
     }
@@ -241,6 +268,9 @@ mod tests {
         let j = 20.0;
         let bathtub = expected_wasted_work(m.dist(), j);
         let uniform = uniform_expected_wasted_work(j);
-        assert!(bathtub < 0.6 * uniform, "bathtub {bathtub} uniform {uniform}");
+        assert!(
+            bathtub < 0.6 * uniform,
+            "bathtub {bathtub} uniform {uniform}"
+        );
     }
 }

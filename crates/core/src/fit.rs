@@ -131,7 +131,12 @@ pub fn fit_model_comparison(lifetimes: &[f64], horizon: f64) -> Result<ModelComp
         converged: bathtub_fit.converged,
     };
 
-    Ok(ModelComparison { bathtub, families, fitted, empirical })
+    Ok(ModelComparison {
+        bathtub,
+        families,
+        fitted,
+        empirical,
+    })
 }
 
 impl ModelComparison {
@@ -196,7 +201,11 @@ mod tests {
             assert!(w[0].r_squared >= w[1].r_squared);
         }
         // bathtub clearly ahead of the memoryless exponential
-        let expo = cmp.families.iter().find(|f| f.label == "Classical Exponential").unwrap();
+        let expo = cmp
+            .families
+            .iter()
+            .find(|f| f.label == "Classical Exponential")
+            .unwrap();
         assert!(cmp.bathtub.r_squared > expo.r_squared + 0.05);
     }
 
@@ -209,7 +218,10 @@ mod tests {
         assert_eq!(series.len(), 6); // empirical + 5 families
         for (label, vals) in &series {
             assert_eq!(vals.len(), 50, "{label}");
-            assert!(vals.iter().all(|v| (-1e-9..=1.0 + 1e-9).contains(v)), "{label}");
+            assert!(
+                vals.iter().all(|v| (-1e-9..=1.0 + 1e-9).contains(v)),
+                "{label}"
+            );
         }
     }
 

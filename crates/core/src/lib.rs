@@ -16,6 +16,9 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`
+// they are false for NaN, which is exactly the validation we want for config values.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod analysis;
 pub mod fit;
@@ -25,7 +28,8 @@ pub mod registry;
 
 pub use analysis::{
     expected_increase_in_running_time, expected_makespan, expected_makespan_from_age,
-    expected_wasted_work, uniform_expected_increase, uniform_expected_wasted_work, RunningTimeAnalysis,
+    expected_wasted_work, uniform_expected_increase, uniform_expected_wasted_work,
+    RunningTimeAnalysis,
 };
 pub use fit::{fit_bathtub_model, fit_model_comparison, ModelComparison, ModelFit};
 pub use model::BathtubModel;

@@ -21,17 +21,24 @@ pub struct BathtubModel {
 impl BathtubModel {
     /// Builds a model from explicit parameters.
     pub fn new(params: BathtubParams) -> Result<Self> {
-        Ok(BathtubModel { dist: ConstrainedBathtub::new(params)? })
+        Ok(BathtubModel {
+            dist: ConstrainedBathtub::new(params)?,
+        })
     }
 
     /// Builds a model from the individual Equation (1) parameters with a 24 h horizon.
     pub fn from_parts(a: f64, tau1: f64, tau2: f64, b: f64) -> Result<Self> {
-        Ok(BathtubModel { dist: ConstrainedBathtub::from_parts(a, tau1, tau2, b)? })
+        Ok(BathtubModel {
+            dist: ConstrainedBathtub::from_parts(a, tau1, tau2, b)?,
+        })
     }
 
     /// The representative parameters quoted in Section 3.2.2 (`A=0.45, τ1=1, τ2=0.8, b=24`).
     pub fn paper_representative() -> Self {
-        BathtubModel { dist: ConstrainedBathtub::new(BathtubParams::paper_representative()).expect("valid params") }
+        BathtubModel {
+            dist: ConstrainedBathtub::new(BathtubParams::paper_representative())
+                .expect("valid params"),
+        }
     }
 
     /// Wraps an already-constructed distribution.
@@ -89,7 +96,8 @@ impl BathtubModel {
         if alive <= 1e-12 {
             return 1.0;
         }
-        let fail_mass = self.interval_failure_probability(start, (start + job_len).min(self.horizon()));
+        let fail_mass =
+            self.interval_failure_probability(start, (start + job_len).min(self.horizon()));
         // jobs that would run past the deadline always fail
         if start + job_len >= self.horizon() {
             return 1.0;
@@ -202,8 +210,14 @@ mod tests {
     fn phase_boundaries_ordering() {
         let m = BathtubModel::paper_representative();
         let (early_end, deadline_start) = m.phase_boundaries();
-        assert!(early_end > 0.5 && early_end < 6.0, "early_end = {early_end}");
-        assert!(deadline_start > 15.0 && deadline_start < 24.0, "deadline_start = {deadline_start}");
+        assert!(
+            early_end > 0.5 && early_end < 6.0,
+            "early_end = {early_end}"
+        );
+        assert!(
+            deadline_start > 15.0 && deadline_start < 24.0,
+            "deadline_start = {deadline_start}"
+        );
         assert!(early_end < deadline_start);
         // hazard at the boundaries reflects the bathtub: middle lower than both ends
         let mid = 0.5 * (early_end + deadline_start);

@@ -36,7 +36,9 @@ pub struct PhaseBreakdown {
 /// Section 8.
 pub fn detect_phases(lifetimes: &[f64], horizon: f64) -> Result<PhaseBreakdown> {
     if lifetimes.len() < 20 {
-        return Err(NumericsError::invalid("phase detection needs at least 20 lifetimes"));
+        return Err(NumericsError::invalid(
+            "phase detection needs at least 20 lifetimes",
+        ));
     }
     if !(horizon > 0.0) {
         return Err(NumericsError::invalid("horizon must be positive"));
@@ -174,7 +176,11 @@ mod tests {
         let lifetimes = synthetic(1500, 5);
         let phases = detect_phases(&lifetimes, 24.0).unwrap();
         // Early phase ends within a few hours, deadline phase starts late.
-        assert!(phases.early_end >= 1.0 && phases.early_end <= 8.0, "early_end = {}", phases.early_end);
+        assert!(
+            phases.early_end >= 1.0 && phases.early_end <= 8.0,
+            "early_end = {}",
+            phases.early_end
+        );
         assert!(phases.deadline_start >= 16.0 && phases.deadline_start < 24.0);
         // Bathtub: outer rates exceed the middle rate.
         assert!(phases.phase_rates[0] > phases.phase_rates[1]);
@@ -193,7 +199,9 @@ mod tests {
 
     #[test]
     fn change_point_detector_quiet_when_model_matches() {
-        let model = crate::fit::fit_bathtub_model(&synthetic(600, 7), 24.0).unwrap().model;
+        let model = crate::fit::fit_bathtub_model(&synthetic(600, 7), 24.0)
+            .unwrap()
+            .model;
         let mut det = ChangePointDetector::new(60, 0.3).unwrap();
         let mut detections = 0;
         for t in synthetic(600, 8) {
@@ -201,13 +209,18 @@ mod tests {
                 detections += 1;
             }
         }
-        assert_eq!(detections, 0, "no drift expected when data matches the model");
+        assert_eq!(
+            detections, 0,
+            "no drift expected when data matches the model"
+        );
         assert!(det.windows_evaluated >= 9);
     }
 
     #[test]
     fn change_point_detector_fires_on_drift() {
-        let model = crate::fit::fit_bathtub_model(&synthetic(600, 9), 24.0).unwrap().model;
+        let model = crate::fit::fit_bathtub_model(&synthetic(600, 9), 24.0)
+            .unwrap()
+            .model;
         let mut det = ChangePointDetector::new(50, 0.25).unwrap();
         // Drifted behaviour: memoryless preemptions with a 2-hour MTTF.
         let drifted = tcp_dists::Exponential::from_mttf(2.0).unwrap();

@@ -27,7 +27,11 @@ impl ModelRegistry {
     /// Creates a registry with only a default model.
     pub fn new(default_model: BathtubModel) -> Self {
         let horizon = default_model.horizon();
-        ModelRegistry { models: HashMap::new(), default_model, horizon }
+        ModelRegistry {
+            models: HashMap::new(),
+            default_model,
+            horizon,
+        }
     }
 
     /// Creates a registry with the paper's representative model as default.
@@ -73,7 +77,11 @@ impl ModelRegistry {
         // relax workload + time of day
         for time_of_day in TimeOfDay::all() {
             for workload in WorkloadKind::all() {
-                let k = ConfigKey { time_of_day, workload, ..*key };
+                let k = ConfigKey {
+                    time_of_day,
+                    workload,
+                    ..*key
+                };
                 if let Some(m) = self.models.get(&k) {
                     return m;
                 }
@@ -83,7 +91,12 @@ impl ModelRegistry {
         for zone in Zone::all() {
             for time_of_day in TimeOfDay::all() {
                 for workload in WorkloadKind::all() {
-                    let k = ConfigKey { vm_type: key.vm_type, zone, time_of_day, workload };
+                    let k = ConfigKey {
+                        vm_type: key.vm_type,
+                        zone,
+                        time_of_day,
+                        workload,
+                    };
                     if let Some(m) = self.models.get(&k) {
                         return m;
                     }
@@ -95,7 +108,10 @@ impl ModelRegistry {
 
     /// Convenience lookup by VM type only (uses the Figure 1 zone/time/workload defaults).
     pub fn lookup_vm_type(&self, vm_type: VmType) -> &BathtubModel {
-        self.lookup(&ConfigKey { vm_type, ..ConfigKey::figure1() })
+        self.lookup(&ConfigKey {
+            vm_type,
+            ..ConfigKey::figure1()
+        })
     }
 
     /// Fits per-cell models from a preemption dataset.
@@ -104,7 +120,9 @@ impl ModelRegistry {
     /// remainder fall back through the lookup chain.  Returns the number of cells fitted.
     pub fn fit_from_records(&mut self, records: &[PreemptionRecord]) -> Result<usize> {
         if records.is_empty() {
-            return Err(NumericsError::invalid("cannot fit a registry from an empty dataset"));
+            return Err(NumericsError::invalid(
+                "cannot fit a registry from an empty dataset",
+            ));
         }
         let mut by_cell: HashMap<ConfigKey, Vec<f64>> = HashMap::new();
         for r in records {
@@ -166,19 +184,34 @@ mod tests {
         assert_eq!(reg.lookup(&exact_key).params(), exact_model.params());
 
         // relax workload: same cell but idle workload resolves to the registered one
-        let idle = ConfigKey { workload: WorkloadKind::Idle, ..exact_key };
+        let idle = ConfigKey {
+            workload: WorkloadKind::Idle,
+            ..exact_key
+        };
         assert_eq!(reg.lookup(&idle).params(), exact_model.params());
 
         // different zone, same type: still resolves to the registered model
-        let other_zone = ConfigKey { zone: Zone::UsWest1A, ..exact_key };
+        let other_zone = ConfigKey {
+            zone: Zone::UsWest1A,
+            ..exact_key
+        };
         assert_eq!(reg.lookup(&other_zone).params(), exact_model.params());
 
         // different VM type: falls back to the default
-        let other_type = ConfigKey { vm_type: VmType::N1HighCpu2, ..exact_key };
-        assert_eq!(reg.lookup(&other_type).params(), reg.default_model().params());
+        let other_type = ConfigKey {
+            vm_type: VmType::N1HighCpu2,
+            ..exact_key
+        };
+        assert_eq!(
+            reg.lookup(&other_type).params(),
+            reg.default_model().params()
+        );
 
         // lookup_vm_type goes through the same chain
-        assert_eq!(reg.lookup_vm_type(VmType::N1HighCpu16).params(), exact_model.params());
+        assert_eq!(
+            reg.lookup_vm_type(VmType::N1HighCpu16).params(),
+            exact_model.params()
+        );
     }
 
     #[test]

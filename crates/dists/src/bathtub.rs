@@ -64,14 +64,30 @@ impl ConstrainedBathtub {
     ///
     /// Requirements: `0 < a <= 1`, `tau1 > 0`, `tau2 > 0`, `b > 0`, `horizon > 0`.
     pub fn new(params: BathtubParams) -> Result<Self> {
-        let BathtubParams { a, tau1, tau2, b, horizon } = params;
-        for (name, v) in [("a", a), ("tau1", tau1), ("tau2", tau2), ("b", b), ("horizon", horizon)] {
+        let BathtubParams {
+            a,
+            tau1,
+            tau2,
+            b,
+            horizon,
+        } = params;
+        for (name, v) in [
+            ("a", a),
+            ("tau1", tau1),
+            ("tau2", tau2),
+            ("b", b),
+            ("horizon", horizon),
+        ] {
             if !v.is_finite() {
-                return Err(NumericsError::non_finite(format!("bathtub parameter {name}")));
+                return Err(NumericsError::non_finite(format!(
+                    "bathtub parameter {name}"
+                )));
             }
         }
         if !(a > 0.0 && a <= 1.0) {
-            return Err(NumericsError::invalid(format!("A must lie in (0, 1], got {a}")));
+            return Err(NumericsError::invalid(format!(
+                "A must lie in (0, 1], got {a}"
+            )));
         }
         if tau1 <= 0.0 || tau2 <= 0.0 {
             return Err(NumericsError::invalid("tau1 and tau2 must be positive"));
@@ -79,14 +95,23 @@ impl ConstrainedBathtub {
         if b <= 0.0 || horizon <= 0.0 {
             return Err(NumericsError::invalid("b and horizon must be positive"));
         }
-        let mut dist = ConstrainedBathtub { params, saturation: horizon };
+        let mut dist = ConstrainedBathtub {
+            params,
+            saturation: horizon,
+        };
         dist.saturation = dist.compute_saturation();
         Ok(dist)
     }
 
     /// Convenience constructor from the individual parameters with the default 24 h horizon.
     pub fn from_parts(a: f64, tau1: f64, tau2: f64, b: f64) -> Result<Self> {
-        ConstrainedBathtub::new(BathtubParams { a, tau1, tau2, b, horizon: crate::DEFAULT_HORIZON_HOURS })
+        ConstrainedBathtub::new(BathtubParams {
+            a,
+            tau1,
+            tau2,
+            b,
+            horizon: crate::DEFAULT_HORIZON_HOURS,
+        })
     }
 
     /// The distribution parameters.
@@ -196,7 +221,8 @@ impl LifetimeDistribution for ConstrainedBathtub {
         let a = a.max(0.0);
         let b_cont = b.min(self.saturation).min(self.params.horizon);
         let mut value = if b_cont > a {
-            self.partial_expectation_antiderivative(b_cont) - self.partial_expectation_antiderivative(a)
+            self.partial_expectation_antiderivative(b_cont)
+                - self.partial_expectation_antiderivative(a)
         } else {
             0.0
         };
@@ -223,8 +249,13 @@ impl LifetimeDistribution for ConstrainedBathtub {
             };
         }
         let f = |t: f64| (self.raw_cdf(t) - self.f0_offset()) - u;
-        tcp_numerics::roots::brent(f, 0.0, self.saturation, tcp_numerics::roots::RootConfig::default())
-            .unwrap_or(self.saturation)
+        tcp_numerics::roots::brent(
+            f,
+            0.0,
+            self.saturation,
+            tcp_numerics::roots::RootConfig::default(),
+        )
+        .unwrap_or(self.saturation)
     }
 }
 
@@ -288,7 +319,14 @@ mod tests {
     fn expected_lifetime_eq3_matches_numeric() {
         let d = paper_dist();
         let eq3 = d.expected_lifetime_eq3();
-        let numeric = tcp_numerics::integrate::adaptive_simpson(&|t: f64| t * d.raw_pdf(t), 0.0, 24.0, 1e-10, 48).unwrap();
+        let numeric = tcp_numerics::integrate::adaptive_simpson(
+            &|t: f64| t * d.raw_pdf(t),
+            0.0,
+            24.0,
+            1e-10,
+            48,
+        )
+        .unwrap();
         assert!((eq3 - numeric).abs() < 1e-6, "eq3 {eq3} numeric {numeric}");
     }
 
@@ -308,12 +346,19 @@ mod tests {
         // intervals strictly below the horizon: pure continuous part
         for &(a, b) in &[(0.0, 5.0), (5.0, 18.0), (18.0, 23.9)] {
             let closed = d.partial_expectation(a, b);
-            let numeric = tcp_numerics::integrate::adaptive_simpson(&|t: f64| t * d.pdf(t), a, b, 1e-11, 48).unwrap();
-            assert!((closed - numeric).abs() < 1e-6, "[{a},{b}] closed {closed} numeric {numeric}");
+            let numeric =
+                tcp_numerics::integrate::adaptive_simpson(&|t: f64| t * d.pdf(t), a, b, 1e-11, 48)
+                    .unwrap();
+            assert!(
+                (closed - numeric).abs() < 1e-6,
+                "[{a},{b}] closed {closed} numeric {numeric}"
+            );
         }
         // intervals reaching the horizon additionally pick up the reclamation atom
         let full = d.partial_expectation(0.0, 24.0);
-        let continuous = tcp_numerics::integrate::adaptive_simpson(&|t: f64| t * d.pdf(t), 0.0, 24.0, 1e-11, 48).unwrap();
+        let continuous =
+            tcp_numerics::integrate::adaptive_simpson(&|t: f64| t * d.pdf(t), 0.0, 24.0, 1e-11, 48)
+                .unwrap();
         assert!((full - (continuous + d.deadline_atom() * 24.0)).abs() < 1e-6);
         assert_eq!(d.partial_expectation(10.0, 3.0), 0.0);
     }
@@ -337,8 +382,12 @@ mod tests {
         assert!(samples.iter().all(|&t| (0.0..=24.0).contains(&t)));
         // The distribution has an atom at the 24 h deadline; check it separately and run the
         // KS comparison on the continuous part conditioned on T < 24.
-        let atom_freq = samples.iter().filter(|&&t| t >= 24.0).count() as f64 / samples.len() as f64;
-        assert!((atom_freq - d.deadline_atom()).abs() < 0.03, "atom freq {atom_freq}");
+        let atom_freq =
+            samples.iter().filter(|&&t| t >= 24.0).count() as f64 / samples.len() as f64;
+        assert!(
+            (atom_freq - d.deadline_atom()).abs() < 0.03,
+            "atom freq {atom_freq}"
+        );
         let continuous: Vec<f64> = samples.iter().copied().filter(|&t| t < 24.0).collect();
         let cont_mass = 1.0 - d.deadline_atom();
         let ecdf = Ecdf::new(&continuous).unwrap();

@@ -27,22 +27,32 @@ impl EmpiricalLifetime {
     /// VMs); samples beyond the horizon are rejected.
     pub fn new(samples: &[f64], horizon: Option<f64>) -> Result<Self> {
         if samples.is_empty() {
-            return Err(NumericsError::invalid("empirical distribution requires samples"));
+            return Err(NumericsError::invalid(
+                "empirical distribution requires samples",
+            ));
         }
         if samples.iter().any(|&t| t < 0.0 || !t.is_finite()) {
-            return Err(NumericsError::invalid("lifetimes must be finite and non-negative"));
+            return Err(NumericsError::invalid(
+                "lifetimes must be finite and non-negative",
+            ));
         }
         if let Some(h) = horizon {
             if !(h > 0.0) {
                 return Err(NumericsError::invalid("horizon must be positive"));
             }
             if samples.iter().any(|&t| t > h + 1e-9) {
-                return Err(NumericsError::invalid("observed lifetime exceeds the stated horizon"));
+                return Err(NumericsError::invalid(
+                    "observed lifetime exceeds the stated horizon",
+                ));
             }
         }
         let ecdf = Ecdf::new(samples)?;
         let interp = ecdf.to_interp()?;
-        Ok(EmpiricalLifetime { ecdf, interp, horizon })
+        Ok(EmpiricalLifetime {
+            ecdf,
+            interp,
+            horizon,
+        })
     }
 
     /// Number of observations backing the distribution.
@@ -102,7 +112,9 @@ impl LifetimeDistribution for EmpiricalLifetime {
 
     fn quantile(&self, u: f64) -> f64 {
         let u = u.clamp(0.0, 1.0);
-        self.interp.inverse(u).unwrap_or_else(|_| self.upper_bound())
+        self.interp
+            .inverse(u)
+            .unwrap_or_else(|_| self.upper_bound())
     }
 }
 

@@ -19,7 +19,9 @@ impl Exponential {
     /// Creates an exponential distribution with the given failure rate `λ > 0` (per hour).
     pub fn new(rate: f64) -> Result<Self> {
         if !(rate > 0.0) || !rate.is_finite() {
-            return Err(NumericsError::invalid(format!("exponential rate must be positive, got {rate}")));
+            return Err(NumericsError::invalid(format!(
+                "exponential rate must be positive, got {rate}"
+            )));
         }
         Ok(Exponential { rate })
     }
@@ -27,7 +29,9 @@ impl Exponential {
     /// Creates an exponential distribution from a mean time to failure (hours).
     pub fn from_mttf(mttf: f64) -> Result<Self> {
         if !(mttf > 0.0) || !mttf.is_finite() {
-            return Err(NumericsError::invalid(format!("MTTF must be positive, got {mttf}")));
+            return Err(NumericsError::invalid(format!(
+                "MTTF must be positive, got {mttf}"
+            )));
         }
         Exponential::new(1.0 / mttf)
     }
@@ -143,7 +147,9 @@ mod tests {
         let pe = d.partial_expectation(0.0, d.upper_bound());
         assert!((pe - 2.0).abs() < 1e-6);
         // closed form matches numeric default on a sub-interval
-        let numeric = tcp_numerics::integrate::adaptive_simpson(&|t: f64| t * d.pdf(t), 1.0, 5.0, 1e-12, 40).unwrap();
+        let numeric =
+            tcp_numerics::integrate::adaptive_simpson(&|t: f64| t * d.pdf(t), 1.0, 5.0, 1e-12, 40)
+                .unwrap();
         assert!((d.partial_expectation(1.0, 5.0) - numeric).abs() < 1e-9);
     }
 

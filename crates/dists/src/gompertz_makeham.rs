@@ -28,15 +28,25 @@ impl GompertzMakeham {
     /// contribution.
     pub fn new(lambda: f64, alpha: f64, beta: f64) -> Result<Self> {
         if !(lambda >= 0.0) || !lambda.is_finite() {
-            return Err(NumericsError::invalid(format!("lambda must be non-negative, got {lambda}")));
+            return Err(NumericsError::invalid(format!(
+                "lambda must be non-negative, got {lambda}"
+            )));
         }
         if !(alpha > 0.0) || !alpha.is_finite() {
-            return Err(NumericsError::invalid(format!("alpha must be positive, got {alpha}")));
+            return Err(NumericsError::invalid(format!(
+                "alpha must be positive, got {alpha}"
+            )));
         }
         if !(beta > 0.0) || !beta.is_finite() {
-            return Err(NumericsError::invalid(format!("beta must be positive, got {beta}")));
+            return Err(NumericsError::invalid(format!(
+                "beta must be positive, got {beta}"
+            )));
         }
-        Ok(GompertzMakeham { lambda, alpha, beta })
+        Ok(GompertzMakeham {
+            lambda,
+            alpha,
+            beta,
+        })
     }
 
     /// The Makeham (background) hazard `λ`.
@@ -110,7 +120,8 @@ impl LifetimeDistribution for GompertzMakeham {
         let target = -(1.0 - u).ln();
         let f = |t: f64| self.cumulative_hazard(t) - target;
         let hi = self.upper_bound();
-        tcp_numerics::roots::brent(f, 0.0, hi, tcp_numerics::roots::RootConfig::default()).unwrap_or(hi)
+        tcp_numerics::roots::brent(f, 0.0, hi, tcp_numerics::roots::RootConfig::default())
+            .unwrap_or(hi)
     }
 }
 
@@ -151,7 +162,14 @@ mod tests {
     #[test]
     fn pdf_integrates_to_one() {
         let d = GompertzMakeham::new(0.08, 0.002, 0.25).unwrap();
-        let total = tcp_numerics::integrate::adaptive_simpson(&|t: f64| d.pdf(t), 0.0, d.upper_bound(), 1e-10, 48).unwrap();
+        let total = tcp_numerics::integrate::adaptive_simpson(
+            &|t: f64| d.pdf(t),
+            0.0,
+            d.upper_bound(),
+            1e-10,
+            48,
+        )
+        .unwrap();
         assert!((total - 1.0).abs() < 1e-6, "total = {total}");
     }
 

@@ -23,6 +23,9 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`
+// they are false for NaN, which is exactly the validation we want for config values.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod bathtub;
 pub mod empirical;
@@ -157,9 +160,12 @@ pub fn validate_cdf(dist: &dyn LifetimeDistribution, points: usize) -> Result<()
     for &t in &grid {
         let f = dist.cdf(t);
         if !f.is_finite() {
-            return Err(NumericsError::non_finite(format!("{} cdf at t={t}", dist.name())));
+            return Err(NumericsError::non_finite(format!(
+                "{} cdf at t={t}",
+                dist.name()
+            )));
         }
-        if f < -1e-9 || f > 1.0 + 1e-9 {
+        if !(-1e-9..=1.0 + 1e-9).contains(&f) {
             return Err(NumericsError::invalid(format!(
                 "{} cdf out of [0,1] at t={t}: {f}",
                 dist.name()

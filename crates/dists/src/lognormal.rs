@@ -24,7 +24,9 @@ impl LogNormal {
             return Err(NumericsError::non_finite("lognormal mu"));
         }
         if !(sigma > 0.0) || !sigma.is_finite() {
-            return Err(NumericsError::invalid(format!("sigma must be positive, got {sigma}")));
+            return Err(NumericsError::invalid(format!(
+                "sigma must be positive, got {sigma}"
+            )));
         }
         Ok(LogNormal { mu, sigma })
     }
@@ -69,7 +71,7 @@ impl LogNormal {
             -3.969683028665376e+01,
             2.209460984245205e+02,
             -2.759285104469687e+02,
-            1.383577518672690e+02,
+            1.383_577_518_672_69e2,
             -3.066479806614716e+01,
             2.506628277459239e+00,
         ];
@@ -204,7 +206,14 @@ mod tests {
     #[test]
     fn mean_matches_numeric() {
         let d = LogNormal::new(0.5, 0.6).unwrap();
-        let numeric = tcp_numerics::integrate::adaptive_simpson(&|t: f64| t * d.pdf(t), 0.0, d.upper_bound(), 1e-9, 48).unwrap();
+        let numeric = tcp_numerics::integrate::adaptive_simpson(
+            &|t: f64| t * d.pdf(t),
+            0.0,
+            d.upper_bound(),
+            1e-9,
+            48,
+        )
+        .unwrap();
         assert!((d.mean() - numeric).abs() / d.mean() < 1e-4);
     }
 

@@ -77,14 +77,18 @@ impl PhasedHazard {
         ];
         for (name, v) in all {
             if !v.is_finite() {
-                return Err(NumericsError::non_finite(format!("phased parameter {name}")));
+                return Err(NumericsError::non_finite(format!(
+                    "phased parameter {name}"
+                )));
             }
         }
         if p.early_rate <= 0.0 || p.stable_rate <= 0.0 || p.deadline_base_rate <= 0.0 {
             return Err(NumericsError::invalid("hazard rates must be positive"));
         }
         if p.deadline_acceleration < 0.0 {
-            return Err(NumericsError::invalid("deadline acceleration must be non-negative"));
+            return Err(NumericsError::invalid(
+                "deadline acceleration must be non-negative",
+            ));
         }
         if !(0.0 < p.early_end && p.early_end < p.deadline_start && p.deadline_start < p.horizon) {
             return Err(NumericsError::invalid(
@@ -96,7 +100,9 @@ impl PhasedHazard {
 
     /// Convenience constructor using the representative parameters.
     pub fn representative() -> Self {
-        PhasedHazard { params: PhasedHazardParams::representative() }
+        PhasedHazard {
+            params: PhasedHazardParams::representative(),
+        }
     }
 
     /// The parameter set.

@@ -20,14 +20,18 @@ impl UniformLifetime {
     /// Creates a uniform lifetime distribution over `[0, horizon]` with `horizon > 0`.
     pub fn new(horizon: f64) -> Result<Self> {
         if !(horizon > 0.0) || !horizon.is_finite() {
-            return Err(NumericsError::invalid(format!("horizon must be positive, got {horizon}")));
+            return Err(NumericsError::invalid(format!(
+                "horizon must be positive, got {horizon}"
+            )));
         }
         Ok(UniformLifetime { horizon })
     }
 
     /// The 24-hour Google Preemptible VM horizon.
     pub fn google_default() -> Self {
-        UniformLifetime { horizon: crate::DEFAULT_HORIZON_HOURS }
+        UniformLifetime {
+            horizon: crate::DEFAULT_HORIZON_HOURS,
+        }
     }
 }
 
@@ -140,7 +144,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let samples = d.sample_n(&mut rng, 2000);
         assert!(samples.iter().all(|&t| (0.0..=24.0).contains(&t)));
-        let below_half = samples.iter().filter(|&&t| t < 12.0).count() as f64 / samples.len() as f64;
+        let below_half =
+            samples.iter().filter(|&&t| t < 12.0).count() as f64 / samples.len() as f64;
         assert!((below_half - 0.5).abs() < 0.05);
     }
 

@@ -20,10 +20,14 @@ impl Weibull {
     /// Creates a Weibull distribution with rate `λ > 0` and shape `k > 0`.
     pub fn new(rate: f64, shape: f64) -> Result<Self> {
         if !(rate > 0.0) || !rate.is_finite() {
-            return Err(NumericsError::invalid(format!("weibull rate must be positive, got {rate}")));
+            return Err(NumericsError::invalid(format!(
+                "weibull rate must be positive, got {rate}"
+            )));
         }
         if !(shape > 0.0) || !shape.is_finite() {
-            return Err(NumericsError::invalid(format!("weibull shape must be positive, got {shape}")));
+            return Err(NumericsError::invalid(format!(
+                "weibull shape must be positive, got {shape}"
+            )));
         }
         Ok(Weibull { rate, shape })
     }
@@ -42,10 +46,10 @@ impl Weibull {
     fn ln_gamma(x: f64) -> f64 {
         // Lanczos coefficients (g = 7, n = 9)
         const COEFFS: [f64; 9] = [
-            0.999_999_999_999_809_93,
+            0.999_999_999_999_809_9,
             676.520_368_121_885_1,
             -1_259.139_216_722_402_8,
-            771.323_428_777_653_13,
+            771.323_428_777_653_1,
             -176.615_029_162_140_6,
             12.507_343_278_686_905,
             -0.138_571_095_265_720_12,
@@ -87,7 +91,13 @@ impl LifetimeDistribution for Weibull {
 
     fn pdf(&self, t: f64) -> f64 {
         if t <= 0.0 {
-            return if self.shape < 1.0 { f64::INFINITY } else if self.shape == 1.0 { self.rate } else { 0.0 };
+            return if self.shape < 1.0 {
+                f64::INFINITY
+            } else if self.shape == 1.0 {
+                self.rate
+            } else {
+                0.0
+            };
         }
         let z = self.rate * t;
         self.shape * self.rate * z.powf(self.shape - 1.0) * (-z.powf(self.shape)).exp()
@@ -158,8 +168,18 @@ mod tests {
     fn mean_matches_numeric_integration() {
         let w = Weibull::new(0.2, 2.5).unwrap();
         let closed = w.mean();
-        let numeric = tcp_numerics::integrate::adaptive_simpson(&|t: f64| t * w.pdf(t), 0.0, w.upper_bound(), 1e-10, 48).unwrap();
-        assert!((closed - numeric).abs() / closed < 1e-6, "closed {closed} numeric {numeric}");
+        let numeric = tcp_numerics::integrate::adaptive_simpson(
+            &|t: f64| t * w.pdf(t),
+            0.0,
+            w.upper_bound(),
+            1e-10,
+            48,
+        )
+        .unwrap();
+        assert!(
+            (closed - numeric).abs() / closed < 1e-6,
+            "closed {closed} numeric {numeric}"
+        );
     }
 
     #[test]

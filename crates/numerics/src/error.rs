@@ -94,7 +94,9 @@ mod tests {
         };
         assert!(e.to_string().contains("not bracketed"));
 
-        assert!(NumericsError::SingularMatrix.to_string().contains("singular"));
+        assert!(NumericsError::SingularMatrix
+            .to_string()
+            .contains("singular"));
         assert!(NumericsError::non_finite("cdf").to_string().contains("cdf"));
     }
 

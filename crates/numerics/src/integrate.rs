@@ -11,7 +11,9 @@ use crate::{NumericsError, Result};
 /// Integration of `f` over `[a, b]` with the composite trapezoid rule using `n` panels.
 pub fn trapezoid<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> Result<f64> {
     if n == 0 {
-        return Err(NumericsError::invalid("trapezoid requires at least 1 panel"));
+        return Err(NumericsError::invalid(
+            "trapezoid requires at least 1 panel",
+        ));
     }
     if !a.is_finite() || !b.is_finite() {
         return Err(NumericsError::non_finite("trapezoid bounds"));
@@ -38,7 +40,7 @@ pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> Result<f64>
     if a == b {
         return Ok(0.0);
     }
-    let n = if n % 2 == 0 { n } else { n + 1 };
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
     let h = (b - a) / n as f64;
     let mut acc = f(a) + f(b);
     for i in 1..n {
@@ -54,7 +56,13 @@ pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> Result<f64>
 /// recursion depth is capped at `max_depth`; when the cap is reached the best local estimate
 /// is used rather than failing, because the integrands we care about (bathtub PDFs) are
 /// bounded on the closed interval.
-pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64, tol: f64, max_depth: usize) -> Result<f64> {
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_depth: usize,
+) -> Result<f64> {
     if !a.is_finite() || !b.is_finite() {
         return Err(NumericsError::non_finite("adaptive_simpson bounds"));
     }
@@ -134,11 +142,11 @@ fn gauss_legendre_nodes(order: usize) -> (&'static [f64], &'static [f64]) {
         0.3478548451374538,
     ];
     const N5: [f64; 5] = [
-        -0.9061798459386640,
+        -0.906_179_845_938_664,
         -0.5384693101056831,
         0.0,
         0.5384693101056831,
-        0.9061798459386640,
+        0.906_179_845_938_664,
     ];
     const W5: [f64; 5] = [
         0.2369268850561891,
@@ -150,10 +158,10 @@ fn gauss_legendre_nodes(order: usize) -> (&'static [f64], &'static [f64]) {
     const N8: [f64; 8] = [
         -0.9602898564975363,
         -0.7966664774136267,
-        -0.5255324099163290,
+        -0.525_532_409_916_329,
         -0.1834346424956498,
         0.1834346424956498,
-        0.5255324099163290,
+        0.525_532_409_916_329,
         0.7966664774136267,
         0.9602898564975363,
     ];
@@ -161,8 +169,8 @@ fn gauss_legendre_nodes(order: usize) -> (&'static [f64], &'static [f64]) {
         0.1012285362903763,
         0.2223810344533745,
         0.3137066458778873,
-        0.3626837833783620,
-        0.3626837833783620,
+        0.362_683_783_378_362,
+        0.362_683_783_378_362,
         0.3137066458778873,
         0.2223810344533745,
         0.1012285362903763,
@@ -171,7 +179,7 @@ fn gauss_legendre_nodes(order: usize) -> (&'static [f64], &'static [f64]) {
         -0.9894009349916499,
         -0.9445750230732326,
         -0.8656312023878318,
-        -0.7554044083550030,
+        -0.755_404_408_355_003,
         -0.6178762444026438,
         -0.4580167776572274,
         -0.2816035507792589,
@@ -180,7 +188,7 @@ fn gauss_legendre_nodes(order: usize) -> (&'static [f64], &'static [f64]) {
         0.2816035507792589,
         0.4580167776572274,
         0.6178762444026438,
-        0.7554044083550030,
+        0.755_404_408_355_003,
         0.8656312023878318,
         0.9445750230732326,
         0.9894009349916499,
@@ -242,7 +250,9 @@ pub fn composite_gauss_legendre<F: Fn(f64) -> f64>(
     panels: usize,
 ) -> Result<f64> {
     if panels == 0 {
-        return Err(NumericsError::invalid("composite rule requires at least one panel"));
+        return Err(NumericsError::invalid(
+            "composite rule requires at least one panel",
+        ));
     }
     let h = (b - a) / panels as f64;
     let mut acc = 0.0;
@@ -257,9 +267,16 @@ pub fn composite_gauss_legendre<F: Fn(f64) -> f64>(
 /// Cumulative integral of `f` evaluated on a uniform grid: returns `(grid, F)` where
 /// `F[i] = ∫_a^{grid[i]} f`.  Uses the composite trapezoid rule between grid points, which
 /// keeps the result exactly consistent with the grid used elsewhere (e.g. for DP tables).
-pub fn cumulative_integral<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, points: usize) -> Result<(Vec<f64>, Vec<f64>)> {
+pub fn cumulative_integral<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    points: usize,
+) -> Result<(Vec<f64>, Vec<f64>)> {
     if points < 2 {
-        return Err(NumericsError::invalid("cumulative_integral requires at least 2 points"));
+        return Err(NumericsError::invalid(
+            "cumulative_integral requires at least 2 points",
+        ));
     }
     if b <= a {
         return Err(NumericsError::invalid("cumulative_integral requires b > a"));
@@ -332,7 +349,10 @@ mod tests {
 
     #[test]
     fn adaptive_simpson_zero_width() {
-        assert_eq!(adaptive_simpson(&|x: f64| x, 1.0, 1.0, 1e-8, 10).unwrap(), 0.0);
+        assert_eq!(
+            adaptive_simpson(&|x: f64| x, 1.0, 1.0, 1e-8, 10).unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -369,7 +389,12 @@ mod tests {
         for w in cum.windows(2) {
             assert!(w[1] >= w[0]);
         }
-        assert!(approx_eq(*cum.last().unwrap(), 2.0f64.exp() - 1.0, 1e-2, 1e-2));
+        assert!(approx_eq(
+            *cum.last().unwrap(),
+            2.0f64.exp() - 1.0,
+            1e-2,
+            1e-2
+        ));
     }
 
     #[test]

@@ -131,7 +131,9 @@ where
 {
     residual_fn(theta, buf);
     if buf.is_empty() {
-        return Err(NumericsError::invalid("residual function returned no residuals"));
+        return Err(NumericsError::invalid(
+            "residual function returned no residuals",
+        ));
     }
     let mut rss = 0.0;
     for r in buf.iter() {
@@ -176,7 +178,9 @@ where
         compute_residuals(residual_fn, &perturbed, &mut buf)?;
         let denom = sign * (eval_point - theta[j]);
         if denom == 0.0 {
-            return Err(NumericsError::invalid("finite-difference step collapsed to zero"));
+            return Err(NumericsError::invalid(
+                "finite-difference step collapsed to zero",
+            ));
         }
         for i in 0..m {
             jac[(i, j)] = sign * (buf[i] - base_residuals[i]) / denom;
@@ -200,7 +204,9 @@ where
     F: Fn(&[f64], &mut Vec<f64>),
 {
     if initial.is_empty() {
-        return Err(NumericsError::invalid("least_squares requires at least one parameter"));
+        return Err(NumericsError::invalid(
+            "least_squares requires at least one parameter",
+        ));
     }
     if bounds.dim() != initial.len() {
         return Err(NumericsError::invalid(
@@ -221,7 +227,13 @@ where
 
     for iter in 0..options.max_iterations {
         iterations = iter + 1;
-        let jac = finite_difference_jacobian(residual_fn, &theta, &residuals, bounds, options.fd_rel_step)?;
+        let jac = finite_difference_jacobian(
+            residual_fn,
+            &theta,
+            &residuals,
+            bounds,
+            options.fd_rel_step,
+        )?;
         let mut jtj = jac.gram();
         let jtr = jac.gram_rhs(&residuals)?;
 
@@ -354,7 +366,8 @@ mod tests {
             out.push(theta[0] - 3.0);
         };
         let bounds = Bounds::new(vec![-10.0], vec![1.0]).unwrap();
-        let report = least_squares(&resid, &[0.0], &bounds, &LeastSquaresOptions::default()).unwrap();
+        let report =
+            least_squares(&resid, &[0.0], &bounds, &LeastSquaresOptions::default()).unwrap();
         assert!((report.params[0] - 1.0).abs() < 1e-8);
     }
 
@@ -372,7 +385,13 @@ mod tests {
             }
         };
         let bounds = Bounds::new(vec![0.0, 1e-3], vec![1.0, 100.0]).unwrap();
-        let report = least_squares(&resid, &[0.1, 5.0], &bounds, &LeastSquaresOptions::default()).unwrap();
+        let report = least_squares(
+            &resid,
+            &[0.1, 5.0],
+            &bounds,
+            &LeastSquaresOptions::default(),
+        )
+        .unwrap();
         assert!((report.params[0] - a_true).abs() < 1e-5);
         assert!((report.params[1] - tau_true).abs() < 1e-4);
     }
@@ -385,7 +404,13 @@ mod tests {
         };
         let bounds = Bounds::unbounded(2);
         assert!(least_squares(&resid, &[0.0], &bounds, &LeastSquaresOptions::default()).is_err());
-        assert!(least_squares(&resid, &[], &Bounds::unbounded(0), &LeastSquaresOptions::default()).is_err());
+        assert!(least_squares(
+            &resid,
+            &[],
+            &Bounds::unbounded(0),
+            &LeastSquaresOptions::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -393,7 +418,13 @@ mod tests {
         let resid = |_theta: &[f64], out: &mut Vec<f64>| {
             out.clear();
         };
-        assert!(least_squares(&resid, &[1.0], &Bounds::unbounded(1), &LeastSquaresOptions::default()).is_err());
+        assert!(least_squares(
+            &resid,
+            &[1.0],
+            &Bounds::unbounded(1),
+            &LeastSquaresOptions::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -402,7 +433,13 @@ mod tests {
             out.clear();
             out.push(f64::NAN);
         };
-        assert!(least_squares(&resid, &[1.0], &Bounds::unbounded(1), &LeastSquaresOptions::default()).is_err());
+        assert!(least_squares(
+            &resid,
+            &[1.0],
+            &Bounds::unbounded(1),
+            &LeastSquaresOptions::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -412,7 +449,8 @@ mod tests {
             out.push(theta[0] - 0.5);
         };
         let bounds = Bounds::new(vec![0.0], vec![1.0]).unwrap();
-        let report = least_squares(&resid, &[100.0], &bounds, &LeastSquaresOptions::default()).unwrap();
+        let report =
+            least_squares(&resid, &[100.0], &bounds, &LeastSquaresOptions::default()).unwrap();
         assert!((report.params[0] - 0.5).abs() < 1e-8);
     }
 }

@@ -57,10 +57,14 @@ where
         return Err(NumericsError::invalid("xs and ys must have equal length"));
     }
     if xs.is_empty() {
-        return Err(NumericsError::invalid("curve_fit requires at least one observation"));
+        return Err(NumericsError::invalid(
+            "curve_fit requires at least one observation",
+        ));
     }
     if initial.is_empty() {
-        return Err(NumericsError::invalid("curve_fit requires at least one parameter"));
+        return Err(NumericsError::invalid(
+            "curve_fit requires at least one parameter",
+        ));
     }
 
     let residuals = |theta: &[f64], out: &mut Vec<f64>| {
@@ -128,8 +132,20 @@ mod tests {
         let ys: Vec<f64> = xs.iter().map(|&x| 1.0 - (-x / tau_true).exp()).collect();
         let model = |x: f64, p: &[f64]| 1.0 - (-x / p[0]).exp();
         let bounds = Bounds::new(vec![1e-3], vec![100.0]).unwrap();
-        let report = curve_fit(model, &xs, &ys, &[1.0], &bounds, &LeastSquaresOptions::default()).unwrap();
-        assert!((report.params[0] - tau_true).abs() < 1e-4, "tau = {}", report.params[0]);
+        let report = curve_fit(
+            model,
+            &xs,
+            &ys,
+            &[1.0],
+            &bounds,
+            &LeastSquaresOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            (report.params[0] - tau_true).abs() < 1e-4,
+            "tau = {}",
+            report.params[0]
+        );
         assert!(report.r_squared > 0.999999);
     }
 
@@ -139,7 +155,15 @@ mod tests {
         let ys: Vec<f64> = xs.iter().map(|&x| 2.5 * x - 7.0).collect();
         let model = |x: f64, p: &[f64]| p[0] * x + p[1];
         let bounds = Bounds::unbounded(2);
-        let report = curve_fit(model, &xs, &ys, &[0.0, 0.0], &bounds, &LeastSquaresOptions::default()).unwrap();
+        let report = curve_fit(
+            model,
+            &xs,
+            &ys,
+            &[0.0, 0.0],
+            &bounds,
+            &LeastSquaresOptions::default(),
+        )
+        .unwrap();
         assert!((report.params[0] - 2.5).abs() < 1e-6);
         assert!((report.params[1] + 7.0).abs() < 1e-5);
         assert!(report.converged);
@@ -152,7 +176,15 @@ mod tests {
         let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x).collect();
         let model = |x: f64, p: &[f64]| p[0] * x;
         let bounds = Bounds::new(vec![0.0], vec![1.0]).unwrap();
-        let report = curve_fit(model, &xs, &ys, &[0.5], &bounds, &LeastSquaresOptions::default()).unwrap();
+        let report = curve_fit(
+            model,
+            &xs,
+            &ys,
+            &[0.5],
+            &bounds,
+            &LeastSquaresOptions::default(),
+        )
+        .unwrap();
         assert!(report.params[0] <= 1.0 + 1e-12);
         assert!(report.params[0] > 0.99);
     }
@@ -161,9 +193,33 @@ mod tests {
     fn curve_fit_validates_inputs() {
         let model = |x: f64, p: &[f64]| p[0] * x;
         let bounds = Bounds::unbounded(1);
-        assert!(curve_fit(model, &[1.0], &[1.0, 2.0], &[0.0], &bounds, &LeastSquaresOptions::default()).is_err());
-        assert!(curve_fit(model, &[], &[], &[0.0], &bounds, &LeastSquaresOptions::default()).is_err());
-        assert!(curve_fit(model, &[1.0], &[1.0], &[], &bounds, &LeastSquaresOptions::default()).is_err());
+        assert!(curve_fit(
+            model,
+            &[1.0],
+            &[1.0, 2.0],
+            &[0.0],
+            &bounds,
+            &LeastSquaresOptions::default()
+        )
+        .is_err());
+        assert!(curve_fit(
+            model,
+            &[],
+            &[],
+            &[0.0],
+            &bounds,
+            &LeastSquaresOptions::default()
+        )
+        .is_err());
+        assert!(curve_fit(
+            model,
+            &[1.0],
+            &[1.0],
+            &[],
+            &bounds,
+            &LeastSquaresOptions::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -177,7 +233,15 @@ mod tests {
             .collect();
         let model = |x: f64, p: &[f64]| 1.0 - (-x / p[0]).exp();
         let bounds = Bounds::new(vec![0.01], vec![50.0]).unwrap();
-        let report = curve_fit(model, &xs, &ys, &[0.5], &bounds, &LeastSquaresOptions::default()).unwrap();
+        let report = curve_fit(
+            model,
+            &xs,
+            &ys,
+            &[0.5],
+            &bounds,
+            &LeastSquaresOptions::default(),
+        )
+        .unwrap();
         assert!((report.params[0] - 2.0).abs() < 0.1);
         assert!(report.r_squared > 0.99);
         assert!(report.rmse < 0.05);

@@ -57,7 +57,9 @@ where
 {
     let n = initial.len();
     if n == 0 {
-        return Err(NumericsError::invalid("nelder_mead requires at least one parameter"));
+        return Err(NumericsError::invalid(
+            "nelder_mead requires at least one parameter",
+        ));
     }
     if bounds.dim() != n {
         return Err(NumericsError::invalid("bounds dimension mismatch"));
@@ -219,7 +221,13 @@ mod tests {
     #[test]
     fn minimises_quadratic() {
         let obj = |x: &[f64]| (x[0] - 2.0).powi(2) + (x[1] + 1.0).powi(2);
-        let report = nelder_mead(&obj, &[0.0, 0.0], &Bounds::unbounded(2), &NelderMeadOptions::default()).unwrap();
+        let report = nelder_mead(
+            &obj,
+            &[0.0, 0.0],
+            &Bounds::unbounded(2),
+            &NelderMeadOptions::default(),
+        )
+        .unwrap();
         assert!((report.params[0] - 2.0).abs() < 1e-4);
         assert!((report.params[1] + 1.0).abs() < 1e-4);
         assert!(report.converged);
@@ -228,7 +236,13 @@ mod tests {
     #[test]
     fn minimises_rosenbrock() {
         let obj = |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
-        let report = nelder_mead(&obj, &[-1.2, 1.0], &Bounds::unbounded(2), &NelderMeadOptions::default()).unwrap();
+        let report = nelder_mead(
+            &obj,
+            &[-1.2, 1.0],
+            &Bounds::unbounded(2),
+            &NelderMeadOptions::default(),
+        )
+        .unwrap();
         assert!((report.params[0] - 1.0).abs() < 1e-3, "{:?}", report.params);
         assert!((report.params[1] - 1.0).abs() < 1e-3);
     }
@@ -260,14 +274,32 @@ mod tests {
                 (x[0] - 1.0).powi(2)
             }
         };
-        let report = nelder_mead(&obj, &[0.0], &Bounds::unbounded(1), &NelderMeadOptions::default()).unwrap();
+        let report = nelder_mead(
+            &obj,
+            &[0.0],
+            &Bounds::unbounded(1),
+            &NelderMeadOptions::default(),
+        )
+        .unwrap();
         assert!((report.params[0] - 1.0).abs() < 1e-4);
     }
 
     #[test]
     fn validates_arguments() {
         let obj = |x: &[f64]| x[0];
-        assert!(nelder_mead(&obj, &[], &Bounds::unbounded(0), &NelderMeadOptions::default()).is_err());
-        assert!(nelder_mead(&obj, &[1.0], &Bounds::unbounded(2), &NelderMeadOptions::default()).is_err());
+        assert!(nelder_mead(
+            &obj,
+            &[],
+            &Bounds::unbounded(0),
+            &NelderMeadOptions::default()
+        )
+        .is_err());
+        assert!(nelder_mead(
+            &obj,
+            &[1.0],
+            &Bounds::unbounded(2),
+            &NelderMeadOptions::default()
+        )
+        .is_err());
     }
 }

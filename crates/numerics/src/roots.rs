@@ -146,7 +146,13 @@ pub fn brent<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, cfg: RootConfig) -> Result
 ///
 /// Used for one-dimensional policy tuning (e.g. the best single checkpoint interval when a
 /// uniform schedule is forced) and for sanity-checking the DP optimizer.
-pub fn golden_section_min<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64, max_iter: usize) -> Result<f64> {
+pub fn golden_section_min<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
     if !(a < b) {
         return Err(NumericsError::invalid("golden_section_min requires a < b"));
     }
@@ -185,7 +191,12 @@ pub fn golden_section_min<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64, max
 ///
 /// `f` is evaluated at geometrically spaced points to the right of `a`; useful when the
 /// caller only knows a lower bound of the root (e.g. the crossover job length).
-pub fn bracket_root<F: Fn(f64) -> f64>(f: F, a: f64, initial_step: f64, max_expansions: usize) -> Result<(f64, f64)> {
+pub fn bracket_root<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    initial_step: f64,
+    max_expansions: usize,
+) -> Result<(f64, f64)> {
     if initial_step <= 0.0 {
         return Err(NumericsError::invalid("initial_step must be positive"));
     }
@@ -227,7 +238,10 @@ mod tests {
     #[test]
     fn bisect_endpoint_roots() {
         assert_eq!(bisect(|x| x, 0.0, 1.0, RootConfig::default()).unwrap(), 0.0);
-        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, RootConfig::default()).unwrap(), 1.0);
+        assert_eq!(
+            bisect(|x| x - 1.0, 0.0, 1.0, RootConfig::default()).unwrap(),
+            1.0
+        );
     }
 
     #[test]

@@ -44,7 +44,16 @@ where
         return Ok(hi);
     }
     let g = |t: f64| cdf(t) - u;
-    brent(g, lo, hi, RootConfig { x_tol: 1e-10, f_tol: 1e-12, max_iter: 200 })
+    brent(
+        g,
+        lo,
+        hi,
+        RootConfig {
+            x_tol: 1e-10,
+            f_tol: 1e-12,
+            max_iter: 200,
+        },
+    )
 }
 
 /// A tabulated inverse-CDF sampler: pre-computes the CDF on a grid once and then samples in
@@ -61,7 +70,9 @@ impl TabulatedSampler {
     /// Builds a sampler for a CDF supported on `[lo, hi]` using `points` tabulation points.
     pub fn new<F: Fn(f64) -> f64>(cdf: F, lo: f64, hi: f64, points: usize) -> Result<Self> {
         if points < 8 {
-            return Err(NumericsError::invalid("TabulatedSampler requires at least 8 points"));
+            return Err(NumericsError::invalid(
+                "TabulatedSampler requires at least 8 points",
+            ));
         }
         if !(hi > lo) {
             return Err(NumericsError::invalid("TabulatedSampler requires hi > lo"));
@@ -73,7 +84,9 @@ impl TabulatedSampler {
         let f_lo = us[0];
         let f_hi = *us.last().unwrap();
         if !(f_hi > f_lo) {
-            return Err(NumericsError::invalid("CDF is flat on the requested support"));
+            return Err(NumericsError::invalid(
+                "CDF is flat on the requested support",
+            ));
         }
         for u in us.iter_mut() {
             *u = (*u - f_lo) / (f_hi - f_lo);
@@ -177,8 +190,8 @@ mod tests {
     fn tabulated_sampler_quantiles() {
         let cdf = exp_cdf(2.0);
         let sampler = TabulatedSampler::new(&cdf, 0.0, 20.0, 2048).unwrap();
-        for &u in &[0.1, 0.25, 0.5, 0.75, 0.9] {
-            let exact = -((1.0 - u) as f64).ln() / 2.0;
+        for &u in &[0.1f64, 0.25, 0.5, 0.75, 0.9] {
+            let exact = -(1.0 - u).ln() / 2.0;
             assert!(approx_eq(sampler.quantile(u), exact, 1e-3, 1e-2));
         }
         assert_eq!(sampler.support(), (0.0, 20.0));

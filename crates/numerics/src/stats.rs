@@ -97,7 +97,9 @@ impl Ecdf {
     /// Builds an ECDF from a non-empty sample (any order; values are copied and sorted).
     pub fn new(sample: &[f64]) -> Result<Self> {
         if sample.is_empty() {
-            return Err(NumericsError::invalid("ECDF requires at least one observation"));
+            return Err(NumericsError::invalid(
+                "ECDF requires at least one observation",
+            ));
         }
         if sample.iter().any(|v| !v.is_finite()) {
             return Err(NumericsError::non_finite("ECDF sample"));
@@ -198,7 +200,9 @@ impl Ecdf {
 /// Coefficient of determination R² between observations `y` and model predictions `y_hat`.
 pub fn r_squared(y: &[f64], y_hat: &[f64]) -> Result<f64> {
     if y.len() != y_hat.len() || y.is_empty() {
-        return Err(NumericsError::invalid("r_squared requires equal-length, non-empty inputs"));
+        return Err(NumericsError::invalid(
+            "r_squared requires equal-length, non-empty inputs",
+        ));
     }
     let mean = y.iter().sum::<f64>() / y.len() as f64;
     let ss_tot: f64 = y.iter().map(|v| (v - mean).powi(2)).sum();
@@ -213,7 +217,9 @@ pub fn r_squared(y: &[f64], y_hat: &[f64]) -> Result<f64> {
 /// Root-mean-square error between observations and predictions.
 pub fn rmse(y: &[f64], y_hat: &[f64]) -> Result<f64> {
     if y.len() != y_hat.len() || y.is_empty() {
-        return Err(NumericsError::invalid("rmse requires equal-length, non-empty inputs"));
+        return Err(NumericsError::invalid(
+            "rmse requires equal-length, non-empty inputs",
+        ));
     }
     let ss: f64 = y.iter().zip(y_hat).map(|(v, w)| (v - w).powi(2)).sum();
     Ok((ss / y.len() as f64).sqrt())
@@ -222,7 +228,9 @@ pub fn rmse(y: &[f64], y_hat: &[f64]) -> Result<f64> {
 /// Mean absolute error between observations and predictions.
 pub fn mae(y: &[f64], y_hat: &[f64]) -> Result<f64> {
     if y.len() != y_hat.len() || y.is_empty() {
-        return Err(NumericsError::invalid("mae requires equal-length, non-empty inputs"));
+        return Err(NumericsError::invalid(
+            "mae requires equal-length, non-empty inputs",
+        ));
     }
     Ok(y.iter().zip(y_hat).map(|(v, w)| (v - w).abs()).sum::<f64>() / y.len() as f64)
 }
@@ -244,7 +252,9 @@ impl Histogram {
             return Err(NumericsError::invalid("histogram requires hi > lo"));
         }
         if bins == 0 {
-            return Err(NumericsError::invalid("histogram requires at least one bin"));
+            return Err(NumericsError::invalid(
+                "histogram requires at least one bin",
+            ));
         }
         Ok(Histogram {
             lo,
@@ -293,7 +303,9 @@ impl Histogram {
     /// Bin centers.
     pub fn centers(&self) -> Vec<f64> {
         let w = self.bin_width();
-        (0..self.counts.len()).map(|i| self.lo + (i as f64 + 0.5) * w).collect()
+        (0..self.counts.len())
+            .map(|i| self.lo + (i as f64 + 0.5) * w)
+            .collect()
     }
 
     /// Density estimate (counts normalised so the histogram integrates to one).
@@ -481,7 +493,12 @@ mod tests {
     fn rmse_and_mae() {
         let y = [1.0, 2.0, 3.0];
         let y_hat = [1.0, 2.0, 5.0];
-        assert!(approx_eq(rmse(&y, &y_hat).unwrap(), (4.0f64 / 3.0).sqrt(), 1e-12, 0.0));
+        assert!(approx_eq(
+            rmse(&y, &y_hat).unwrap(),
+            (4.0f64 / 3.0).sqrt(),
+            1e-12,
+            0.0
+        ));
         assert!(approx_eq(mae(&y, &y_hat).unwrap(), 2.0 / 3.0, 1e-12, 0.0));
         assert!(rmse(&y, &[1.0]).is_err());
         assert!(mae(&[], &[]).is_err());
@@ -509,7 +526,9 @@ mod tests {
 
     #[test]
     fn welford_matches_batch() {
-        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 5.0 + 3.0).collect();
+        let data: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 5.0 + 3.0)
+            .collect();
         let mut w = Welford::new();
         for &x in &data {
             w.add(x);

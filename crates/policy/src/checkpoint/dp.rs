@@ -62,7 +62,9 @@ impl CheckpointConfig {
             return Err(NumericsError::invalid("step size must be positive"));
         }
         if !(self.restart_overhead_hours >= 0.0) || !self.restart_overhead_hours.is_finite() {
-            return Err(NumericsError::invalid("restart overhead must be non-negative"));
+            return Err(NumericsError::invalid(
+                "restart overhead must be non-negative",
+            ));
         }
         Ok(())
     }
@@ -111,11 +113,16 @@ pub struct DpCheckpointPolicy {
     cache: std::sync::Mutex<Option<SolvedTables>>,
 }
 
+/// DP value table `V[j][age-index]`, shared between clones of the policy.
+type ValueTable = std::sync::Arc<Vec<Vec<f64>>>;
+/// DP argmin table (steps to run before the next checkpoint), aligned with [`ValueTable`].
+type ChoiceTable = std::sync::Arc<Vec<Vec<usize>>>;
+
 #[derive(Debug, Clone)]
 struct SolvedTables {
     job_steps: usize,
-    value: std::sync::Arc<Vec<Vec<f64>>>,
-    choice: std::sync::Arc<Vec<Vec<usize>>>,
+    value: ValueTable,
+    choice: ChoiceTable,
 }
 
 impl Clone for DpCheckpointPolicy {
@@ -186,7 +193,8 @@ impl DpCheckpointPolicy {
         let u = (t + w).min(horizon);
         let dist = self.model.dist();
         let mut mass = self.model.cdf(u) - self.model.cdf(t);
-        let mut first_moment = dist.partial_expectation(t, u) - t * (dist.cdf(u.min(horizon - 1e-9)) - dist.cdf(t));
+        let mut first_moment =
+            dist.partial_expectation(t, u) - t * (dist.cdf(u.min(horizon - 1e-9)) - dist.cdf(t));
         if t + w >= horizon {
             // window crosses the deadline: include the reclamation atom at the horizon
             let atom = dist.deadline_atom();
@@ -265,7 +273,7 @@ impl DpCheckpointPolicy {
     }
 
     /// Returns cached DP tables covering at least `job_steps` steps, solving if necessary.
-    fn solved(&self, job_steps: usize) -> (std::sync::Arc<Vec<Vec<f64>>>, std::sync::Arc<Vec<Vec<usize>>>) {
+    fn solved(&self, job_steps: usize) -> (ValueTable, ChoiceTable) {
         let mut guard = self.cache.lock().expect("cache lock");
         if let Some(tables) = guard.as_ref() {
             if tables.job_steps >= job_steps {
@@ -306,7 +314,8 @@ impl DpCheckpointPolicy {
             let bin = self.bin_of_age(age);
             let i = choice[j][bin].clamp(1, j);
             intervals.push(i as f64 * step);
-            age = (age + i as f64 * step + self.config.checkpoint_cost_hours).min(self.model.horizon());
+            age = (age + i as f64 * step + self.config.checkpoint_cost_hours)
+                .min(self.model.horizon());
             j -= i;
         }
 
@@ -353,7 +362,10 @@ mod tests {
         let sched = p.schedule(4.0, 0.0).unwrap();
         let total: f64 = sched.intervals_hours.iter().sum();
         assert!((total - sched.job_len).abs() < 1e-9);
-        assert!(sched.checkpoint_count() >= 2, "expected multiple checkpoints, got {sched:?}");
+        assert!(
+            sched.checkpoint_count() >= 2,
+            "expected multiple checkpoints, got {sched:?}"
+        );
         assert!(sched.intervals_hours.iter().all(|&i| i > 0.0));
         assert!(sched.expected_makespan >= sched.job_len);
     }
@@ -377,7 +389,11 @@ mod tests {
         let first = sched.intervals_hours[0];
         let last = *sched.intervals_hours.last().unwrap();
         assert!(sched.checkpoint_count() >= 3, "{sched:?}");
-        assert!(last > first, "expected increasing intervals: {:?}", sched.intervals_hours);
+        assert!(
+            last > first,
+            "expected increasing intervals: {:?}",
+            sched.intervals_hours
+        );
         // first interval should be well under an hour on a fresh VM
         assert!(first <= 0.75, "first interval = {first}");
     }

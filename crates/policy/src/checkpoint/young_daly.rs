@@ -30,19 +30,28 @@ impl YoungDalyPolicy {
         if !(checkpoint_cost_hours > 0.0) || !checkpoint_cost_hours.is_finite() {
             return Err(NumericsError::invalid("checkpoint cost must be positive"));
         }
-        Ok(YoungDalyPolicy { mttf_hours, checkpoint_cost_hours })
+        Ok(YoungDalyPolicy {
+            mttf_hours,
+            checkpoint_cost_hours,
+        })
     }
 
     /// The configuration the paper evaluates: MTTF taken from the *initial* failure rate of
     /// the VM (≈ 1 hour) with 1-minute checkpoints.
     pub fn paper_baseline() -> Self {
-        YoungDalyPolicy { mttf_hours: 1.0, checkpoint_cost_hours: 1.0 / 60.0 }
+        YoungDalyPolicy {
+            mttf_hours: 1.0,
+            checkpoint_cost_hours: 1.0 / 60.0,
+        }
     }
 
     /// Derives the MTTF from a fitted bathtub model's initial failure rate, which is how
     /// the paper parameterises the baseline ("we use the initial failure rate of the VM to
     /// determine the MTTF").
-    pub fn from_initial_failure_rate(model: &BathtubModel, checkpoint_cost_hours: f64) -> Result<Self> {
+    pub fn from_initial_failure_rate(
+        model: &BathtubModel,
+        checkpoint_cost_hours: f64,
+    ) -> Result<Self> {
         // initial rate ≈ hazard averaged over the first hour
         let horizon = model.horizon();
         let window = (1.0f64).min(horizon);
@@ -113,7 +122,11 @@ mod tests {
         // is what drives its ~25 % overhead in Figure 8.
         let p = YoungDalyPolicy::paper_baseline();
         let sched = p.schedule(4.0, 0.0).unwrap();
-        assert!(sched.checkpoint_count() >= 20, "count = {}", sched.checkpoint_count());
+        assert!(
+            sched.checkpoint_count() >= 20,
+            "count = {}",
+            sched.checkpoint_count()
+        );
         let overhead = sched.expected_overhead_fraction();
         assert!(overhead > 0.15, "overhead = {overhead}");
     }
@@ -138,7 +151,11 @@ mod tests {
         let p = YoungDalyPolicy::from_initial_failure_rate(&model, 1.0 / 60.0).unwrap();
         // With A=0.45, τ1=1 the first-hour failure probability is ≈ 0.285, so the inferred
         // MTTF is a few hours at most — far below the true expected lifetime.
-        assert!(p.mttf_hours > 0.5 && p.mttf_hours < 5.0, "mttf = {}", p.mttf_hours);
+        assert!(
+            p.mttf_hours > 0.5 && p.mttf_hours < 5.0,
+            "mttf = {}",
+            p.mttf_hours
+        );
         assert!(p.mttf_hours < model.expected_lifetime());
     }
 

@@ -13,14 +13,19 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`
+// they are false for NaN, which is exactly the validation we want for config values.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod checkpoint;
 pub mod scheduling;
 
 pub use checkpoint::dp::{CheckpointConfig, CheckpointSchedule, DpCheckpointPolicy};
-pub use checkpoint::simulate::{simulate_checkpointed_job, CheckpointExecutionStats, CheckpointPlanner};
+pub use checkpoint::simulate::{
+    simulate_checkpointed_job, CheckpointExecutionStats, CheckpointPlanner,
+};
 pub use checkpoint::young_daly::YoungDalyPolicy;
 pub use scheduling::{
-    average_failure_probability, job_failure_probability, MemorylessScheduler, ModelDrivenScheduler,
-    SchedulerPolicy, SchedulingDecision,
+    average_failure_probability, job_failure_probability, MemorylessScheduler,
+    ModelDrivenScheduler, SchedulerPolicy, SchedulingDecision,
 };

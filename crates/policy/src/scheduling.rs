@@ -184,10 +184,16 @@ mod tests {
         let sched = ModelDrivenScheduler::new(model());
         // For a 6-hour job the paper expects the switch to fresh VMs around 24 − 6 = 18 h.
         let threshold = sched.reuse_threshold_age(6.0);
-        assert!(threshold > 14.0 && threshold < 20.5, "threshold = {threshold}");
+        assert!(
+            threshold > 14.0 && threshold < 20.5,
+            "threshold = {threshold}"
+        );
         // Longer jobs must switch earlier.
         let t_long = sched.reuse_threshold_age(10.0);
-        assert!(t_long < threshold, "t_long = {t_long}, threshold = {threshold}");
+        assert!(
+            t_long < threshold,
+            "t_long = {t_long}, threshold = {threshold}"
+        );
     }
 
     #[test]
@@ -201,7 +207,10 @@ mod tests {
         let job = 6.0;
 
         let fresh_failure = truth.conditional_failure_probability(0.0, job);
-        assert!(fresh_failure > 0.3 && fresh_failure < 0.6, "fresh = {fresh_failure}");
+        assert!(
+            fresh_failure > 0.3 && fresh_failure < 0.6,
+            "fresh = {fresh_failure}"
+        );
 
         // late start: memoryless fails with certainty, ours falls back to the fresh VM rate
         let late_memoryless = job_failure_probability(&memoryless, &truth, 20.0, job);
@@ -225,8 +234,12 @@ mod tests {
         let memoryless = MemorylessScheduler;
         for job_len in [4.0, 6.0, 8.0, 10.0] {
             let p_ours = average_failure_probability(&ours, &truth, job_len, 96).unwrap();
-            let p_memoryless = average_failure_probability(&memoryless, &truth, job_len, 96).unwrap();
-            assert!(p_ours < p_memoryless, "job {job_len}: ours {p_ours} vs memoryless {p_memoryless}");
+            let p_memoryless =
+                average_failure_probability(&memoryless, &truth, job_len, 96).unwrap();
+            assert!(
+                p_ours < p_memoryless,
+                "job {job_len}: ours {p_ours} vs memoryless {p_memoryless}"
+            );
             assert!(
                 p_ours < 0.75 * p_memoryless,
                 "job {job_len}: expected a substantial reduction, got {p_ours} vs {p_memoryless}"
@@ -247,9 +260,13 @@ mod tests {
         for job_len in [6.0, 8.0] {
             let p_best = average_failure_probability(&best, &truth, job_len, 96).unwrap();
             let p_misfit = average_failure_probability(&misfit, &truth, job_len, 96).unwrap();
-            let p_memoryless = average_failure_probability(&memoryless, &truth, job_len, 96).unwrap();
+            let p_memoryless =
+                average_failure_probability(&memoryless, &truth, job_len, 96).unwrap();
             // suboptimal model stays close to the best-fit model ...
-            assert!((p_misfit - p_best).abs() < 0.05, "job {job_len}: best {p_best} misfit {p_misfit}");
+            assert!(
+                (p_misfit - p_best).abs() < 0.05,
+                "job {job_len}: best {p_best} misfit {p_misfit}"
+            );
             // ... and still beats memoryless clearly
             assert!(
                 p_misfit < p_memoryless - 0.05,

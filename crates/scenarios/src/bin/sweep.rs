@@ -1,0 +1,127 @@
+//! `sweep` — run a declarative scenario sweep from the command line.
+//!
+//! ```text
+//! sweep <spec.toml|spec.json> [--threads N] [--out-dir DIR] [--dry-run] [--quiet]
+//! ```
+//!
+//! Loads the spec, expands the grid, runs every `scenario × trial` in parallel, prints a
+//! human-readable summary, and writes `<name>.json` and `<name>.csv` reports into the
+//! output directory.  Results are bit-identical for every `--threads` value.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tcp_scenarios::{expand, run_sweep_on_grid, SweepSpec};
+
+const USAGE: &str = "usage: sweep <spec.toml|spec.json> [options]
+
+options:
+  --threads N    worker threads (default 0 = all CPUs)
+  --out-dir DIR  directory for the JSON/CSV reports (default sweep-results)
+  --dry-run      expand and list the scenario grid without running it
+  --quiet        suppress the per-regime summary tables
+  --help         show this message";
+
+struct Args {
+    spec_path: PathBuf,
+    threads: usize,
+    out_dir: PathBuf,
+    dry_run: bool,
+    quiet: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut threads = 0usize;
+    let mut out_dir = PathBuf::from("sweep-results");
+    let mut dry_run = false;
+    let mut quiet = false;
+
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                threads = v
+                    .parse()
+                    .map_err(|_| format!("invalid --threads value `{v}`"))?;
+            }
+            "--out-dir" => {
+                out_dir = PathBuf::from(it.next().ok_or("--out-dir needs a value")?);
+            }
+            "--dry-run" => dry_run = true,
+            "--quiet" => quiet = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n\n{USAGE}"))
+            }
+            other => {
+                if spec_path.is_some() {
+                    return Err(format!("unexpected extra argument `{other}`\n\n{USAGE}"));
+                }
+                spec_path = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let spec_path = spec_path.ok_or_else(|| format!("missing spec file\n\n{USAGE}"))?;
+    Ok(Args {
+        spec_path,
+        threads,
+        out_dir,
+        dry_run,
+        quiet,
+    })
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let spec = SweepSpec::from_path(&args.spec_path).map_err(|e| e.to_string())?;
+    let grid = expand(&spec).map_err(|e| e.to_string())?;
+
+    println!(
+        "sweep `{}`: {} scenarios ({} varying axes), {} trials each",
+        spec.sweep.name,
+        grid.len(),
+        grid.varying_axes(),
+        spec.trials()
+    );
+    if args.dry_run {
+        for s in &grid.scenarios {
+            println!("  [{:>4}] {}", s.meta.id, s.meta.label);
+        }
+        return Ok(());
+    }
+
+    let report = run_sweep_on_grid(&spec, &grid, args.threads).map_err(|e| e.to_string())?;
+
+    if !args.quiet {
+        print!("{}", report.render_text());
+    }
+
+    std::fs::create_dir_all(&args.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", args.out_dir.display()))?;
+    let json_path = args.out_dir.join(format!("{}.json", spec.sweep.name));
+    let csv_path = args.out_dir.join(format!("{}.csv", spec.sweep.name));
+    std::fs::write(&json_path, report.to_json().map_err(|e| e.to_string())?)
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    std::fs::write(&csv_path, report.to_csv())
+        .map_err(|e| format!("cannot write {}: {e}", csv_path.display()))?;
+    println!("\nwrote {} and {}", json_path.display(), csv_path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

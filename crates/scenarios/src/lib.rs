@@ -1,0 +1,40 @@
+//! `tcp-scenarios` — the declarative scenario-sweep engine.
+//!
+//! Turns the single-run batch simulator into a batch experiment platform, in three
+//! layers:
+//!
+//! * [`spec`] — declarative TOML/JSON sweep specifications: preemption regimes
+//!   (catalog/bathtub/exponential/weibull/phased/trace-backed, with pricing and
+//!   provisioning knobs), workload mixes (applications, bag sizes, checkpoint costs),
+//!   cluster shapes, and policy choices;
+//! * [`grid`] — cross-product expansion of the per-axis value lists into concrete
+//!   [`ServiceConfig`](tcp_batch::ServiceConfig)s, with a stable documented ordering;
+//! * [`runner`] — the parallel sweep runner: `scenario × trial` tasks work-stolen across
+//!   threads, one deterministic RNG stream per task, aggregated by [`report`] into a
+//!   [`SweepReport`](report::SweepReport) with Welford summaries, policy-vs-policy
+//!   deltas, and a best-policy-per-regime table.
+//!
+//! The `sweep` binary wraps it all into a CLI:
+//!
+//! ```text
+//! cargo run --release -p tcp-scenarios --bin sweep -- examples/scenarios/paper_figures.toml
+//! ```
+//!
+//! Every sweep is bit-deterministic: the same spec and base seed produce byte-identical
+//! JSON/CSV reports for any `--threads` value.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`
+// they are false for NaN, which is exactly the validation we want for config values.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod grid;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use grid::{cross_product, expand, ExpandedGrid, Scenario, ScenarioMeta};
+pub use report::{RankedPolicy, RegimeRanking, ScenarioMetrics, ScenarioResult, SweepReport};
+pub use runner::{run_sweep, run_sweep_on_grid, trial_seed};
+pub use spec::{Regime, RegimeSpec, SweepSpec};

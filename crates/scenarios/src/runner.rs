@@ -1,0 +1,251 @@
+//! The parallel sweep runner.
+//!
+//! Takes an expanded grid and fans `scenario × trial` tasks out over the cloudsim
+//! work-stealing driver ([`tcp_cloudsim::run_tasks`]).  The flattened task space means
+//! small grids with many trials and large grids with few trials both saturate the worker
+//! pool — no per-scenario barrier ever serialises the sweep.
+//!
+//! Determinism: every task's provider RNG stream is derived from
+//! `(base_seed, scenario id, trial)` with a SplitMix64 mixer, job bags are derived only
+//! from the workload axes (so competing policies face byte-identical bags), and trial
+//! results are reduced sequentially in task order — the resulting [`SweepReport`] is
+//! bit-identical for every `--threads` value.
+
+use crate::grid::{expand, ExpandedGrid, Scenario};
+use crate::report::{ScenarioMetrics, ScenarioResult, SweepReport};
+use crate::spec::{Regime, RegimeSpec, SweepSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tcp_batch::{BatchService, RunReport};
+use tcp_cloudsim::run_tasks;
+use tcp_core::{fit_bathtub_model, BathtubModel};
+use tcp_numerics::{NumericsError, Result};
+use tcp_workloads::profiles::profile_by_name;
+use tcp_workloads::BagOfJobs;
+
+/// Default number of lifetimes sampled when fitting a per-regime model.
+pub const DEFAULT_FIT_SAMPLES: usize = 600;
+
+/// SplitMix64 finalizer: decorrelates structured seed inputs into full 64-bit streams.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic provider seed for one `(base_seed, scenario, trial)` cell.
+pub fn trial_seed(base_seed: u64, scenario_id: usize, trial: usize) -> u64 {
+    mix(base_seed ^ mix((scenario_id as u64) << 20 | trial as u64))
+}
+
+/// The deterministic bag seed for one workload point: shared by every scenario with the
+/// same application and bag size so policies compete on identical work.
+pub fn bag_seed(base_seed: u64, application: &str, jobs: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ base_seed;
+    for b in application.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    mix(h ^ (jobs as u64))
+}
+
+/// Builds the policy model for one regime according to the sweep's `model` setting.
+fn build_model(spec: &SweepSpec, regime: &RegimeSpec, regime_index: usize) -> Result<BathtubModel> {
+    match spec.sweep.model.as_deref() {
+        None | Some("paper-representative") => Ok(BathtubModel::paper_representative()),
+        Some("fitted") => {
+            let samples = spec.sweep.fit_samples.unwrap_or(DEFAULT_FIT_SAMPLES);
+            if samples < 50 {
+                return Err(NumericsError::invalid(
+                    "sweep.fit_samples must be at least 50",
+                ));
+            }
+            let truth = regime.representative_distribution()?;
+            let mut rng =
+                StdRng::seed_from_u64(mix(spec.base_seed() ^ 0xF17 ^ regime_index as u64));
+            let lifetimes = truth.sample_n(&mut rng, samples);
+            Ok(fit_bathtub_model(&lifetimes, 24.0)?.model)
+        }
+        Some(other) => Err(NumericsError::invalid(format!(
+            "unknown sweep.model `{other}`"
+        ))),
+    }
+}
+
+/// Everything one scenario needs at run time.
+struct PreparedScenario {
+    scenario: Scenario,
+    service: BatchService,
+    regime: Regime,
+    bag: BagOfJobs,
+}
+
+fn prepare(spec: &SweepSpec, grid: &ExpandedGrid) -> Result<Vec<PreparedScenario>> {
+    // Regimes and models are built once per regime, not once per scenario.
+    let mut regimes = Vec::with_capacity(grid.regimes.len());
+    for (i, regime_spec) in grid.regimes.iter().enumerate() {
+        regimes.push(Regime {
+            name: regime_spec.name.clone(),
+            template: regime_spec.build_template()?,
+            model: build_model(spec, regime_spec, i)?,
+        });
+    }
+
+    let mut prepared = Vec::with_capacity(grid.scenarios.len());
+    for scenario in &grid.scenarios {
+        let regime = regimes[scenario.regime_index].clone();
+        let service = BatchService::new(scenario.config, regime.model).map_err(|e| {
+            NumericsError::invalid(format!("scenario `{}`: {e}", scenario.meta.label))
+        })?;
+        let profile =
+            profile_by_name(&scenario.meta.application).expect("validated during grid expansion");
+        let bag = BagOfJobs::homogeneous(
+            format!("{}-x{}", profile.name, scenario.meta.jobs),
+            profile.name,
+            scenario.meta.jobs,
+            profile.runtime_hours,
+            profile.total_vcpus(),
+            grid.runtime_jitter,
+            bag_seed(
+                spec.base_seed(),
+                &scenario.meta.application,
+                scenario.meta.jobs,
+            ),
+        )?;
+        prepared.push(PreparedScenario {
+            scenario: scenario.clone(),
+            service,
+            regime,
+            bag,
+        });
+    }
+    Ok(prepared)
+}
+
+/// Runs the full sweep described by `spec` on `threads` worker threads (`0` = all CPUs).
+///
+/// Returns a [`SweepReport`] whose contents are bit-identical for every thread count.
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepReport> {
+    let grid = expand(spec)?;
+    run_sweep_on_grid(spec, &grid, threads)
+}
+
+/// Runs a sweep over an already expanded grid (lets callers inspect or subset the grid
+/// before spending compute).
+pub fn run_sweep_on_grid(
+    spec: &SweepSpec,
+    grid: &ExpandedGrid,
+    threads: usize,
+) -> Result<SweepReport> {
+    if grid.is_empty() {
+        return Err(NumericsError::invalid(
+            "the sweep grid is empty (an axis has no values)",
+        ));
+    }
+    let trials = spec.trials();
+    let base_seed = spec.base_seed();
+    let prepared = prepare(spec, grid)?;
+
+    // Flatten scenario × trial into one task space and let workers steal across it.
+    let task_count = prepared.len() * trials;
+    let outcomes: Vec<Result<RunReport>> = run_tasks(task_count, threads, |task| {
+        let scenario_index = task / trials;
+        let trial = task % trials;
+        let p = &prepared[scenario_index];
+        p.service.run_bag_with(
+            &p.bag,
+            &p.regime.template,
+            trial_seed(base_seed, p.scenario.meta.id, trial),
+        )
+    });
+
+    // Sequential, task-ordered reduction: deterministic regardless of thread count.
+    let mut results = Vec::with_capacity(prepared.len());
+    for (scenario_index, p) in prepared.iter().enumerate() {
+        let mut reports = Vec::with_capacity(trials);
+        for trial in 0..trials {
+            match &outcomes[scenario_index * trials + trial] {
+                Ok(report) => reports.push(*report),
+                Err(e) => {
+                    return Err(NumericsError::invalid(format!(
+                        "scenario `{}` trial {trial}: {e}",
+                        p.scenario.meta.label
+                    )))
+                }
+            }
+        }
+        results.push(ScenarioResult {
+            scenario: p.scenario.meta.clone(),
+            trials,
+            metrics: ScenarioMetrics::from_reports(&reports),
+        });
+    }
+
+    Ok(SweepReport::new(spec, grid, results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(extra: &str) -> SweepSpec {
+        SweepSpec::from_toml(&format!(
+            r#"
+[sweep]
+name = "tiny"
+trials = 2
+base_seed = 11
+
+[workload]
+application = ["shapes"]
+jobs = [6]
+
+[cluster]
+size = [4]
+{extra}
+"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn seeds_are_decorrelated_and_deterministic() {
+        assert_eq!(trial_seed(1, 2, 3), trial_seed(1, 2, 3));
+        assert_ne!(trial_seed(1, 2, 3), trial_seed(1, 2, 4));
+        assert_ne!(trial_seed(1, 2, 3), trial_seed(1, 3, 3));
+        assert_ne!(trial_seed(1, 2, 3), trial_seed(2, 2, 3));
+        assert_eq!(bag_seed(7, "shapes", 10), bag_seed(7, "shapes", 10));
+        assert_ne!(bag_seed(7, "shapes", 10), bag_seed(7, "lulesh", 10));
+        assert_ne!(bag_seed(7, "shapes", 10), bag_seed(7, "shapes", 11));
+    }
+
+    #[test]
+    fn sweep_runs_and_aggregates() {
+        let report = run_sweep(&tiny_spec(""), 2).unwrap();
+        assert_eq!(report.scenarios.len(), 1);
+        let s = &report.scenarios[0];
+        assert_eq!(s.trials, 2);
+        assert!(s.metrics.total_cost.mean > 0.0);
+        assert!(s.metrics.makespan_hours.mean > 0.0);
+        assert!(s.metrics.utilisation.mean > 0.0);
+    }
+
+    #[test]
+    fn policies_share_identical_bags() {
+        let spec = tiny_spec("\n[policy]\nscheduling = [\"model-driven\", \"memoryless\"]\n");
+        let grid = expand(&spec).unwrap();
+        let prepared = prepare(&spec, &grid).unwrap();
+        assert_eq!(prepared.len(), 2);
+        assert_eq!(prepared[0].bag, prepared[1].bag);
+    }
+
+    #[test]
+    fn fitted_model_mode_runs() {
+        let mut spec = tiny_spec("");
+        spec.sweep.model = Some("fitted".to_string());
+        spec.sweep.fit_samples = Some(300);
+        let report = run_sweep(&spec, 0).unwrap();
+        assert_eq!(report.scenarios.len(), 1);
+    }
+}

@@ -50,7 +50,12 @@ impl ConfigKey {
             for zone in Zone::all() {
                 for time_of_day in TimeOfDay::all() {
                     for workload in WorkloadKind::all() {
-                        out.push(ConfigKey { vm_type, zone, time_of_day, workload });
+                        out.push(ConfigKey {
+                            vm_type,
+                            zone,
+                            time_of_day,
+                            workload,
+                        });
                     }
                 }
             }
@@ -69,7 +74,9 @@ impl TraceCatalog {
     /// Creates the default catalog, calibrated so that the Figure 1 configuration
     /// (`n1-highcpu-16`, `us-east1-b`) reproduces the paper's qualitative CDF.
     pub fn new() -> Self {
-        TraceCatalog { base: PhasedHazardParams::representative() }
+        TraceCatalog {
+            base: PhasedHazardParams::representative(),
+        }
     }
 
     /// Creates a catalog from a custom base process (used in tests and ablations).
@@ -173,7 +180,12 @@ mod tests {
         let catalog = TraceCatalog::new();
         let mk = |vm_type| {
             catalog
-                .ground_truth(&ConfigKey { vm_type, zone: Zone::UsCentral1C, time_of_day: TimeOfDay::Day, workload: WorkloadKind::NonIdle })
+                .ground_truth(&ConfigKey {
+                    vm_type,
+                    zone: Zone::UsCentral1C,
+                    time_of_day: TimeOfDay::Day,
+                    workload: WorkloadKind::NonIdle,
+                })
                 .unwrap()
         };
         let small = mk(VmType::N1HighCpu2);
@@ -191,10 +203,16 @@ mod tests {
         let catalog = TraceCatalog::new();
         let day_busy = catalog.ground_truth(&ConfigKey::figure1()).unwrap();
         let night_busy = catalog
-            .ground_truth(&ConfigKey { time_of_day: TimeOfDay::Night, ..ConfigKey::figure1() })
+            .ground_truth(&ConfigKey {
+                time_of_day: TimeOfDay::Night,
+                ..ConfigKey::figure1()
+            })
             .unwrap();
         let day_idle = catalog
-            .ground_truth(&ConfigKey { workload: WorkloadKind::Idle, ..ConfigKey::figure1() })
+            .ground_truth(&ConfigKey {
+                workload: WorkloadKind::Idle,
+                ..ConfigKey::figure1()
+            })
             .unwrap();
         assert!(night_busy.mean() > day_busy.mean());
         assert!(day_idle.mean() > day_busy.mean());
@@ -209,14 +227,20 @@ mod tests {
         let catalog = TraceCatalog::new();
         let mk = |zone| {
             catalog
-                .ground_truth(&ConfigKey { zone, ..ConfigKey::figure1() })
+                .ground_truth(&ConfigKey {
+                    zone,
+                    ..ConfigKey::figure1()
+                })
                 .unwrap()
         };
         let means: Vec<f64> = Zone::all().iter().map(|&z| mk(z).mean()).collect();
         let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = means.iter().cloned().fold(0.0f64, f64::max);
         assert!(hi > lo, "zones should differ");
-        assert!(hi / lo < 1.5, "zone spread should be moderate, got {lo}..{hi}");
+        assert!(
+            hi / lo < 1.5,
+            "zone spread should be moderate, got {lo}..{hi}"
+        );
     }
 
     #[test]

@@ -14,7 +14,8 @@ use std::path::Path;
 use tcp_numerics::{NumericsError, Result};
 
 /// Header row written and expected by the CSV routines.
-pub const CSV_HEADER: &str = "vm_type,zone,time_of_day,workload,lifetime_hours,preempted_before_deadline";
+pub const CSV_HEADER: &str =
+    "vm_type,zone,time_of_day,workload,lifetime_hours,preempted_before_deadline";
 
 /// Serialises records to a CSV string (with header).
 pub fn records_to_csv_string(records: &[PreemptionRecord]) -> String {
@@ -24,7 +25,12 @@ pub fn records_to_csv_string(records: &[PreemptionRecord]) -> String {
     for r in records {
         out.push_str(&format!(
             "{},{},{},{},{:.6},{}\n",
-            r.vm_type, r.zone, r.time_of_day, r.workload, r.lifetime_hours, r.preempted_before_deadline
+            r.vm_type,
+            r.zone,
+            r.time_of_day,
+            r.workload,
+            r.lifetime_hours,
+            r.preempted_before_deadline
         ));
     }
     out
@@ -54,10 +60,18 @@ pub fn records_from_csv_str(text: &str) -> Result<Vec<PreemptionRecord>> {
         let parse_err = |what: &str, detail: String| {
             NumericsError::invalid(format!("line {}: bad {what}: {detail}", line_no + 2))
         };
-        let vm_type = fields[0].parse().map_err(|e: String| parse_err("vm_type", e))?;
-        let zone = fields[1].parse().map_err(|e: String| parse_err("zone", e))?;
-        let time_of_day = fields[2].parse().map_err(|e: String| parse_err("time_of_day", e))?;
-        let workload = fields[3].parse().map_err(|e: String| parse_err("workload", e))?;
+        let vm_type = fields[0]
+            .parse()
+            .map_err(|e: String| parse_err("vm_type", e))?;
+        let zone = fields[1]
+            .parse()
+            .map_err(|e: String| parse_err("zone", e))?;
+        let time_of_day = fields[2]
+            .parse()
+            .map_err(|e: String| parse_err("time_of_day", e))?;
+        let workload = fields[3]
+            .parse()
+            .map_err(|e: String| parse_err("workload", e))?;
         let lifetime: f64 = fields[4]
             .trim()
             .parse()
@@ -66,10 +80,13 @@ pub fn records_from_csv_str(text: &str) -> Result<Vec<PreemptionRecord>> {
             .map_err(|e| parse_err("record", e))?;
         // `preempted_before_deadline` is derived from the lifetime; the stored flag is
         // validated for consistency rather than trusted.
-        let stored_flag: bool = fields[5]
-            .trim()
-            .parse()
-            .map_err(|e: std::str::ParseBoolError| parse_err("preempted_before_deadline", e.to_string()))?;
+        let stored_flag: bool =
+            fields[5]
+                .trim()
+                .parse()
+                .map_err(|e: std::str::ParseBoolError| {
+                    parse_err("preempted_before_deadline", e.to_string())
+                })?;
         if stored_flag != record.preempted_before_deadline {
             return Err(parse_err(
                 "preempted_before_deadline",
@@ -103,14 +120,28 @@ pub fn load_records_csv(path: &Path) -> Result<Vec<PreemptionRecord>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::ConfigKey;
     use crate::generator::TraceGenerator;
     use crate::record::{TimeOfDay, VmType, WorkloadKind, Zone};
-    use crate::catalog::ConfigKey;
 
     fn sample_records() -> Vec<PreemptionRecord> {
         vec![
-            PreemptionRecord::new(VmType::N1HighCpu16, Zone::UsEast1B, TimeOfDay::Day, WorkloadKind::NonIdle, 3.25).unwrap(),
-            PreemptionRecord::new(VmType::N1HighCpu2, Zone::UsWest1A, TimeOfDay::Night, WorkloadKind::Idle, 24.0).unwrap(),
+            PreemptionRecord::new(
+                VmType::N1HighCpu16,
+                Zone::UsEast1B,
+                TimeOfDay::Day,
+                WorkloadKind::NonIdle,
+                3.25,
+            )
+            .unwrap(),
+            PreemptionRecord::new(
+                VmType::N1HighCpu2,
+                Zone::UsWest1A,
+                TimeOfDay::Night,
+                WorkloadKind::Idle,
+                24.0,
+            )
+            .unwrap(),
         ]
     }
 
@@ -155,13 +186,15 @@ mod tests {
         let bad_type = format!("{CSV_HEADER}\nn9-mega-64,us-east1-b,day,non-idle,3.2,true\n");
         assert!(records_from_csv_str(&bad_type).is_err());
 
-        let bad_lifetime = format!("{CSV_HEADER}\nn1-highcpu-16,us-east1-b,day,non-idle,notanumber,true\n");
+        let bad_lifetime =
+            format!("{CSV_HEADER}\nn1-highcpu-16,us-east1-b,day,non-idle,notanumber,true\n");
         assert!(records_from_csv_str(&bad_lifetime).is_err());
 
         let too_long = format!("{CSV_HEADER}\nn1-highcpu-16,us-east1-b,day,non-idle,31.0,true\n");
         assert!(records_from_csv_str(&too_long).is_err());
 
-        let inconsistent_flag = format!("{CSV_HEADER}\nn1-highcpu-16,us-east1-b,day,non-idle,3.0,false\n");
+        let inconsistent_flag =
+            format!("{CSV_HEADER}\nn1-highcpu-16,us-east1-b,day,non-idle,3.0,false\n");
         assert!(records_from_csv_str(&inconsistent_flag).is_err());
     }
 

@@ -23,12 +23,18 @@ pub struct TraceGenerator {
 impl TraceGenerator {
     /// Creates a generator with the default catalog and the given RNG seed.
     pub fn new(seed: u64) -> Self {
-        TraceGenerator { catalog: TraceCatalog::new(), rng: StdRng::seed_from_u64(seed) }
+        TraceGenerator {
+            catalog: TraceCatalog::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Creates a generator over a custom catalog.
     pub fn with_catalog(catalog: TraceCatalog, seed: u64) -> Self {
-        TraceGenerator { catalog, rng: StdRng::seed_from_u64(seed) }
+        TraceGenerator {
+            catalog,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The catalog backing this generator.
@@ -46,8 +52,14 @@ impl TraceGenerator {
         for _ in 0..count {
             let lifetime = truth.sample(&mut self.rng).clamp(0.0, 24.0);
             out.push(
-                PreemptionRecord::new(key.vm_type, key.zone, key.time_of_day, key.workload, lifetime)
-                    .map_err(NumericsError::invalid)?,
+                PreemptionRecord::new(
+                    key.vm_type,
+                    key.zone,
+                    key.time_of_day,
+                    key.workload,
+                    lifetime,
+                )
+                .map_err(NumericsError::invalid)?,
             );
         }
         Ok(out)
@@ -56,7 +68,11 @@ impl TraceGenerator {
     /// Generates a full study resembling the paper's: `total` VMs (default 870) spread over
     /// all configuration cells, with the Figure 1 cell over-sampled so it has at least
     /// `figure1_minimum` observations.
-    pub fn generate_study(&mut self, total: usize, figure1_minimum: usize) -> Result<Vec<PreemptionRecord>> {
+    pub fn generate_study(
+        &mut self,
+        total: usize,
+        figure1_minimum: usize,
+    ) -> Result<Vec<PreemptionRecord>> {
         if total < figure1_minimum || figure1_minimum == 0 {
             return Err(NumericsError::invalid(
                 "total must be at least figure1_minimum and both must be positive",
@@ -82,31 +98,59 @@ impl TraceGenerator {
     }
 
     /// Generates records for a sweep over VM types in a fixed zone (Figure 2a layout).
-    pub fn generate_vm_type_sweep(&mut self, zone: Zone, per_type: usize) -> Result<Vec<PreemptionRecord>> {
+    pub fn generate_vm_type_sweep(
+        &mut self,
+        zone: Zone,
+        per_type: usize,
+    ) -> Result<Vec<PreemptionRecord>> {
         let mut out = Vec::new();
         for vm_type in VmType::all() {
-            let key = ConfigKey { vm_type, zone, time_of_day: TimeOfDay::Day, workload: WorkloadKind::NonIdle };
+            let key = ConfigKey {
+                vm_type,
+                zone,
+                time_of_day: TimeOfDay::Day,
+                workload: WorkloadKind::NonIdle,
+            };
             out.extend(self.generate_for(key, per_type)?);
         }
         Ok(out)
     }
 
     /// Generates records for a sweep over zones for a fixed VM type (Figure 2c layout).
-    pub fn generate_zone_sweep(&mut self, vm_type: VmType, per_zone: usize) -> Result<Vec<PreemptionRecord>> {
+    pub fn generate_zone_sweep(
+        &mut self,
+        vm_type: VmType,
+        per_zone: usize,
+    ) -> Result<Vec<PreemptionRecord>> {
         let mut out = Vec::new();
         for zone in Zone::all() {
-            let key = ConfigKey { vm_type, zone, time_of_day: TimeOfDay::Day, workload: WorkloadKind::NonIdle };
+            let key = ConfigKey {
+                vm_type,
+                zone,
+                time_of_day: TimeOfDay::Day,
+                workload: WorkloadKind::NonIdle,
+            };
             out.extend(self.generate_for(key, per_zone)?);
         }
         Ok(out)
     }
 
     /// Generates records for the day/night × idle/non-idle sweep (Figure 2b layout).
-    pub fn generate_diurnal_sweep(&mut self, vm_type: VmType, zone: Zone, per_cell: usize) -> Result<Vec<PreemptionRecord>> {
+    pub fn generate_diurnal_sweep(
+        &mut self,
+        vm_type: VmType,
+        zone: Zone,
+        per_cell: usize,
+    ) -> Result<Vec<PreemptionRecord>> {
         let mut out = Vec::new();
         for time_of_day in TimeOfDay::all() {
             for workload in WorkloadKind::all() {
-                let key = ConfigKey { vm_type, zone, time_of_day, workload };
+                let key = ConfigKey {
+                    vm_type,
+                    zone,
+                    time_of_day,
+                    workload,
+                };
                 out.extend(self.generate_for(key, per_cell)?);
             }
         }
@@ -123,7 +167,9 @@ mod tests {
         let mut gen = TraceGenerator::new(1);
         let recs = gen.generate_for(ConfigKey::figure1(), 200).unwrap();
         assert_eq!(recs.len(), 200);
-        assert!(recs.iter().all(|r| (0.0..=24.0).contains(&r.lifetime_hours)));
+        assert!(recs
+            .iter()
+            .all(|r| (0.0..=24.0).contains(&r.lifetime_hours)));
         assert!(recs.iter().all(|r| r.vm_type == VmType::N1HighCpu16));
         assert!(gen.generate_for(ConfigKey::figure1(), 0).is_err());
     }
@@ -139,7 +185,10 @@ mod tests {
         }
         let mut c = TraceGenerator::new(8);
         let rc = c.generate_for(ConfigKey::figure1(), 50).unwrap();
-        assert!(ra.iter().zip(&rc).any(|(x, y)| x.lifetime_hours != y.lifetime_hours));
+        assert!(ra
+            .iter()
+            .zip(&rc)
+            .any(|(x, y)| x.lifetime_hours != y.lifetime_hours));
     }
 
     #[test]
@@ -159,7 +208,10 @@ mod tests {
         assert!(fig1 >= 120, "figure-1 cell has {fig1} records");
         // every VM type appears
         for vm_type in VmType::all() {
-            assert!(recs.iter().any(|r| r.vm_type == vm_type), "{vm_type} missing");
+            assert!(
+                recs.iter().any(|r| r.vm_type == vm_type),
+                "{vm_type} missing"
+            );
         }
     }
 
@@ -176,7 +228,11 @@ mod tests {
         let mut gen = TraceGenerator::new(42);
         let recs = gen.generate_vm_type_sweep(Zone::UsCentral1C, 400).unwrap();
         let mean_of = |vm: VmType| {
-            let v: Vec<f64> = recs.iter().filter(|r| r.vm_type == vm).map(|r| r.lifetime_hours).collect();
+            let v: Vec<f64> = recs
+                .iter()
+                .filter(|r| r.vm_type == vm)
+                .map(|r| r.lifetime_hours)
+                .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         let small = mean_of(VmType::N1HighCpu2);
@@ -187,11 +243,15 @@ mod tests {
     #[test]
     fn diurnal_sweep_covers_all_cells() {
         let mut gen = TraceGenerator::new(5);
-        let recs = gen.generate_diurnal_sweep(VmType::N1HighCpu16, Zone::UsEast1B, 30).unwrap();
+        let recs = gen
+            .generate_diurnal_sweep(VmType::N1HighCpu16, Zone::UsEast1B, 30)
+            .unwrap();
         assert_eq!(recs.len(), 4 * 30);
         for tod in TimeOfDay::all() {
             for wk in WorkloadKind::all() {
-                assert!(recs.iter().any(|r| r.time_of_day == tod && r.workload == wk));
+                assert!(recs
+                    .iter()
+                    .any(|r| r.time_of_day == tod && r.workload == wk));
             }
         }
     }

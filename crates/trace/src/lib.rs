@@ -24,6 +24,9 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`
+// they are false for NaN, which is exactly the validation we want for config values.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod catalog;
 pub mod csv;
@@ -32,7 +35,7 @@ pub mod record;
 pub mod stats;
 
 pub use catalog::{ConfigKey, TraceCatalog};
-pub use csv::{load_records_csv, save_records_csv, records_from_csv_str, records_to_csv_string};
+pub use csv::{load_records_csv, records_from_csv_str, records_to_csv_string, save_records_csv};
 pub use generator::TraceGenerator;
 pub use record::{PreemptionRecord, TimeOfDay, VmType, WorkloadKind, Zone};
 pub use stats::{group_lifetimes, DatasetSummary};

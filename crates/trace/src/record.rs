@@ -100,7 +100,12 @@ pub enum Zone {
 impl Zone {
     /// All zones used in the study.
     pub fn all() -> [Zone; 4] {
-        [Zone::UsCentral1C, Zone::UsCentral1F, Zone::UsWest1A, Zone::UsEast1B]
+        [
+            Zone::UsCentral1C,
+            Zone::UsCentral1F,
+            Zone::UsWest1A,
+            Zone::UsEast1B,
+        ]
     }
 
     /// The GCP zone name.
@@ -243,10 +248,14 @@ impl PreemptionRecord {
         lifetime_hours: f64,
     ) -> Result<Self, String> {
         if !lifetime_hours.is_finite() || lifetime_hours < 0.0 {
-            return Err(format!("lifetime must be finite and non-negative, got {lifetime_hours}"));
+            return Err(format!(
+                "lifetime must be finite and non-negative, got {lifetime_hours}"
+            ));
         }
         if lifetime_hours > 24.0 + 1e-9 {
-            return Err(format!("lifetime {lifetime_hours} exceeds the 24 h constraint"));
+            return Err(format!(
+                "lifetime {lifetime_hours} exceeds the 24 h constraint"
+            ));
         }
         Ok(PreemptionRecord {
             vm_type,
@@ -269,7 +278,10 @@ mod tests {
         assert_eq!(VmType::N1HighCpu16.vcpus(), 16);
         assert!((VmType::N1HighCpu8.memory_gb() - 7.2).abs() < 1e-12);
         assert_eq!(VmType::N1HighCpu32.to_string(), "n1-highcpu-32");
-        assert_eq!("n1-highcpu-4".parse::<VmType>().unwrap(), VmType::N1HighCpu4);
+        assert_eq!(
+            "n1-highcpu-4".parse::<VmType>().unwrap(),
+            VmType::N1HighCpu4
+        );
         assert!("n2-standard-4".parse::<VmType>().is_err());
     }
 
@@ -295,8 +307,14 @@ mod tests {
     #[test]
     fn workload_kind_parsing() {
         assert_eq!("idle".parse::<WorkloadKind>().unwrap(), WorkloadKind::Idle);
-        assert_eq!("non-idle".parse::<WorkloadKind>().unwrap(), WorkloadKind::NonIdle);
-        assert_eq!("busy".parse::<WorkloadKind>().unwrap(), WorkloadKind::NonIdle);
+        assert_eq!(
+            "non-idle".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::NonIdle
+        );
+        assert_eq!(
+            "busy".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::NonIdle
+        );
         assert!("sleeping".parse::<WorkloadKind>().is_err());
     }
 

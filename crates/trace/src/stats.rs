@@ -36,7 +36,9 @@ pub fn group_label(record: &PreemptionRecord, by: GroupBy) -> String {
 pub fn group_lifetimes(records: &[PreemptionRecord], by: GroupBy) -> BTreeMap<String, Vec<f64>> {
     let mut map: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for r in records {
-        map.entry(group_label(r, by)).or_default().push(r.lifetime_hours);
+        map.entry(group_label(r, by))
+            .or_default()
+            .push(r.lifetime_hours);
     }
     for v in map.values_mut() {
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -68,10 +70,10 @@ pub fn lifetimes_matching(
 ) -> Vec<f64> {
     records
         .iter()
-        .filter(|r| vm_type.map_or(true, |v| r.vm_type == v))
-        .filter(|r| zone.map_or(true, |z| r.zone == z))
-        .filter(|r| time_of_day.map_or(true, |t| r.time_of_day == t))
-        .filter(|r| workload.map_or(true, |w| r.workload == w))
+        .filter(|r| vm_type.is_none_or(|v| r.vm_type == v))
+        .filter(|r| zone.is_none_or(|z| r.zone == z))
+        .filter(|r| time_of_day.is_none_or(|t| r.time_of_day == t))
+        .filter(|r| workload.is_none_or(|w| r.workload == w))
         .map(|r| r.lifetime_hours)
         .collect()
 }
@@ -99,7 +101,10 @@ impl DatasetSummary {
         }
         let lifetimes: Vec<f64> = records.iter().map(|r| r.lifetime_hours).collect();
         let lifetime = summarize(&lifetimes)?;
-        let preempted = records.iter().filter(|r| r.preempted_before_deadline).count();
+        let preempted = records
+            .iter()
+            .filter(|r| r.preempted_before_deadline)
+            .count();
         let early = records.iter().filter(|r| r.lifetime_hours <= 3.0).count();
         let mut by_type: BTreeMap<String, (f64, usize)> = BTreeMap::new();
         for r in records {
@@ -138,7 +143,12 @@ mod tests {
     #[test]
     fn grouping_covers_all_records() {
         let records = study();
-        for by in [GroupBy::VmType, GroupBy::Zone, GroupBy::TimeOfDay, GroupBy::Workload] {
+        for by in [
+            GroupBy::VmType,
+            GroupBy::Zone,
+            GroupBy::TimeOfDay,
+            GroupBy::Workload,
+        ] {
             let groups = group_lifetimes(&records, by);
             let total: usize = groups.values().map(|v| v.len()).sum();
             assert_eq!(total, records.len());
@@ -155,7 +165,12 @@ mod tests {
         let filtered = lifetimes_for_config(&records, &key);
         let manual = records
             .iter()
-            .filter(|r| r.vm_type == key.vm_type && r.zone == key.zone && r.time_of_day == key.time_of_day && r.workload == key.workload)
+            .filter(|r| {
+                r.vm_type == key.vm_type
+                    && r.zone == key.zone
+                    && r.time_of_day == key.time_of_day
+                    && r.workload == key.workload
+            })
             .count();
         assert_eq!(filtered.len(), manual);
         assert!(filtered.len() >= 100);

@@ -64,9 +64,14 @@ impl BagOfJobs {
     /// Creates a bag from explicit jobs.
     pub fn new(name: impl Into<String>, jobs: Vec<JobSpec>) -> Result<Self> {
         if jobs.is_empty() {
-            return Err(NumericsError::invalid("a bag must contain at least one job"));
+            return Err(NumericsError::invalid(
+                "a bag must contain at least one job",
+            ));
         }
-        Ok(BagOfJobs { name: name.into(), jobs })
+        Ok(BagOfJobs {
+            name: name.into(),
+            jobs,
+        })
     }
 
     /// Generates a homogeneous bag: `count` jobs of the same application whose running
@@ -82,10 +87,14 @@ impl BagOfJobs {
         seed: u64,
     ) -> Result<Self> {
         if count == 0 {
-            return Err(NumericsError::invalid("a bag must contain at least one job"));
+            return Err(NumericsError::invalid(
+                "a bag must contain at least one job",
+            ));
         }
         if !(0.0..0.5).contains(&runtime_jitter_fraction) {
-            return Err(NumericsError::invalid("jitter fraction must lie in [0, 0.5)"));
+            return Err(NumericsError::invalid(
+                "jitter fraction must lie in [0, 0.5)",
+            ));
         }
         let application = application.into();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -159,7 +168,8 @@ mod tests {
 
     #[test]
     fn homogeneous_bag_has_little_runtime_variation() {
-        let bag = BagOfJobs::homogeneous("nano-sweep", "nanoconfinement", 100, 0.25, 64, 0.05, 7).unwrap();
+        let bag = BagOfJobs::homogeneous("nano-sweep", "nanoconfinement", 100, 0.25, 64, 0.05, 7)
+            .unwrap();
         assert_eq!(bag.len(), 100);
         let mean = bag.mean_runtime_hours();
         assert!((mean - 0.25).abs() < 0.02);
@@ -168,7 +178,8 @@ mod tests {
             assert_eq!(j.application, "nanoconfinement");
         }
         // deterministic given the seed
-        let again = BagOfJobs::homogeneous("nano-sweep", "nanoconfinement", 100, 0.25, 64, 0.05, 7).unwrap();
+        let again = BagOfJobs::homogeneous("nano-sweep", "nanoconfinement", 100, 0.25, 64, 0.05, 7)
+            .unwrap();
         assert_eq!(bag, again);
     }
 
@@ -177,6 +188,9 @@ mod tests {
         assert!(BagOfJobs::homogeneous("x", "a", 0, 1.0, 1, 0.0, 1).is_err());
         assert!(BagOfJobs::homogeneous("x", "a", 10, 1.0, 1, 0.9, 1).is_err());
         let no_jitter = BagOfJobs::homogeneous("x", "a", 5, 1.0, 1, 0.0, 1).unwrap();
-        assert!(no_jitter.jobs.iter().all(|j| j.estimated_runtime_hours == 1.0));
+        assert!(no_jitter
+            .jobs
+            .iter()
+            .all(|j| j.estimated_runtime_hours == 1.0));
     }
 }

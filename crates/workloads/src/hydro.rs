@@ -25,7 +25,12 @@ pub struct HydroParams {
 
 impl Default for HydroParams {
     fn default() -> Self {
-        HydroParams { zones: 200, gamma: 1.4, cfl: 0.5, total_steps: 3000 }
+        HydroParams {
+            zones: 200,
+            gamma: 1.4,
+            cfl: 0.5,
+            total_steps: 3000,
+        }
     }
 }
 
@@ -70,13 +75,25 @@ impl HydroJob {
         for i in 0..n {
             let center = (x[i] + x[i + 1]) * 0.5;
             // Sod initial conditions: (ρ, p) = (1, 1) on the left, (0.125, 0.1) on the right
-            let (density, pressure) = if center < 0.5 { (1.0, 1.0) } else { (0.125, 0.1) };
+            let (density, pressure) = if center < 0.5 {
+                (1.0, 1.0)
+            } else {
+                (0.125, 0.1)
+            };
             let dx = x[i + 1] - x[i];
             rho.push(density);
             e.push(pressure / ((params.gamma - 1.0) * density));
             mass.push(density * dx);
         }
-        Ok(HydroJob { params, completed: 0, x, u, rho, e, mass })
+        Ok(HydroJob {
+            params,
+            completed: 0,
+            x,
+            u,
+            rho,
+            e,
+            mass,
+        })
     }
 
     /// The job parameters.
@@ -102,7 +119,8 @@ impl HydroJob {
         let mut dt: f64 = 1e-3;
         for i in 0..self.params.zones {
             let dx = self.x[i + 1] - self.x[i];
-            let cs = (self.params.gamma * self.pressure(i).max(1e-12) / self.rho[i].max(1e-12)).sqrt();
+            let cs =
+                (self.params.gamma * self.pressure(i).max(1e-12) / self.rho[i].max(1e-12)).sqrt();
             dt = dt.min(self.params.cfl * dx / cs.max(1e-9));
         }
         dt.max(1e-8)
@@ -130,7 +148,10 @@ impl CheckpointableJob for HydroJob {
     }
 
     fn progress(&self) -> JobProgress {
-        JobProgress { completed_steps: self.completed, total_steps: self.params.total_steps }
+        JobProgress {
+            completed_steps: self.completed,
+            total_steps: self.params.total_steps,
+        }
     }
 
     fn run_steps(&mut self, steps: u64) -> u64 {
@@ -141,15 +162,15 @@ impl CheckpointableJob for HydroJob {
             let dt = self.stable_dt();
             // nodal accelerations from pressure + viscosity gradients
             let mut accel = vec![0.0; n + 1];
-            for i in 1..n {
+            for (i, a) in accel.iter_mut().enumerate().take(n).skip(1) {
                 let p_left = self.pressure(i - 1) + self.viscosity(i - 1);
                 let p_right = self.pressure(i) + self.viscosity(i);
                 let nodal_mass = 0.5 * (self.mass[i - 1] + self.mass[i]);
-                accel[i] = (p_left - p_right) / nodal_mass.max(1e-12);
+                *a = (p_left - p_right) / nodal_mass.max(1e-12);
             }
             // reflective boundaries: end nodes stay fixed
-            for i in 0..=n {
-                self.u[i] += dt * accel[i];
+            for (u, a) in self.u.iter_mut().zip(&accel) {
+                *u += dt * a;
             }
             self.u[0] = 0.0;
             self.u[n] = 0.0;
@@ -186,7 +207,9 @@ impl CheckpointableJob for HydroJob {
         let expected = (n + 1) * 2 + n * 3;
         let (completed, total, state) = decode_state(checkpoint, expected)?;
         if total != self.params.total_steps {
-            return Err(NumericsError::invalid("checkpoint is for a different job configuration"));
+            return Err(NumericsError::invalid(
+                "checkpoint is for a different job configuration",
+            ));
         }
         self.completed = completed;
         let mut offset = 0;
@@ -212,14 +235,31 @@ mod tests {
     use super::*;
 
     fn job() -> HydroJob {
-        HydroJob::new(HydroParams { zones: 100, total_steps: 400, ..HydroParams::default() }).unwrap()
+        HydroJob::new(HydroParams {
+            zones: 100,
+            total_steps: 400,
+            ..HydroParams::default()
+        })
+        .unwrap()
     }
 
     #[test]
     fn construction_validation() {
-        assert!(HydroJob::new(HydroParams { zones: 4, ..HydroParams::default() }).is_err());
-        assert!(HydroJob::new(HydroParams { gamma: 1.0, ..HydroParams::default() }).is_err());
-        assert!(HydroJob::new(HydroParams { cfl: 1.5, ..HydroParams::default() }).is_err());
+        assert!(HydroJob::new(HydroParams {
+            zones: 4,
+            ..HydroParams::default()
+        })
+        .is_err());
+        assert!(HydroJob::new(HydroParams {
+            gamma: 1.0,
+            ..HydroParams::default()
+        })
+        .is_err());
+        assert!(HydroJob::new(HydroParams {
+            cfl: 1.5,
+            ..HydroParams::default()
+        })
+        .is_err());
     }
 
     #[test]
@@ -232,7 +272,10 @@ mod tests {
         assert!(j.e.iter().all(|&e| e.is_finite() && e > 0.0));
         // the discontinuity has smeared: some zone now has intermediate density
         let intermediate = j.rho.iter().any(|&r| r > 0.2 && r < 0.9);
-        assert!(intermediate, "expected an intermediate-density region after the shock");
+        assert!(
+            intermediate,
+            "expected an intermediate-density region after the shock"
+        );
     }
 
     #[test]
@@ -242,7 +285,10 @@ mod tests {
         j.run_steps(400);
         let after = j.total_energy();
         // Lagrangian scheme with fixed walls: total energy drifts by at most a few percent
-        assert!((after - before).abs() / before < 0.05, "energy drift: {before} -> {after}");
+        assert!(
+            (after - before).abs() / before < 0.05,
+            "energy drift: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -265,9 +311,19 @@ mod tests {
     fn restore_rejects_other_configuration() {
         let j = job();
         let ckpt = j.checkpoint();
-        let mut other = HydroJob::new(HydroParams { zones: 100, total_steps: 99, ..HydroParams::default() }).unwrap();
+        let mut other = HydroJob::new(HydroParams {
+            zones: 100,
+            total_steps: 99,
+            ..HydroParams::default()
+        })
+        .unwrap();
         assert!(other.restore(&ckpt).is_err());
-        let mut different_size = HydroJob::new(HydroParams { zones: 50, total_steps: 400, ..HydroParams::default() }).unwrap();
+        let mut different_size = HydroJob::new(HydroParams {
+            zones: 50,
+            total_steps: 400,
+            ..HydroParams::default()
+        })
+        .unwrap();
         assert!(different_size.restore(&ckpt).is_err());
     }
 

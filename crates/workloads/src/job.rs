@@ -102,12 +102,21 @@ mod tests {
 
     #[test]
     fn progress_fraction_and_completion() {
-        let p = JobProgress { completed_steps: 25, total_steps: 100 };
+        let p = JobProgress {
+            completed_steps: 25,
+            total_steps: 100,
+        };
         assert!((p.fraction() - 0.25).abs() < 1e-12);
         assert!(!p.is_complete());
-        let done = JobProgress { completed_steps: 100, total_steps: 100 };
+        let done = JobProgress {
+            completed_steps: 100,
+            total_steps: 100,
+        };
         assert!(done.is_complete());
-        let empty = JobProgress { completed_steps: 0, total_steps: 0 };
+        let empty = JobProgress {
+            completed_steps: 0,
+            total_steps: 0,
+        };
         assert_eq!(empty.fraction(), 1.0);
     }
 

@@ -31,7 +31,13 @@ pub struct MdParams {
 
 impl Default for MdParams {
     fn default() -> Self {
-        MdParams { particles: 64, box_size: 8.0, confinement_gap: 4.0, dt: 2e-3, total_steps: 2000 }
+        MdParams {
+            particles: 64,
+            box_size: 8.0,
+            confinement_gap: 4.0,
+            dt: 2e-3,
+            total_steps: 2000,
+        }
     }
 }
 
@@ -73,8 +79,9 @@ impl NanoconfinementJob {
                     positions.push((iy as f64 + 0.5) * spacing + rng.gen_range(-jitter..jitter));
                     let z_spacing = params.confinement_gap / per_side as f64;
                     positions.push(
-                        ((iz as f64 + 0.5) * z_spacing + rng.gen_range(-0.1 * z_spacing..0.1 * z_spacing))
-                            .clamp(0.1, params.confinement_gap - 0.1),
+                        ((iz as f64 + 0.5) * z_spacing
+                            + rng.gen_range(-0.1 * z_spacing..0.1 * z_spacing))
+                        .clamp(0.1, params.confinement_gap - 0.1),
                     );
                     for _ in 0..3 {
                         velocities.push(rng.gen_range(-0.5..0.5));
@@ -83,7 +90,12 @@ impl NanoconfinementJob {
                 }
             }
         }
-        Ok(NanoconfinementJob { params, completed: 0, positions, velocities })
+        Ok(NanoconfinementJob {
+            params,
+            completed: 0,
+            positions,
+            velocities,
+        })
     }
 
     /// The simulation parameters.
@@ -144,7 +156,10 @@ impl CheckpointableJob for NanoconfinementJob {
     }
 
     fn progress(&self) -> JobProgress {
-        JobProgress { completed_steps: self.completed, total_steps: self.params.total_steps }
+        JobProgress {
+            completed_steps: self.completed,
+            total_steps: self.params.total_steps,
+        }
     }
 
     fn run_steps(&mut self, steps: u64) -> u64 {
@@ -157,9 +172,14 @@ impl CheckpointableJob for NanoconfinementJob {
         let mut forces = self.forces();
         for _ in 0..to_run {
             // velocity Verlet
-            for i in 0..3 * n {
-                self.velocities[i] += 0.5 * dt * forces[i];
-                self.positions[i] += dt * self.velocities[i];
+            for ((v, p), f) in self
+                .velocities
+                .iter_mut()
+                .zip(self.positions.iter_mut())
+                .zip(&forces)
+            {
+                *v += 0.5 * dt * f;
+                *p += dt * *v;
             }
             // boundary conditions: periodic in x/y, reflective walls in z
             for i in 0..n {
@@ -178,8 +198,8 @@ impl CheckpointableJob for NanoconfinementJob {
                 self.positions[3 * i + 2] = self.positions[3 * i + 2].clamp(1e-3, gap - 1e-3);
             }
             forces = self.forces();
-            for i in 0..3 * n {
-                self.velocities[i] += 0.5 * dt * forces[i];
+            for (v, f) in self.velocities.iter_mut().zip(&forces) {
+                *v += 0.5 * dt * f;
             }
             self.completed += 1;
         }
@@ -197,7 +217,9 @@ impl CheckpointableJob for NanoconfinementJob {
         let expected = self.positions.len() + self.velocities.len();
         let (completed, total, state) = decode_state(checkpoint, expected)?;
         if total != self.params.total_steps {
-            return Err(NumericsError::invalid("checkpoint is for a different job configuration"));
+            return Err(NumericsError::invalid(
+                "checkpoint is for a different job configuration",
+            ));
         }
         self.completed = completed;
         let n3 = self.positions.len();
@@ -217,14 +239,43 @@ mod tests {
     use super::*;
 
     fn small_job(seed: u64) -> NanoconfinementJob {
-        NanoconfinementJob::new(MdParams { particles: 27, total_steps: 200, ..MdParams::default() }, seed).unwrap()
+        NanoconfinementJob::new(
+            MdParams {
+                particles: 27,
+                total_steps: 200,
+                ..MdParams::default()
+            },
+            seed,
+        )
+        .unwrap()
     }
 
     #[test]
     fn construction_validation() {
-        assert!(NanoconfinementJob::new(MdParams { particles: 0, ..MdParams::default() }, 1).is_err());
-        assert!(NanoconfinementJob::new(MdParams { dt: 0.0, ..MdParams::default() }, 1).is_err());
-        assert!(NanoconfinementJob::new(MdParams { box_size: 0.5, ..MdParams::default() }, 1).is_err());
+        assert!(NanoconfinementJob::new(
+            MdParams {
+                particles: 0,
+                ..MdParams::default()
+            },
+            1
+        )
+        .is_err());
+        assert!(NanoconfinementJob::new(
+            MdParams {
+                dt: 0.0,
+                ..MdParams::default()
+            },
+            1
+        )
+        .is_err());
+        assert!(NanoconfinementJob::new(
+            MdParams {
+                box_size: 0.5,
+                ..MdParams::default()
+            },
+            1
+        )
+        .is_err());
     }
 
     #[test]
@@ -236,7 +287,10 @@ mod tests {
         let gap = job.params().confinement_gap;
         for i in 0..job.params().particles {
             let z = job.positions[3 * i + 2];
-            assert!((0.0..=gap).contains(&z), "particle escaped confinement: z = {z}");
+            assert!(
+                (0.0..=gap).contains(&z),
+                "particle escaped confinement: z = {z}"
+            );
         }
         // energies stay finite (the integrator did not blow up)
         assert!(job.kinetic_energy().is_finite());
@@ -276,9 +330,25 @@ mod tests {
     fn restore_rejects_mismatched_checkpoint() {
         let job = small_job(1);
         let ckpt = job.checkpoint();
-        let mut other = NanoconfinementJob::new(MdParams { particles: 27, total_steps: 999, ..MdParams::default() }, 1).unwrap();
+        let mut other = NanoconfinementJob::new(
+            MdParams {
+                particles: 27,
+                total_steps: 999,
+                ..MdParams::default()
+            },
+            1,
+        )
+        .unwrap();
         assert!(other.restore(&ckpt).is_err());
-        let mut smaller = NanoconfinementJob::new(MdParams { particles: 8, total_steps: 200, ..MdParams::default() }, 1).unwrap();
+        let mut smaller = NanoconfinementJob::new(
+            MdParams {
+                particles: 8,
+                total_steps: 200,
+                ..MdParams::default()
+            },
+            1,
+        )
+        .unwrap();
         assert!(smaller.restore(&ckpt).is_err());
     }
 

@@ -68,7 +68,9 @@ pub static PAPER_APPLICATIONS: [ApplicationProfile; 3] = [
 
 /// Looks up a paper application profile by name.
 pub fn profile_by_name(name: &str) -> Option<&'static ApplicationProfile> {
-    PAPER_APPLICATIONS.iter().find(|p| p.name.eq_ignore_ascii_case(name))
+    PAPER_APPLICATIONS
+        .iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -58,11 +58,18 @@ impl ShapesJob {
             return Err(NumericsError::invalid("need at least 8 control points"));
         }
         if !(params.learning_rate > 0.0) || !(params.surface_tension > 0.0) {
-            return Err(NumericsError::invalid("learning rate and surface tension must be positive"));
+            return Err(NumericsError::invalid(
+                "learning rate and surface tension must be positive",
+            ));
         }
         let radii = vec![1.0; params.control_points];
         let target_volume = Self::volume_of(&radii);
-        Ok(ShapesJob { params, completed: 0, radii, target_volume })
+        Ok(ShapesJob {
+            params,
+            completed: 0,
+            radii,
+            target_volume,
+        })
     }
 
     /// The job parameters.
@@ -114,17 +121,17 @@ impl ShapesJob {
         let vol = Self::volume_of(&self.radii);
         let vol_err = vol - self.target_volume;
         let mut grad = vec![0.0; n];
-        for i in 0..n {
+        for (i, g) in grad.iter_mut().enumerate() {
             let prev = self.radii[(i + n - 1) % n];
             let next = self.radii[(i + 1) % n];
             // surface
-            grad[i] += self.params.surface_tension * 2.0 * (2.0 * self.radii[i] - prev - next) / dtheta;
+            *g += self.params.surface_tension * 2.0 * (2.0 * self.radii[i] - prev - next) / dtheta;
             // electrostatic
-            grad[i] += -self.params.charge * self.params.charge / n as f64;
+            *g += -self.params.charge * self.params.charge / n as f64;
             // volume penalty: dV/dr_i = 2π r_i² sinθ_i Δθ
             let theta = (i as f64 + 0.5) * dtheta;
             let dv = 2.0 * std::f64::consts::PI * self.radii[i].powi(2) * theta.sin() * dtheta;
-            grad[i] += 2.0 * self.params.volume_penalty * vol_err * dv;
+            *g += 2.0 * self.params.volume_penalty * vol_err * dv;
         }
         grad
     }
@@ -136,7 +143,10 @@ impl CheckpointableJob for ShapesJob {
     }
 
     fn progress(&self) -> JobProgress {
-        JobProgress { completed_steps: self.completed, total_steps: self.params.total_steps }
+        JobProgress {
+            completed_steps: self.completed,
+            total_steps: self.params.total_steps,
+        }
     }
 
     fn run_steps(&mut self, steps: u64) -> u64 {
@@ -162,7 +172,9 @@ impl CheckpointableJob for ShapesJob {
     fn restore(&mut self, checkpoint: &Bytes) -> Result<()> {
         let (completed, total, state) = decode_state(checkpoint, self.radii.len() + 1)?;
         if total != self.params.total_steps {
-            return Err(NumericsError::invalid("checkpoint is for a different job configuration"));
+            return Err(NumericsError::invalid(
+                "checkpoint is for a different job configuration",
+            ));
         }
         self.completed = completed;
         self.target_volume = *state.last().unwrap();
@@ -180,14 +192,30 @@ mod tests {
     use super::*;
 
     fn job() -> ShapesJob {
-        ShapesJob::new(ShapesParams { total_steps: 500, ..ShapesParams::default() }).unwrap()
+        ShapesJob::new(ShapesParams {
+            total_steps: 500,
+            ..ShapesParams::default()
+        })
+        .unwrap()
     }
 
     #[test]
     fn construction_validation() {
-        assert!(ShapesJob::new(ShapesParams { control_points: 4, ..ShapesParams::default() }).is_err());
-        assert!(ShapesJob::new(ShapesParams { learning_rate: 0.0, ..ShapesParams::default() }).is_err());
-        assert!(ShapesJob::new(ShapesParams { surface_tension: -1.0, ..ShapesParams::default() }).is_err());
+        assert!(ShapesJob::new(ShapesParams {
+            control_points: 4,
+            ..ShapesParams::default()
+        })
+        .is_err());
+        assert!(ShapesJob::new(ShapesParams {
+            learning_rate: 0.0,
+            ..ShapesParams::default()
+        })
+        .is_err());
+        assert!(ShapesJob::new(ShapesParams {
+            surface_tension: -1.0,
+            ..ShapesParams::default()
+        })
+        .is_err());
     }
 
     #[test]
@@ -196,7 +224,10 @@ mod tests {
         let initial = j.energy();
         j.run_steps(500);
         let final_energy = j.energy();
-        assert!(final_energy < initial, "energy should decrease: {initial} -> {final_energy}");
+        assert!(
+            final_energy < initial,
+            "energy should decrease: {initial} -> {final_energy}"
+        );
         assert!(j.progress().is_complete());
         assert!(j.radii.iter().all(|r| r.is_finite() && *r > 0.0));
     }
@@ -220,7 +251,11 @@ mod tests {
     fn restore_rejects_other_configuration() {
         let j = job();
         let ckpt = j.checkpoint();
-        let mut other = ShapesJob::new(ShapesParams { total_steps: 99, ..ShapesParams::default() }).unwrap();
+        let mut other = ShapesJob::new(ShapesParams {
+            total_steps: 99,
+            ..ShapesParams::default()
+        })
+        .unwrap();
         assert!(other.restore(&ckpt).is_err());
     }
 

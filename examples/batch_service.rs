@@ -13,13 +13,20 @@ fn main() {
     let cluster_size = 16;
     let jobs_per_bag = 100;
 
-    println!("cost per job, preemptible (our service) vs on-demand, {jobs_per_bag} jobs per bag:\n");
-    println!("  application        ours       on-demand   savings   preemptions   runtime increase");
+    println!(
+        "cost per job, preemptible (our service) vs on-demand, {jobs_per_bag} jobs per bag:\n"
+    );
+    println!(
+        "  application        ours       on-demand   savings   preemptions   runtime increase"
+    );
     for (i, profile) in PAPER_APPLICATIONS.iter().enumerate() {
         let bag = profile.bag(jobs_per_bag, 40 + i as u64).expect("bag");
 
         let ours = BatchService::new(
-            ServiceConfig { cluster_size, ..ServiceConfig::paper_cost_experiment(10 + i as u64) },
+            ServiceConfig {
+                cluster_size,
+                ..ServiceConfig::paper_cost_experiment(10 + i as u64)
+            },
             model,
         )
         .expect("service")
@@ -27,7 +34,10 @@ fn main() {
         .expect("run");
 
         let on_demand = BatchService::new(
-            ServiceConfig { cluster_size, ..ServiceConfig::on_demand_comparator(10 + i as u64) },
+            ServiceConfig {
+                cluster_size,
+                ..ServiceConfig::on_demand_comparator(10 + i as u64)
+            },
             model,
         )
         .expect("service")

@@ -20,15 +20,24 @@ fn main() {
     let comparison = fit_model_comparison(&lifetimes, 24.0).expect("model fitting");
     println!("\nFigure 1 goodness of fit (higher R² is better):");
     for family in &comparison.families {
-        println!("  {:<22} R² = {:.4}   RMSE = {:.4}", family.label, family.r_squared, family.rmse);
+        println!(
+            "  {:<22} R² = {:.4}   RMSE = {:.4}",
+            family.label, family.r_squared, family.rmse
+        );
     }
 
     // 3. Inspect the fitted bathtub model.
     let model: BathtubModel = comparison.bathtub.model;
     let p = model.params();
     println!("\nfitted constrained-bathtub parameters (Equation 1):");
-    println!("  A = {:.3}, tau1 = {:.3} h, tau2 = {:.3} h, b = {:.2} h", p.a, p.tau1, p.tau2, p.b);
-    println!("  expected VM lifetime: {:.2} h (vs 24 h maximum)", model.expected_lifetime());
+    println!(
+        "  A = {:.3}, tau1 = {:.3} h, tau2 = {:.3} h, b = {:.2} h",
+        p.a, p.tau1, p.tau2, p.b
+    );
+    println!(
+        "  expected VM lifetime: {:.2} h (vs 24 h maximum)",
+        model.expected_lifetime()
+    );
     let (early_end, deadline_start) = model.phase_boundaries();
     println!("  phases: early failures until ~{early_end:.1} h, deadline spike from ~{deadline_start:.1} h");
 }

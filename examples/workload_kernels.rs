@@ -7,7 +7,9 @@
 use constrained_preemption::workloads::hydro::HydroParams;
 use constrained_preemption::workloads::md::MdParams;
 use constrained_preemption::workloads::shapes::ShapesParams;
-use constrained_preemption::workloads::{CheckpointableJob, HydroJob, NanoconfinementJob, ShapesJob};
+use constrained_preemption::workloads::{
+    CheckpointableJob, HydroJob, NanoconfinementJob, ShapesJob,
+};
 
 fn exercise(name: &str, job: &mut dyn CheckpointableJob, halfway: u64) {
     job.run_steps(halfway);
@@ -31,13 +33,29 @@ fn exercise(name: &str, job: &mut dyn CheckpointableJob, halfway: u64) {
 fn main() {
     println!("running the three scientific kernels with a mid-run checkpoint:\n");
 
-    let mut md = NanoconfinementJob::new(MdParams { particles: 64, total_steps: 400, ..MdParams::default() }, 1)
-        .expect("md job");
+    let mut md = NanoconfinementJob::new(
+        MdParams {
+            particles: 64,
+            total_steps: 400,
+            ..MdParams::default()
+        },
+        1,
+    )
+    .expect("md job");
     exercise("nanoconfinement", &mut md, 200);
 
-    let mut shapes = ShapesJob::new(ShapesParams { total_steps: 1000, ..ShapesParams::default() }).expect("shapes job");
+    let mut shapes = ShapesJob::new(ShapesParams {
+        total_steps: 1000,
+        ..ShapesParams::default()
+    })
+    .expect("shapes job");
     exercise("shapes", &mut shapes, 500);
 
-    let mut hydro = HydroJob::new(HydroParams { zones: 200, total_steps: 800, ..HydroParams::default() }).expect("hydro job");
+    let mut hydro = HydroJob::new(HydroParams {
+        zones: 200,
+        total_steps: 800,
+        ..HydroParams::default()
+    })
+    .expect("hydro job");
     exercise("lulesh-proxy", &mut hydro, 400);
 }

@@ -4,11 +4,13 @@
 use constrained_preemption::batch::{BatchService, ServiceConfig};
 use constrained_preemption::model::analysis::running_time_analysis;
 use constrained_preemption::model::{fit_model_comparison, ModelRegistry};
+use constrained_preemption::policy::checkpoint::simulate::{
+    simulate_checkpointed_job, SimulationOptions,
+};
 use constrained_preemption::policy::{
     average_failure_probability, CheckpointConfig, DpCheckpointPolicy, MemorylessScheduler,
     ModelDrivenScheduler, YoungDalyPolicy,
 };
-use constrained_preemption::policy::checkpoint::simulate::{simulate_checkpointed_job, SimulationOptions};
 use constrained_preemption::trace::{ConfigKey, TraceGenerator};
 use constrained_preemption::workloads::profiles::PAPER_APPLICATIONS;
 use rand::rngs::StdRng;
@@ -18,7 +20,9 @@ fn fitted_model() -> constrained_preemption::model::BathtubModel {
     let mut generator = TraceGenerator::new(77);
     let records = generator.generate_for(ConfigKey::figure1(), 600).unwrap();
     let lifetimes: Vec<f64> = records.iter().map(|r| r.lifetime_hours).collect();
-    constrained_preemption::model::fit_bathtub_model(&lifetimes, 24.0).unwrap().model
+    constrained_preemption::model::fit_bathtub_model(&lifetimes, 24.0)
+        .unwrap()
+        .model
 }
 
 #[test]
@@ -40,7 +44,10 @@ fn registry_built_from_full_study_serves_policies() {
     let model = registry.lookup(&ConfigKey::figure1());
     // the fitted model's expected lifetime should be well inside the 24 h constraint
     let lifetime = model.expected_lifetime();
-    assert!(lifetime > 4.0 && lifetime < 20.0, "expected lifetime = {lifetime}");
+    assert!(
+        lifetime > 4.0 && lifetime < 20.0,
+        "expected lifetime = {lifetime}"
+    );
 }
 
 #[test]
@@ -48,7 +55,10 @@ fn figure4_crossover_and_benefit_from_fitted_model() {
     let model = fitted_model();
     let analysis = running_time_analysis(model.dist(), 24.0, 96).unwrap();
     let crossover = analysis.crossover_job_len.expect("crossover exists");
-    assert!(crossover > 1.0 && crossover < 12.0, "crossover at {crossover} h");
+    assert!(
+        crossover > 1.0 && crossover < 12.0,
+        "crossover at {crossover} h"
+    );
     assert!(analysis.max_uniform_to_bathtub_ratio > 2.0);
 }
 
@@ -59,7 +69,10 @@ fn figure6_scheduling_policy_roughly_halves_failures() {
     let memoryless = MemorylessScheduler;
     let p_ours = average_failure_probability(&ours, &model, 6.0, 96).unwrap();
     let p_memoryless = average_failure_probability(&memoryless, &model, 6.0, 96).unwrap();
-    assert!(p_ours < 0.8 * p_memoryless, "ours {p_ours} vs memoryless {p_memoryless}");
+    assert!(
+        p_ours < 0.8 * p_memoryless,
+        "ours {p_ours} vs memoryless {p_memoryless}"
+    );
 }
 
 #[test]
@@ -67,10 +80,14 @@ fn figure8_checkpointing_policy_beats_young_daly_with_fitted_model() {
     let model = fitted_model();
     let dp = DpCheckpointPolicy::new(model, CheckpointConfig::coarse()).unwrap();
     let yd = YoungDalyPolicy::from_initial_failure_rate(&model, 1.0 / 60.0).unwrap();
-    let options = SimulationOptions { trials: 200, ..SimulationOptions::default() };
+    let options = SimulationOptions {
+        trials: 200,
+        ..SimulationOptions::default()
+    };
     let mut rng = StdRng::seed_from_u64(3);
     let ours = simulate_checkpointed_job(&dp, model.dist(), 4.0, 6.0, &options, &mut rng).unwrap();
-    let baseline = simulate_checkpointed_job(&yd, model.dist(), 4.0, 6.0, &options, &mut rng).unwrap();
+    let baseline =
+        simulate_checkpointed_job(&yd, model.dist(), 4.0, 6.0, &options, &mut rng).unwrap();
     assert!(
         ours.mean_overhead_fraction < baseline.mean_overhead_fraction,
         "ours {} vs young-daly {}",
@@ -85,14 +102,20 @@ fn figure9_service_cost_advantage_with_fitted_model() {
     let profile = &PAPER_APPLICATIONS[0];
     let bag = profile.bag(50, 9).unwrap();
     let ours = BatchService::new(
-        ServiceConfig { cluster_size: 8, ..ServiceConfig::paper_cost_experiment(21) },
+        ServiceConfig {
+            cluster_size: 8,
+            ..ServiceConfig::paper_cost_experiment(21)
+        },
         model,
     )
     .unwrap()
     .run_bag(&bag)
     .unwrap();
     let on_demand = BatchService::new(
-        ServiceConfig { cluster_size: 8, ..ServiceConfig::on_demand_comparator(21) },
+        ServiceConfig {
+            cluster_size: 8,
+            ..ServiceConfig::on_demand_comparator(21)
+        },
         model,
     )
     .unwrap()

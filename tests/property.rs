@@ -1,11 +1,14 @@
 //! Property-based tests of the core invariants, using proptest.
 
 use constrained_preemption::dists::{
-    ConstrainedBathtub, Exponential, GompertzMakeham, LifetimeDistribution, UniformLifetime, Weibull,
+    ConstrainedBathtub, Exponential, GompertzMakeham, LifetimeDistribution, UniformLifetime,
+    Weibull,
 };
 use constrained_preemption::model::analysis::{expected_makespan, expected_wasted_work};
 use constrained_preemption::model::BathtubModel;
-use constrained_preemption::policy::{CheckpointConfig, DpCheckpointPolicy, ModelDrivenScheduler, SchedulerPolicy};
+use constrained_preemption::policy::{
+    CheckpointConfig, DpCheckpointPolicy, ModelDrivenScheduler, SchedulerPolicy,
+};
 use proptest::prelude::*;
 
 fn check_cdf_invariants(dist: &dyn LifetimeDistribution) {

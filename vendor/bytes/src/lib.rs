@@ -1,0 +1,104 @@
+//! Offline vendored stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`]: an immutable, cheaply clonable byte buffer (an `Arc<[u8]>` under
+//! the hood) with the subset of the upstream API the workspace uses — construction from
+//! `Vec<u8>`, `Deref` to `[u8]`, length, and equality.
+
+#![deny(missing_docs)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    /// Creates a buffer by copying `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(data.into_boxed_slice()),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(&b[..2], &[1, 2]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn slicing_via_deref() {
+        let b = Bytes::from((0u8..32).collect::<Vec<_>>());
+        let head: [u8; 8] = b[0..8].try_into().unwrap();
+        assert_eq!(head[7], 7);
+    }
+}

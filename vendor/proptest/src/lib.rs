@@ -1,0 +1,172 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest surface the workspace's property tests use: the
+//! [`proptest!`] macro with `arg in strategy` bindings over range strategies, a case-count
+//! configuration, and `prop_assert!`.  Cases are generated deterministically from a fixed
+//! seed, so failures reproduce; there is no shrinking.
+
+#![deny(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Creates a configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values for one property argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn pick(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn pick(&self, rng: &mut StdRng) -> f64 {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<i64> {
+    type Value = i64;
+    fn pick(&self, rng: &mut StdRng) -> i64 {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+/// Deterministic per-property RNG: every property function gets the same stream given the
+/// same name, so failures reproduce across runs and thread counts.
+pub fn rng_for_property(name: &str) -> StdRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+/// Defines deterministic random-case property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0.0f64..1.0) { prop_assert!(x < 1.0); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::rng_for_property(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::pick(&($strategy), &mut rng);)*
+                    let run = || -> () { $body };
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest case {case} failed with inputs: {}",
+                            [$(format!(concat!(stringify!($arg), " = {:?}"), $arg)),*].join(", ")
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                #[test]
+                fn $name($($arg in $strategy),*) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 0.5f64..2.5, n in 1usize..10) {
+            prop_assert!((0.5..2.5).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn deterministic_streams(_x in 0.0f64..1.0) {
+            // Two fresh streams for the same property name agree.
+            let mut a = super::rng_for_property("p");
+            let mut b = super::rng_for_property("p");
+            prop_assert_eq!(rand::RngCore::next_u64(&mut a), rand::RngCore::next_u64(&mut b));
+        }
+    }
+}

@@ -1,0 +1,621 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate provides the subset of
+//! serde the workspace uses, built around a simple self-describing data model:
+//!
+//! * [`Value`] — the data model (null/bool/int/float/string/sequence/map);
+//! * [`Serialize`] — convert a value into a [`Value`] tree;
+//! * [`Deserialize`] — reconstruct a value from a [`Value`] tree;
+//! * `#[derive(Serialize, Deserialize)]` — re-exported from the vendored `serde_derive`.
+//!
+//! Format crates (`serde_json`, `toml`) parse text into a [`Value`] and print a [`Value`]
+//! back out, so every type only needs the two trait impls above.  Maps preserve insertion
+//! order, which keeps emitted reports byte-deterministic.
+
+#![deny(missing_docs)]
+
+// Let the generated `impl ::serde::...` code resolve inside this crate's own tests.
+extern crate self as serde;
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every format reads and writes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name of the value's kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// The entries when this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements when this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `f64` (integers are accepted).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(x) => Some(*x as f64),
+            Value::UInt(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(x) => Some(*x),
+            Value::UInt(x) => i64::try_from(*x).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(x) => u64::try_from(*x).ok(),
+            Value::UInt(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Looks up a key when this is a map.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Error produced by deserialization (and by format front-ends).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with an arbitrary message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// Creates a "expected X while deserializing Y, found Z" error.
+    pub fn expected(what: &str, while_deserializing: &str, found: &Value) -> Self {
+        Error::custom(format!(
+            "expected {what} while deserializing {while_deserializing}, found {}",
+            found.kind()
+        ))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into the [`Value`] data model.
+pub trait Serialize {
+    /// Builds the data-model representation of `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstruct a value from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses `value` into `Self`.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| Error::expected("a number", stringify!($t), value))
+            }
+        }
+    )*};
+}
+
+impl_float!(f64, f32);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = value
+                    .as_i64()
+                    .ok_or_else(|| Error::expected("an integer", stringify!($t), value))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(narrow) => Value::Int(narrow),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = value
+                    .as_u64()
+                    .ok_or_else(|| Error::expected("a non-negative integer", stringify!($t), value))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::expected("a boolean", "bool", value))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("a string", "String", value))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Deserializing into `&'static str` leaks the string; it exists only so that
+    /// constant-table types (e.g. application profiles) can derive `Deserialize`.
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::expected("a string", "&'static str", value))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(value).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(T::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_seq()
+            .ok_or_else(|| Error::expected("a sequence", "Vec", value))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(T::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(T::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_seq()
+            .ok_or_else(|| Error::expected("a sequence", "array", value))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected an array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        Ok(parsed.try_into().expect("length checked above"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| Error::expected("a map", "BTreeMap", value))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// Helpers used by the generated `Deserialize` impls.
+pub mod de {
+    use super::{Deserialize, Error, Value};
+
+    /// Requires `value` to be a map.
+    pub fn as_map<'v>(value: &'v Value, type_name: &str) -> Result<&'v [(String, Value)], Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::expected("a map", type_name, value))
+    }
+
+    /// Requires `value` to be a sequence of exactly `arity` elements.
+    pub fn as_seq<'v>(
+        value: &'v Value,
+        type_name: &str,
+        arity: usize,
+    ) -> Result<&'v [Value], Error> {
+        let seq = value
+            .as_seq()
+            .ok_or_else(|| Error::expected("a sequence", type_name, value))?;
+        if seq.len() != arity {
+            return Err(Error::custom(format!(
+                "expected {arity} elements for {type_name}, found {}",
+                seq.len()
+            )));
+        }
+        Ok(seq)
+    }
+
+    /// Requires `value` to be a string.
+    pub fn as_str<'v>(value: &'v Value, type_name: &str) -> Result<&'v str, Error> {
+        value
+            .as_str()
+            .ok_or_else(|| Error::expected("a string", type_name, value))
+    }
+
+    /// Deserializes one named field; a missing key behaves like an explicit null (so
+    /// `Option` fields default to `None` and everything else reports a missing field).
+    pub fn field<T: Deserialize>(
+        map: &[(String, Value)],
+        type_name: &str,
+        field_name: &str,
+    ) -> Result<T, Error> {
+        match map.iter().find(|(k, _)| k == field_name) {
+            Some((_, v)) => T::deserialize(v)
+                .map_err(|e| Error::custom(format!("{type_name}.{field_name}: {e}"))),
+            None => T::deserialize(&Value::Null)
+                .map_err(|_| Error::custom(format!("missing field `{field_name}` in {type_name}"))),
+        }
+    }
+
+    /// Deserializes one positional element of a tuple struct.
+    pub fn element<T: Deserialize>(
+        seq: &[Value],
+        type_name: &str,
+        index: usize,
+    ) -> Result<T, Error> {
+        T::deserialize(&seq[index]).map_err(|e| Error::custom(format!("{type_name}.{index}: {e}")))
+    }
+
+    /// Rejects map keys that name no field — the typo guard for configuration files.
+    pub fn reject_unknown_fields(
+        type_name: &str,
+        map: &[(String, Value)],
+        known: &[&str],
+    ) -> Result<(), Error> {
+        for (key, _) in map {
+            if !known.contains(&key.as_str()) {
+                return Err(Error::custom(format!(
+                    "unknown field `{key}` in {type_name} (expected one of: {})",
+                    known.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(f64::deserialize(&(1.5f64).serialize()).unwrap(), 1.5);
+        assert_eq!(u64::deserialize(&(7u64).serialize()).unwrap(), 7);
+        assert_eq!(usize::deserialize(&Value::Int(3)).unwrap(), 3);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(String::deserialize(&"hi".serialize()).unwrap(), "hi");
+        assert_eq!(
+            f64::deserialize(&Value::Int(2)).unwrap(),
+            2.0,
+            "ints coerce to floats"
+        );
+    }
+
+    #[test]
+    fn big_u64_round_trips_through_uint() {
+        let big = u64::MAX - 3;
+        let v = big.serialize();
+        assert_eq!(v, Value::UInt(big));
+        assert_eq!(u64::deserialize(&v).unwrap(), big);
+        assert!(i64::deserialize(&v).is_err());
+    }
+
+    #[test]
+    fn option_and_vec() {
+        assert_eq!(Option::<f64>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::deserialize(&Value::Float(1.0)).unwrap(),
+            Some(1.0)
+        );
+        let v = vec![1.0f64, 2.0].serialize();
+        assert_eq!(Vec::<f64>::deserialize(&v).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn arrays_check_length() {
+        let ok = [1.0f64, 2.0, 3.0].serialize();
+        assert_eq!(<[f64; 3]>::deserialize(&ok).unwrap(), [1.0, 2.0, 3.0]);
+        assert!(<[f64; 2]>::deserialize(&ok).is_err());
+    }
+
+    #[test]
+    fn map_lookup_preserves_order() {
+        let v = Value::Map(vec![
+            ("b".into(), Value::Int(1)),
+            ("a".into(), Value::Int(2)),
+        ]);
+        assert_eq!(v.get("a"), Some(&Value::Int(2)));
+        assert_eq!(v.as_map().unwrap()[0].0, "b");
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let map = vec![("typo".to_string(), Value::Int(1))];
+        let err = de::reject_unknown_fields("Demo", &map, &["real"]).unwrap_err();
+        assert!(err.to_string().contains("typo"));
+        assert!(err.to_string().contains("real"));
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Demo {
+        x: f64,
+        label: String,
+        maybe: Option<u32>,
+        seq: Vec<bool>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Pair(u64, f64);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mode {
+        ModelDriven,
+        YoungDaly,
+        None,
+    }
+
+    #[test]
+    fn derived_struct_round_trip() {
+        let d = Demo {
+            x: 2.5,
+            label: "hello".into(),
+            maybe: None,
+            seq: vec![true, false],
+        };
+        let v = d.serialize();
+        assert_eq!(Demo::deserialize(&v).unwrap(), d);
+    }
+
+    #[test]
+    fn derived_tuple_struct_round_trip() {
+        let p = Pair(9, -1.5);
+        assert_eq!(Pair::deserialize(&p.serialize()).unwrap(), p);
+    }
+
+    #[test]
+    fn derived_enum_accepts_kebab_case() {
+        assert_eq!(
+            Mode::deserialize(&Value::Str("ModelDriven".into())).unwrap(),
+            Mode::ModelDriven
+        );
+        assert_eq!(
+            Mode::deserialize(&Value::Str("model-driven".into())).unwrap(),
+            Mode::ModelDriven
+        );
+        assert_eq!(
+            Mode::deserialize(&Value::Str("young-daly".into())).unwrap(),
+            Mode::YoungDaly
+        );
+        assert_eq!(
+            Mode::deserialize(&Value::Str("none".into())).unwrap(),
+            Mode::None
+        );
+        assert!(Mode::deserialize(&Value::Str("bogus".into())).is_err());
+    }
+
+    #[test]
+    fn derived_struct_rejects_unknown_and_missing_fields() {
+        let mut v = Demo {
+            x: 1.0,
+            label: "a".into(),
+            maybe: Some(1),
+            seq: vec![],
+        }
+        .serialize();
+        if let Value::Map(entries) = &mut v {
+            entries.push(("extra".to_string(), Value::Int(1)));
+        }
+        assert!(Demo::deserialize(&v).is_err());
+        let missing = Value::Map(vec![("x".to_string(), Value::Float(1.0))]);
+        let err = Demo::deserialize(&missing).unwrap_err().to_string();
+        assert!(
+            err.contains("missing field") || err.contains("unknown"),
+            "{err}"
+        );
+    }
+}

@@ -1,0 +1,387 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The build environment has no access to crates.io, so these derives are implemented
+//! directly on `proc_macro::TokenStream` (no `syn`/`quote`).  They target the
+//! workspace's `serde` stand-in, whose data model is a self-describing [`Value`] tree:
+//!
+//! * named structs    -> `Value::Map` keyed by field name;
+//! * tuple structs    -> `Value::Seq` in field order;
+//! * unit-only enums  -> `Value::Str` holding the variant name (kebab-case accepted on
+//!   deserialization);
+//!
+//! Enums with payloads and generic types are not supported — the workspace does not use
+//! them — and produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the parsed `derive` input turned out to be.
+enum Shape {
+    /// A struct with named fields.
+    Named { name: String, fields: Vec<String> },
+    /// A tuple struct with `arity` unnamed fields.
+    Tuple { name: String, arity: usize },
+    /// A unit struct.
+    Unit { name: String },
+    /// An enum whose variants all carry no data.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Derives the workspace `serde::Serialize` trait.
+///
+/// `#[serde(...)]` helper attributes are accepted but ignored: this derive always
+/// rejects unknown fields, so `deny_unknown_fields` is implicit.  Declaring the
+/// attribute keeps types source-compatible with upstream serde.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(shape) => gen_serialize(&shape)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the workspace `serde::Deserialize` trait.
+///
+/// `#[serde(...)]` helper attributes are accepted but ignored (see
+/// [`derive_serialize`]); unknown fields are always rejected.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(shape) => gen_deserialize(&shape)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde derive: expected `struct` or `enum`, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected a type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive: generic type `{name}` is not supported by the vendored serde"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Named {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::Tuple {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::Unit { name }),
+            other => Err(format!("serde derive: unexpected struct body {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::UnitEnum {
+                name: name.clone(),
+                variants: parse_unit_variants(&name, g.stream())?,
+            }),
+            other => Err(format!("serde derive: unexpected enum body {other:?}")),
+        },
+        other => Err(format!("serde derive: cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the attribute body group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `a: T, b: U, ...` field lists, returning the field names in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde derive: expected a field name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "serde derive: expected `:` after field `{field}`, got {other:?}"
+                ))
+            }
+        }
+        fields.push(field);
+        // Skip the type: everything up to a comma at angle-bracket depth zero.  Groups
+        // (`[f64; 3]`, `(A, B)`) are single opaque tokens, so only `<`/`>` need tracking.
+        let mut angle_depth: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct body (top-level comma-separated segments).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth: i32 = 0;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    count
+}
+
+/// Parses the variants of an enum, requiring every variant to carry no data.
+fn parse_unit_variants(enum_name: &str, stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde derive: expected a variant name in `{enum_name}`, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+            return Err(format!(
+                "serde derive: variant `{enum_name}::{variant}` carries data, which the vendored serde does not support"
+            ));
+        }
+        variants.push(variant);
+        // Skip an optional `= <discriminant>` and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Kebab-case form of a variant name (`ModelDriven` -> `model-driven`), accepted as an
+/// alias when deserializing so configuration files can use conventional spelling.
+fn kebab(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('-');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Named { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::serialize(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple { name, arity } => {
+            let entries: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Named { name, fields } => {
+            let known: String = fields.iter().map(|f| format!("{f:?},")).collect();
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(__map, {name:?}, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __map = ::serde::de::as_map(__value, {name:?})?;\n\
+                         ::serde::de::reject_unknown_fields({name:?}, __map, &[{known}])?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple { name, arity } => {
+            let inits: String =
+                (0..*arity).map(|i| format!("::serde::de::element(__seq, {name:?}, {i})?,")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __seq = ::serde::de::as_seq(__value, {name:?}, {arity})?;\n\
+                         ::std::result::Result::Ok({name}({inits}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(_: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let k = kebab(v);
+                    if k == *v {
+                        format!("{v:?} => ::std::result::Result::Ok({name}::{v}),")
+                    } else {
+                        format!("{v:?} | {k:?} => ::std::result::Result::Ok({name}::{v}),")
+                    }
+                })
+                .collect();
+            let expected: String = variants.iter().map(|v| kebab(v)).collect::<Vec<_>>().join(", ");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __s = ::serde::de::as_str(__value, {name:?})?;\n\
+                         match __s {{\n\
+                             {arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\n\
+                                 \"unknown {name} variant `{{other}}` (expected one of: {expected})\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

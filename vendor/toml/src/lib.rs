@@ -1,0 +1,633 @@
+//! Offline vendored TOML front-end for the workspace's serde stand-in.
+//!
+//! Parses the practical subset of TOML the scenario specs use into a
+//! [`serde::Value`] tree and deserializes from there:
+//!
+//! * key/value pairs with bare, quoted, and dotted keys;
+//! * `[table]` and `[table.sub]` headers, `[[array-of-tables]]` headers;
+//! * strings (basic and literal), integers (with `_` separators), floats, booleans;
+//! * arrays (including multi-line with trailing commas) and inline tables;
+//! * `#` comments.
+//!
+//! Unsupported TOML (multi-line strings, dates) produces a descriptive error rather than
+//! a silent misparse.
+
+#![deny(missing_docs)]
+
+pub use serde::Error;
+use serde::{Deserialize, Value};
+
+/// Parses TOML text and deserializes it.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_document(text)?;
+    T::deserialize(&value)
+}
+
+/// Parses TOML text into the [`Value`] data model (root is always a map).
+pub fn parse_document(text: &str) -> Result<Value, Error> {
+    let mut root = Vec::new();
+    // Path of the table the current key/value lines belong to.
+    let mut current_path: Vec<String> = Vec::new();
+
+    let mut lines = Lines {
+        text,
+        pos: 0,
+        line_no: 0,
+    };
+    while let Some((line_no, line)) = lines.next_logical_line()? {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let header = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| err_at(line_no, "unterminated `[[` table header"))?;
+            let path = parse_key_path(header, line_no)?;
+            let array = lookup_array(&mut root, &path, line_no)?;
+            array.push(Value::Map(Vec::new()));
+            // Key/value lines that follow land in the just-pushed table: descending the
+            // path hits the Seq and `ensure_table`/`insert` walk into its last element.
+            current_path = path;
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let header = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err_at(line_no, "unterminated `[` table header"))?;
+            let path = parse_key_path(header, line_no)?;
+            ensure_table(&mut root, &path, line_no)?;
+            current_path = path;
+        } else {
+            let (key_part, value_part) = split_key_value(line, line_no)?;
+            let mut path = current_path.clone();
+            path.extend(parse_key_path(key_part, line_no)?);
+            let value = parse_toml_value(value_part.trim(), line_no)?;
+            insert(&mut root, &path, value, line_no)?;
+        }
+    }
+    Ok(Value::Map(root))
+}
+
+fn err_at(line_no: usize, msg: impl std::fmt::Display) -> Error {
+    Error::custom(format!("TOML line {line_no}: {msg}"))
+}
+
+// ---------------------------------------------------------------------------
+// Logical lines: a `key = [` array may span several physical lines.
+// ---------------------------------------------------------------------------
+
+struct Lines<'a> {
+    text: &'a str,
+    pos: usize,
+    line_no: usize,
+}
+
+impl<'a> Lines<'a> {
+    /// Returns the next logical line: physical lines are joined while an array `[` or
+    /// inline table `{` remains open outside of strings.
+    fn next_logical_line(&mut self) -> Result<Option<(usize, String)>, Error> {
+        if self.pos >= self.text.len() {
+            return Ok(None);
+        }
+        let start_line = self.line_no + 1;
+        let mut logical = String::new();
+        let mut depth = 0i32;
+        loop {
+            let rest = &self.text[self.pos..];
+            if rest.is_empty() {
+                if depth > 0 {
+                    return Err(err_at(start_line, "unterminated array or inline table"));
+                }
+                break;
+            }
+            let line_end = rest
+                .find('\n')
+                .map(|i| self.pos + i)
+                .unwrap_or(self.text.len());
+            let physical = &self.text[self.pos..line_end];
+            self.pos = (line_end + 1).min(self.text.len());
+            if line_end == self.text.len() {
+                self.pos = self.text.len();
+            }
+            self.line_no += 1;
+            let stripped = strip_comment(physical, start_line)?;
+            depth += bracket_delta(&stripped, start_line)?;
+            if depth < 0 {
+                return Err(err_at(self.line_no, "unbalanced `]` or `}`"));
+            }
+            if !logical.is_empty() {
+                logical.push(' ');
+            }
+            logical.push_str(stripped.trim());
+            if depth == 0 {
+                break;
+            }
+        }
+        Ok(Some((start_line, logical)))
+    }
+}
+
+/// Removes a trailing `#`-comment, respecting strings.
+fn strip_comment(line: &str, line_no: usize) -> Result<String, Error> {
+    let mut out = String::new();
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '#' => break,
+            '"' | '\'' => {
+                out.push(c);
+                let quote = c;
+                loop {
+                    let Some(inner) = chars.next() else {
+                        return Err(err_at(line_no, "unterminated string"));
+                    };
+                    out.push(inner);
+                    if inner == '\\' && quote == '"' {
+                        if let Some(esc) = chars.next() {
+                            out.push(esc);
+                        }
+                        continue;
+                    }
+                    if inner == quote {
+                        break;
+                    }
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Ok(out)
+}
+
+/// Net `[`/`{` minus `]`/`}` count outside strings.
+fn bracket_delta(line: &str, line_no: usize) -> Result<i32, Error> {
+    let mut delta = 0;
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '[' | '{' => delta += 1,
+            ']' | '}' => delta -= 1,
+            '"' | '\'' => {
+                let quote = c;
+                loop {
+                    let Some(inner) = chars.next() else {
+                        return Err(err_at(line_no, "unterminated string"));
+                    };
+                    if inner == '\\' && quote == '"' {
+                        chars.next();
+                        continue;
+                    }
+                    if inner == quote {
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(delta)
+}
+
+// ---------------------------------------------------------------------------
+// Keys and tree insertion
+// ---------------------------------------------------------------------------
+
+/// Splits `key = value`, respecting `=` inside quoted keys.
+fn split_key_value(line: &str, line_no: usize) -> Result<(&str, &str), Error> {
+    let mut in_quote: Option<char> = None;
+    for (i, c) in line.char_indices() {
+        match (c, in_quote) {
+            ('"' | '\'', None) => in_quote = Some(c),
+            (c, Some(q)) if c == q => in_quote = None,
+            ('=', None) => return Ok((&line[..i], &line[i + 1..])),
+            _ => {}
+        }
+    }
+    Err(err_at(
+        line_no,
+        format!("expected `key = value`, got `{line}`"),
+    ))
+}
+
+/// Parses a dotted key path such as `sweep.name` or `"quoted key"`.
+fn parse_key_path(text: &str, line_no: usize) -> Result<Vec<String>, Error> {
+    let mut path = Vec::new();
+    let mut rest = text.trim();
+    loop {
+        if rest.is_empty() {
+            return Err(err_at(line_no, "empty key"));
+        }
+        let (segment, remainder) = if let Some(stripped) = rest.strip_prefix('"') {
+            let end = stripped
+                .find('"')
+                .ok_or_else(|| err_at(line_no, "unterminated quoted key"))?;
+            (
+                stripped[..end].to_string(),
+                stripped[end + 1..].trim_start(),
+            )
+        } else if let Some(stripped) = rest.strip_prefix('\'') {
+            let end = stripped
+                .find('\'')
+                .ok_or_else(|| err_at(line_no, "unterminated quoted key"))?;
+            (
+                stripped[..end].to_string(),
+                stripped[end + 1..].trim_start(),
+            )
+        } else {
+            let end = rest.find('.').unwrap_or(rest.len());
+            (rest[..end].trim().to_string(), &rest[end..])
+        };
+        if segment.is_empty() {
+            return Err(err_at(line_no, "empty key segment"));
+        }
+        path.push(segment);
+        let remainder = remainder.trim_start();
+        if remainder.is_empty() {
+            return Ok(path);
+        }
+        rest = remainder
+            .strip_prefix('.')
+            .ok_or_else(|| err_at(line_no, format!("unexpected `{remainder}` after key")))?
+            .trim_start();
+    }
+}
+
+fn ensure_table(
+    root: &mut Vec<(String, Value)>,
+    path: &[String],
+    line_no: usize,
+) -> Result<(), Error> {
+    let mut entries = root;
+    for segment in path {
+        if !entries.iter().any(|(k, _)| k == segment) {
+            entries.push((segment.clone(), Value::Map(Vec::new())));
+        }
+        let pos = entries
+            .iter()
+            .position(|(k, _)| k == segment)
+            .expect("just ensured");
+        match &mut entries[pos].1 {
+            Value::Map(inner) => entries = inner,
+            Value::Seq(items) => match items.last_mut() {
+                Some(Value::Map(inner)) => entries = inner,
+                _ => return Err(err_at(line_no, format!("`{segment}` is not a table"))),
+            },
+            _ => return Err(err_at(line_no, format!("`{segment}` is not a table"))),
+        }
+    }
+    Ok(())
+}
+
+fn lookup_array<'v>(
+    root: &'v mut Vec<(String, Value)>,
+    path: &[String],
+    line_no: usize,
+) -> Result<&'v mut Vec<Value>, Error> {
+    let (parents, last) = path.split_at(path.len() - 1);
+    ensure_table(root, parents, line_no)?;
+    let mut entries = root;
+    for segment in parents {
+        let pos = entries
+            .iter()
+            .position(|(k, _)| k == segment)
+            .expect("ensured above");
+        match &mut entries[pos].1 {
+            Value::Map(inner) => entries = inner,
+            Value::Seq(items) => match items.last_mut() {
+                Some(Value::Map(inner)) => entries = inner,
+                _ => return Err(err_at(line_no, format!("`{segment}` is not a table"))),
+            },
+            _ => return Err(err_at(line_no, format!("`{segment}` is not a table"))),
+        }
+    }
+    let key = &last[0];
+    if !entries.iter().any(|(k, _)| k == key) {
+        entries.push((key.clone(), Value::Seq(Vec::new())));
+    }
+    let pos = entries
+        .iter()
+        .position(|(k, _)| k == key)
+        .expect("just ensured");
+    match &mut entries[pos].1 {
+        Value::Seq(items) => Ok(items),
+        _ => Err(err_at(
+            line_no,
+            format!("`{key}` is not an array of tables"),
+        )),
+    }
+}
+
+fn insert(
+    root: &mut Vec<(String, Value)>,
+    path: &[String],
+    value: Value,
+    line_no: usize,
+) -> Result<(), Error> {
+    let (parents, last) = path.split_at(path.len() - 1);
+    ensure_table(root, parents, line_no)?;
+    let mut entries = root;
+    for segment in parents {
+        let pos = entries
+            .iter()
+            .position(|(k, _)| k == segment)
+            .expect("ensured above");
+        match &mut entries[pos].1 {
+            Value::Map(inner) => entries = inner,
+            Value::Seq(items) => match items.last_mut() {
+                Some(Value::Map(inner)) => entries = inner,
+                _ => return Err(err_at(line_no, format!("`{segment}` is not a table"))),
+            },
+            _ => return Err(err_at(line_no, format!("`{segment}` is not a table"))),
+        }
+    }
+    let key = &last[0];
+    if entries.iter().any(|(k, _)| k == key) {
+        return Err(err_at(line_no, format!("duplicate key `{key}`")));
+    }
+    entries.push((key.clone(), value));
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+/// Parses a single TOML value (string / number / bool / array / inline table).
+fn parse_toml_value(text: &str, line_no: usize) -> Result<Value, Error> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(err_at(line_no, "missing value"));
+    }
+    if text.starts_with("\"\"\"") || text.starts_with("'''") {
+        return Err(err_at(
+            line_no,
+            "multi-line strings are not supported by the vendored toml",
+        ));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let inner = rest
+            .strip_suffix('"')
+            .ok_or_else(|| err_at(line_no, "unterminated basic string"))?;
+        return Ok(Value::Str(unescape_basic(inner, line_no)?));
+    }
+    if let Some(rest) = text.strip_prefix('\'') {
+        let inner = rest
+            .strip_suffix('\'')
+            .ok_or_else(|| err_at(line_no, "unterminated literal string"))?;
+        return Ok(Value::Str(inner.to_string()));
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if text.starts_with('[') {
+        let inner = text
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or_else(|| err_at(line_no, "unterminated array"))?;
+        let mut items = Vec::new();
+        for part in split_top_level(inner, line_no)? {
+            items.push(parse_toml_value(&part, line_no)?);
+        }
+        return Ok(Value::Seq(items));
+    }
+    if text.starts_with('{') {
+        let inner = text
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or_else(|| err_at(line_no, "unterminated inline table"))?;
+        let mut entries = Vec::new();
+        for part in split_top_level(inner, line_no)? {
+            let (k, v) = split_key_value(&part, line_no)?;
+            let path = parse_key_path(k, line_no)?;
+            if path.len() != 1 {
+                return Err(err_at(
+                    line_no,
+                    "dotted keys inside inline tables are not supported",
+                ));
+            }
+            entries.push((path[0].clone(), parse_toml_value(v, line_no)?));
+        }
+        return Ok(Value::Map(entries));
+    }
+    // Numbers.
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    let looks_float = cleaned.contains('.') || cleaned.contains('e') || cleaned.contains('E');
+    if looks_float {
+        if let Ok(x) = cleaned.parse::<f64>() {
+            return Ok(Value::Float(x));
+        }
+    } else if let Ok(x) = cleaned.parse::<i64>() {
+        return Ok(Value::Int(x));
+    } else if let Ok(x) = cleaned.parse::<u64>() {
+        return Ok(Value::UInt(x));
+    }
+    Err(err_at(
+        line_no,
+        format!("unsupported value `{text}` (dates and exotic syntax are not supported)"),
+    ))
+}
+
+fn unescape_basic(s: &str, line_no: usize) -> Result<String, Error> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code =
+                    u32::from_str_radix(&hex, 16).map_err(|_| err_at(line_no, "bad \\u escape"))?;
+                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+            }
+            other => return Err(err_at(line_no, format!("unknown escape \\{other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Splits `a, b, c` at top-level commas (outside strings / nested brackets), dropping a
+/// trailing empty segment so `[1, 2,]` parses.
+fn split_top_level(text: &str, line_no: usize) -> Result<Vec<String>, Error> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut depth = 0i32;
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '[' | '{' => {
+                depth += 1;
+                current.push(c);
+            }
+            ']' | '}' => {
+                depth -= 1;
+                current.push(c);
+            }
+            '"' | '\'' => {
+                let quote = c;
+                current.push(c);
+                loop {
+                    let Some(inner) = chars.next() else {
+                        return Err(err_at(line_no, "unterminated string in array"));
+                    };
+                    current.push(inner);
+                    if inner == '\\' && quote == '"' {
+                        if let Some(esc) = chars.next() {
+                            current.push(esc);
+                        }
+                        continue;
+                    }
+                    if inner == quote {
+                        break;
+                    }
+                }
+            }
+            ',' if depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+                current.clear();
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    Ok(parts
+        .into_iter()
+        .map(|p| p.trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_and_scalars() {
+        let doc = r#"
+# top comment
+title = "demo"   # trailing comment
+count = 12
+ratio = 0.5
+big = 1_000_000
+flag = true
+
+[sweep]
+name = "paper"
+trials = 8
+
+[sweep.nested]
+x = 1.5
+"#;
+        let v = parse_document(doc).unwrap();
+        assert_eq!(v.get("title").unwrap().as_str(), Some("demo"));
+        assert_eq!(v.get("count").unwrap().as_i64(), Some(12));
+        assert_eq!(v.get("big").unwrap().as_i64(), Some(1_000_000));
+        assert_eq!(v.get("flag").unwrap().as_bool(), Some(true));
+        let sweep = v.get("sweep").unwrap();
+        assert_eq!(sweep.get("name").unwrap().as_str(), Some("paper"));
+        assert_eq!(
+            sweep.get("nested").unwrap().get("x").unwrap().as_f64(),
+            Some(1.5)
+        );
+    }
+
+    #[test]
+    fn parses_arrays_including_multiline() {
+        let doc = "
+sizes = [8, 16, 32]
+names = [
+  \"a\",   # comment inside
+  \"b\",
+]
+mixed = [1.5, 2]
+";
+        let v = parse_document(doc).unwrap();
+        assert_eq!(
+            v.get("sizes")
+                .unwrap()
+                .as_seq()
+                .unwrap()
+                .iter()
+                .map(|x| x.as_i64().unwrap())
+                .collect::<Vec<_>>(),
+            vec![8, 16, 32]
+        );
+        assert_eq!(v.get("names").unwrap().as_seq().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parses_array_of_tables() {
+        let doc = r#"
+[[regime]]
+name = "exp"
+kind = "exponential"
+
+[[regime]]
+name = "phased"
+kind = "phased"
+"#;
+        let v = parse_document(doc).unwrap();
+        let regimes = v.get("regime").unwrap().as_seq().unwrap();
+        assert_eq!(regimes.len(), 2);
+        assert_eq!(regimes[0].get("name").unwrap().as_str(), Some("exp"));
+        assert_eq!(regimes[1].get("kind").unwrap().as_str(), Some("phased"));
+    }
+
+    #[test]
+    fn parses_inline_tables_and_dotted_keys() {
+        let doc = "
+point = { x = 1, y = 2.5 }
+a.b = \"deep\"
+";
+        let v = parse_document(doc).unwrap();
+        assert_eq!(
+            v.get("point").unwrap().get("y").unwrap().as_f64(),
+            Some(2.5)
+        );
+        assert_eq!(v.get("a").unwrap().get("b").unwrap().as_str(), Some("deep"));
+    }
+
+    #[test]
+    fn typed_deserialization() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Spec {
+            name: String,
+            trials: usize,
+            sizes: Vec<usize>,
+            jitter: Option<f64>,
+        }
+        let spec: Spec = from_str("name = \"s\"\ntrials = 4\nsizes = [1, 2]\n").unwrap();
+        assert_eq!(
+            spec,
+            Spec {
+                name: "s".into(),
+                trials: 4,
+                sizes: vec![1, 2],
+                jitter: None
+            }
+        );
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse_document("x = ").is_err());
+        assert!(parse_document("x = 1\nx = 2").is_err());
+        assert!(parse_document("[unclosed").is_err());
+        assert!(parse_document("d = 1979-05-27").is_err());
+        let err = parse_document("s = \"\"\"multi\"\"\"")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("multi-line"), "{err}");
+    }
+}
