@@ -1,0 +1,255 @@
+//! `advise` — build and serve preemption-advisory model packs.
+//!
+//! ```text
+//! advise build <spec.toml|spec.json> --out pack.json [resolution knobs]
+//! advise gen   --pack pack.json --count N [--seed S] [--out requests.ndjson]
+//! advise serve --pack pack.json --input requests.ndjson [--output FILE] [--threads N]
+//! advise bench --pack pack.json [--requests N] [--threads N] [--seed S]
+//! ```
+//!
+//! `build` precomputes the tables offline; `serve` answers an NDJSON request stream with
+//! byte-identical output for every `--threads` value; `gen` emits a deterministic load;
+//! `bench` reports throughput and latency percentiles of the serving path.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+use tcp_advisor::{
+    generate_requests, requests_to_ndjson, serve_ndjson, Advisor, ModelPack, PackBuilder,
+};
+use tcp_scenarios::SweepSpec;
+
+const USAGE: &str = "usage: advise <command> [options]
+
+commands:
+  build <spec.toml|spec.json>  precompute a model pack from a sweep spec
+      --out FILE                 pack output path (default pack.json)
+      --age-points N             age-grid resolution (default 1441, one knot per minute)
+      --checkpoint-age-points N  DP age-grid resolution (default 9)
+      --checkpoint-job-points N  DP job-grid resolution (default 10)
+      --max-checkpoint-job H     largest DP job length, hours (default 8)
+
+  gen                          generate a deterministic NDJSON request load
+      --pack FILE                model pack (required)
+      --count N                  number of requests (default 10000)
+      --seed S                   generator seed (default 2020)
+      --out FILE                 output path (default stdout)
+
+  serve                        answer an NDJSON request stream
+      --pack FILE                model pack (required)
+      --input FILE               NDJSON requests (required)
+      --output FILE              NDJSON responses (default stdout)
+      --threads N                worker threads (default 0 = all CPUs)
+
+  bench                        measure serving throughput and latency
+      --pack FILE                model pack (required)
+      --requests N               batch size (default 100000)
+      --threads N                worker threads for throughput (default 0)
+      --seed S                   load-generator seed (default 2020)";
+
+fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("invalid {flag} value `{v}`"))
+}
+
+fn load_advisor(pack_path: &Option<PathBuf>) -> Result<Advisor, String> {
+    let path = pack_path.as_ref().ok_or("--pack is required")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Advisor::from_json(&text).map_err(|e| e.to_string())
+}
+
+fn cmd_build(argv: &[String]) -> Result<(), String> {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut out = PathBuf::from("pack.json");
+    let mut builder = PackBuilder::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(next_value(&mut it, "--out")?),
+            "--age-points" => builder.age_points = parse(next_value(&mut it, arg)?, arg)?,
+            "--checkpoint-age-points" => {
+                builder.checkpoint_age_points = parse(next_value(&mut it, arg)?, arg)?
+            }
+            "--checkpoint-job-points" => {
+                builder.checkpoint_job_points = parse(next_value(&mut it, arg)?, arg)?
+            }
+            "--max-checkpoint-job" => {
+                builder.max_checkpoint_job_hours = parse(next_value(&mut it, arg)?, arg)?
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            other => {
+                if spec_path.is_some() {
+                    return Err(format!("unexpected extra argument `{other}`"));
+                }
+                spec_path = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let spec_path = spec_path.ok_or("build needs a sweep spec file")?;
+    let spec = SweepSpec::from_path(&spec_path).map_err(|e| e.to_string())?;
+    let started = Instant::now();
+    let pack = builder.build_from_spec(&spec).map_err(|e| e.to_string())?;
+    let json = pack.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(&out, &json).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "built pack `{}`: {} regimes, {} bytes, {:.2}s -> {}",
+        pack.name,
+        pack.regimes.len(),
+        json.len(),
+        started.elapsed().as_secs_f64(),
+        out.display()
+    );
+    Ok(())
+}
+
+struct IoArgs {
+    pack: Option<PathBuf>,
+    input: Option<PathBuf>,
+    output: Option<PathBuf>,
+    count: usize,
+    requests: usize,
+    threads: usize,
+    seed: u64,
+}
+
+fn parse_io_args(argv: &[String]) -> Result<IoArgs, String> {
+    let mut args = IoArgs {
+        pack: None,
+        input: None,
+        output: None,
+        count: 10_000,
+        requests: 100_000,
+        threads: 0,
+        seed: 2020,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--pack" => args.pack = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--input" => args.input = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--output" | "--out" => args.output = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--count" => args.count = parse(next_value(&mut it, arg)?, arg)?,
+            "--requests" => args.requests = parse(next_value(&mut it, arg)?, arg)?,
+            "--threads" => args.threads = parse(next_value(&mut it, arg)?, arg)?,
+            "--seed" => args.seed = parse(next_value(&mut it, arg)?, arg)?,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn write_or_print(output: &Option<PathBuf>, text: &str) -> Result<(), String> {
+    match output {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+        }
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_gen(argv: &[String]) -> Result<(), String> {
+    let args = parse_io_args(argv)?;
+    let path = args.pack.as_ref().ok_or("--pack is required")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let pack = ModelPack::from_json(&text).map_err(|e| e.to_string())?;
+    let requests = generate_requests(&pack, args.count, args.seed);
+    write_or_print(&args.output, &requests_to_ndjson(&requests))
+}
+
+fn cmd_serve(argv: &[String]) -> Result<(), String> {
+    let args = parse_io_args(argv)?;
+    let advisor = load_advisor(&args.pack)?;
+    let input_path = args.input.as_ref().ok_or("--input is required")?;
+    let input = std::fs::read_to_string(input_path)
+        .map_err(|e| format!("cannot read {}: {e}", input_path.display()))?;
+    let started = Instant::now();
+    let output = serve_ndjson(&advisor, &input, args.threads);
+    let elapsed = started.elapsed().as_secs_f64();
+    write_or_print(&args.output, &output)?;
+    let stats = advisor.stats();
+    eprintln!(
+        "served {} queries in {elapsed:.3}s ({:.0} q/s; {} reuse, {} plan, {} cost, {} policy)",
+        stats.total(),
+        stats.total() as f64 / elapsed.max(1e-9),
+        stats.should_reuse,
+        stats.checkpoint_plan,
+        stats.expected_cost_makespan,
+        stats.best_policy,
+    );
+    Ok(())
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn cmd_bench(argv: &[String]) -> Result<(), String> {
+    let args = parse_io_args(argv)?;
+    let advisor = load_advisor(&args.pack)?;
+    let requests = generate_requests(advisor.pack(), args.requests, args.seed);
+
+    // Throughput: one big batch over the worker pool.
+    let started = Instant::now();
+    let responses = advisor.advise_batch(&requests, args.threads);
+    let elapsed = started.elapsed().as_secs_f64();
+    let failures = responses.iter().filter(|r| r.is_err()).count();
+
+    // Latency: per-query timing on one thread (no batching overhead in the numbers).
+    let sample = &requests[..requests.len().min(20_000)];
+    let mut latencies = Vec::with_capacity(sample.len());
+    for request in sample {
+        let t0 = Instant::now();
+        let _ = advisor.advise(request);
+        latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    println!(
+        "batch: {} queries in {elapsed:.3}s -> {:.0} queries/sec ({failures} failures)",
+        requests.len(),
+        requests.len() as f64 / elapsed.max(1e-9),
+    );
+    println!(
+        "latency (single-thread, {} samples): p50 {:.2}us  p90 {:.2}us  p99 {:.2}us  max {:.2}us",
+        latencies.len(),
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.90),
+        percentile(&latencies, 0.99),
+        percentile(&latencies, 1.0),
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match argv.first().map(String::as_str) {
+        Some("build") => cmd_build(&argv[1..]),
+        Some("gen") => cmd_gen(&argv[1..]),
+        Some("serve") => cmd_serve(&argv[1..]),
+        Some("bench") => cmd_bench(&argv[1..]),
+        Some("--help" | "-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The offline table builder: sweep spec in, [`ModelPack`] out.
+//!
+//! Reuses the scenario-sweep vocabulary end to end: the pack's regimes are the spec's
+//! `[[regime]]` tables (distribution family, pricing, provisioning), its checkpoint
+//! cells follow the spec's `workload.checkpoint_cost_minutes` axis, and fitted models
+//! come from the same seeded pipeline as the sweep runner
+//! ([`tcp_scenarios::regime_model`]) — so an `advise build` pack and a `sweep` run over
+//! the same spec answer from byte-identical models.
+
+use crate::error::{AdvisorError, Result};
+use crate::pack::{
+    CheckpointCell, ModelPack, PackSchedule, PolicyCard, PolicyScore, RegimePack,
+    PACK_FORMAT_VERSION,
+};
+use tcp_core::analysis::expected_makespan_from_age;
+use tcp_core::BathtubModel;
+use tcp_dists::LifetimeDistribution;
+use tcp_numerics::interp::linspace;
+use tcp_policy::{
+    average_failure_probability, CheckpointConfig, DpCheckpointPolicy, MemorylessScheduler,
+    ModelDrivenScheduler, YoungDalyPolicy,
+};
+use tcp_scenarios::spec::RegimeSpec;
+use tcp_scenarios::{regime_model, SweepSpec};
+use tcp_trace::VmType;
+
+/// Resolution and scope knobs for pack construction.
+///
+/// The defaults give one-minute age resolution on the 1-D curves (a few hundred KB of
+/// JSON per regime, interpolation error well below a tenth of a percent); shrink the
+/// point counts for faster builds and smaller packs at reduced accuracy.
+#[derive(Debug, Clone)]
+pub struct PackBuilder {
+    /// Knots on the dense age grid behind the survival and first-moment curves
+    /// (default 1441 — one-minute spacing over a 24 h horizon).
+    pub age_points: usize,
+    /// Knots on the start-age axis of the DP checkpoint tables (coarser: the DP value
+    /// function varies slowly in age).
+    pub checkpoint_age_points: usize,
+    /// Knots on the job-length axis of the DP checkpoint tables.
+    pub checkpoint_job_points: usize,
+    /// Largest job length in the DP checkpoint tables, hours.
+    pub max_checkpoint_job_hours: f64,
+    /// VM type the cost tables assume.
+    pub vm_type: VmType,
+    /// Job length (hours) at which the best-policy card compares policies.
+    pub reference_job_len: f64,
+}
+
+impl Default for PackBuilder {
+    fn default() -> Self {
+        PackBuilder {
+            age_points: 1441,
+            checkpoint_age_points: 9,
+            checkpoint_job_points: 10,
+            max_checkpoint_job_hours: 8.0,
+            vm_type: VmType::N1HighCpu16,
+            reference_job_len: 6.0,
+        }
+    }
+}
+
+impl PackBuilder {
+    fn validate(&self) -> Result<()> {
+        if self.age_points < 8 {
+            return Err(AdvisorError::Pack(
+                "age_points must be at least 8".to_string(),
+            ));
+        }
+        if self.checkpoint_age_points < 2 || self.checkpoint_job_points < 2 {
+            return Err(AdvisorError::Pack(
+                "checkpoint grids need at least 2 points per axis".to_string(),
+            ));
+        }
+        if !(self.max_checkpoint_job_hours > 0.0) || !self.max_checkpoint_job_hours.is_finite() {
+            return Err(AdvisorError::Pack(
+                "max_checkpoint_job_hours must be positive".to_string(),
+            ));
+        }
+        if !(self.reference_job_len > 0.0) || !self.reference_job_len.is_finite() {
+            return Err(AdvisorError::Pack(
+                "reference_job_len must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builds a pack from a sweep spec: one [`RegimePack`] per `[[regime]]` table (the
+    /// paper's default catalog regime when the spec lists none), with checkpoint cells
+    /// following the spec's checkpoint-cost axis.
+    pub fn build_from_spec(&self, spec: &SweepSpec) -> Result<ModelPack> {
+        self.validate()?;
+        spec.validate()?;
+        let regime_specs: Vec<RegimeSpec> = match &spec.regime {
+            Some(regimes) if !regimes.is_empty() => regimes.clone(),
+            _ => vec![RegimeSpec::default_catalog()],
+        };
+        let checkpoint_costs: Vec<f64> = spec
+            .workload
+            .as_ref()
+            .and_then(|w| w.checkpoint_cost_minutes.clone())
+            .unwrap_or_else(|| vec![1.0]);
+        let dp_step_minutes = spec
+            .workload
+            .as_ref()
+            .and_then(|w| w.dp_step_minutes)
+            .unwrap_or(5.0);
+
+        let mut regimes = Vec::with_capacity(regime_specs.len());
+        for (i, regime_spec) in regime_specs.iter().enumerate() {
+            let model = regime_model(spec, regime_spec, i)?;
+            regimes.push(self.build_regime(
+                regime_spec,
+                model,
+                &checkpoint_costs,
+                dp_step_minutes,
+            )?);
+        }
+        let pack = ModelPack {
+            format_version: PACK_FORMAT_VERSION,
+            name: spec.sweep.name.clone(),
+            base_seed: spec.base_seed(),
+            model_mode: spec
+                .sweep
+                .model
+                .clone()
+                .unwrap_or_else(|| "paper-representative".to_string()),
+            regimes,
+        };
+        pack.validate()?;
+        Ok(pack)
+    }
+
+    fn build_regime(
+        &self,
+        regime_spec: &RegimeSpec,
+        model: BathtubModel,
+        checkpoint_costs: &[f64],
+        dp_step_minutes: f64,
+    ) -> Result<RegimePack> {
+        let horizon = model.horizon();
+        let (early_end, deadline_start) = model.phase_boundaries();
+        let pricing = regime_spec.build_template()?.config.pricing;
+
+        let ages = linspace(0.0, horizon, self.age_points);
+        let dist = model.dist();
+
+        let survival: Vec<f64> = ages.iter().map(|&s| model.survival(s)).collect();
+        // W(age) = ∫_0^age t f(t) dt — partial_expectation is additive, so every
+        // Equation 8 makespan becomes two lookups: E[T_s] = T + W(min(s+T, L)) − W(s).
+        let first_moment: Vec<f64> = ages
+            .iter()
+            .map(|&s| dist.partial_expectation(0.0, s))
+            .collect();
+
+        let mut checkpoint_cells = Vec::with_capacity(checkpoint_costs.len());
+        for &cost_minutes in checkpoint_costs {
+            checkpoint_cells.push(self.build_checkpoint_cell(
+                &model,
+                cost_minutes,
+                dp_step_minutes,
+            )?);
+        }
+
+        let policy_card = self.build_policy_card(&model, &checkpoint_cells[0])?;
+
+        Ok(RegimePack {
+            name: regime_spec.name.clone(),
+            model,
+            horizon_hours: horizon,
+            phase_early_end_hours: early_end,
+            phase_deadline_start_hours: deadline_start,
+            vm_type: self.vm_type.to_string(),
+            vcpus: self.vm_type.vcpus(),
+            on_demand_per_vcpu_hour: pricing.on_demand_per_vcpu_hour,
+            preemptible_per_vcpu_hour: pricing.preemptible_per_vcpu_hour,
+            ages,
+            survival,
+            first_moment,
+            checkpoint_cells,
+            policy_card,
+        })
+    }
+
+    fn checkpoint_config(cost_minutes: f64, dp_step_minutes: f64) -> CheckpointConfig {
+        CheckpointConfig {
+            checkpoint_cost_hours: cost_minutes / 60.0,
+            step_hours: dp_step_minutes / 60.0,
+            // Same restart overhead as the sweep grid (1 minute, the paper's setting).
+            restart_overhead_hours: 1.0 / 60.0,
+        }
+    }
+
+    fn build_checkpoint_cell(
+        &self,
+        model: &BathtubModel,
+        cost_minutes: f64,
+        dp_step_minutes: f64,
+    ) -> Result<CheckpointCell> {
+        let config = Self::checkpoint_config(cost_minutes, dp_step_minutes);
+        let policy = DpCheckpointPolicy::new(*model, config)?;
+        let horizon = model.horizon();
+        // `DpCheckpointPolicy::schedule` requires start ages strictly inside the horizon;
+        // queries past the last knot clamp to it, which is the right answer there anyway.
+        let ages = linspace(0.0, 0.9 * horizon, self.checkpoint_age_points);
+        let min_job = (2.0 * config.step_hours).min(self.max_checkpoint_job_hours * 0.5);
+        let job_lens = linspace(
+            min_job,
+            self.max_checkpoint_job_hours,
+            self.checkpoint_job_points,
+        );
+
+        // Solve the DP once for the largest job; every smaller job and later age reads
+        // the same cached tables.
+        let largest = *job_lens.last().expect("non-empty job grid");
+        policy.expected_makespan(largest, 0.0)?;
+
+        let mut expected = Vec::with_capacity(ages.len() * job_lens.len());
+        for &age in &ages {
+            for &job in &job_lens {
+                expected.push(policy.expected_makespan(job, age)?);
+            }
+        }
+        let mut schedules = Vec::with_capacity(job_lens.len());
+        for &job in &job_lens {
+            let sched = policy.schedule(job, 0.0)?;
+            schedules.push(PackSchedule {
+                job_len_hours: sched.job_len,
+                intervals_hours: sched.intervals_hours,
+                expected_makespan_hours: sched.expected_makespan,
+            });
+        }
+        Ok(CheckpointCell {
+            checkpoint_cost_minutes: cost_minutes,
+            dp_step_minutes,
+            restart_overhead_minutes: config.restart_overhead_hours * 60.0,
+            ages,
+            job_lens,
+            expected_makespan: expected,
+            schedules,
+        })
+    }
+
+    /// Precomputes the best-policy ranking: scheduling policies by average job-failure
+    /// probability over uniformly distributed start ages (the Figure 6 metric), and
+    /// checkpointing policies by expected makespan of the reference job on a fresh VM.
+    fn build_policy_card(&self, model: &BathtubModel, cell: &CheckpointCell) -> Result<PolicyCard> {
+        let job = self.reference_job_len;
+        let model_driven = ModelDrivenScheduler::new(*model);
+        let memoryless = MemorylessScheduler;
+        let mut scheduling = vec![
+            PolicyScore {
+                name: "model-driven".to_string(),
+                score: average_failure_probability(&model_driven, model, job, 96)?,
+            },
+            PolicyScore {
+                name: "memoryless".to_string(),
+                score: average_failure_probability(&memoryless, model, job, 96)?,
+            },
+        ];
+
+        let config = Self::checkpoint_config(cell.checkpoint_cost_minutes, cell.dp_step_minutes);
+        let dp = DpCheckpointPolicy::new(*model, config)?;
+        let young_daly =
+            YoungDalyPolicy::from_initial_failure_rate(model, config.checkpoint_cost_hours)?;
+        let mut checkpointing = vec![
+            PolicyScore {
+                name: "model-driven".to_string(),
+                score: dp.expected_makespan(job, 0.0)?,
+            },
+            PolicyScore {
+                name: "young-daly".to_string(),
+                score: young_daly.schedule(job, 0.0)?.expected_makespan,
+            },
+            PolicyScore {
+                // Without checkpointing, the single-preemption makespan of Equation 7 is
+                // the (optimistic) comparison point the paper's Figure 8 uses.
+                name: "none".to_string(),
+                score: expected_makespan_from_age(model.dist(), 0.0, job),
+            },
+        ];
+
+        let sort = |scores: &mut Vec<PolicyScore>| {
+            scores.sort_by(|a, b| {
+                a.score
+                    .partial_cmp(&b.score)
+                    .expect("scores are finite")
+                    .then_with(|| a.name.cmp(&b.name))
+            });
+        };
+        sort(&mut scheduling);
+        sort(&mut checkpointing);
+        Ok(PolicyCard {
+            reference_job_len_hours: job,
+            recommended_scheduling: scheduling[0].name.clone(),
+            recommended_checkpointing: checkpointing[0].name.clone(),
+            scheduling,
+            checkpointing,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// A fast-building spec: coarse DP step, short job range.
+    pub(crate) fn tiny_spec() -> SweepSpec {
+        SweepSpec::from_toml(
+            r#"
+[sweep]
+name = "tiny-pack"
+base_seed = 42
+
+[[regime]]
+name = "gcp-day"
+kind = "catalog"
+
+[[regime]]
+name = "exp8"
+kind = "exponential"
+mean_hours = 8.0
+preemptible_discount = 4.0
+
+[workload]
+checkpoint_cost_minutes = [1.0, 5.0]
+dp_step_minutes = 15.0
+"#,
+        )
+        .unwrap()
+    }
+
+    pub(crate) fn tiny_builder() -> PackBuilder {
+        PackBuilder {
+            age_points: 241,
+            ..PackBuilder::default()
+        }
+    }
+
+    #[test]
+    fn builds_a_pack_with_one_regime_per_spec_regime() {
+        let pack = tiny_builder().build_from_spec(&tiny_spec()).unwrap();
+        assert_eq!(pack.regimes.len(), 2);
+        assert_eq!(pack.regime_names(), vec!["gcp-day", "exp8"]);
+        assert_eq!(pack.format_version, PACK_FORMAT_VERSION);
+        for regime in &pack.regimes {
+            assert_eq!(regime.checkpoint_cells.len(), 2);
+            assert_eq!(regime.survival.len(), regime.ages.len());
+            assert_eq!(regime.first_moment.len(), regime.ages.len());
+            // W is a CDF-like accumulator: non-decreasing from zero.
+            assert_eq!(regime.first_moment[0], 0.0);
+            assert!(regime.first_moment.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+            // Pricing knobs flowed through from the regime spec.
+            assert!(regime.on_demand_per_vcpu_hour > regime.preemptible_per_vcpu_hour);
+        }
+        // The exp8 regime carried its custom 4x discount.
+        let exp8 = &pack.regimes[1];
+        let discount = exp8.on_demand_per_vcpu_hour / exp8.preemptible_per_vcpu_hour;
+        assert!((discount - 4.0).abs() < 1e-9, "discount = {discount}");
+    }
+
+    #[test]
+    fn policy_card_prefers_the_model_driven_policies() {
+        let pack = tiny_builder().build_from_spec(&tiny_spec()).unwrap();
+        let card = &pack.regimes[0].policy_card;
+        // Under a bathtub regime the paper's policies win their comparisons.
+        assert_eq!(card.recommended_scheduling, "model-driven");
+        assert!(card.scheduling[0].score <= card.scheduling[1].score);
+        assert!(!card.checkpointing.is_empty());
+    }
+
+    #[test]
+    fn builder_knob_validation() {
+        let spec = tiny_spec();
+        let mut b = tiny_builder();
+        b.age_points = 2;
+        assert!(b.build_from_spec(&spec).is_err());
+        let mut b = tiny_builder();
+        b.max_checkpoint_job_hours = f64::NAN;
+        assert!(b.build_from_spec(&spec).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Typed advisor errors and the strict input-validation boundary.
+//!
+//! The offline analysis code in `tcp_core::analysis` silently clamps bad inputs
+//! (`job_len.max(0.0)`), which is forgiving for plotting sweeps but wrong for a serving
+//! API: a NaN age or a negative job length in a request is a caller bug that must be
+//! reported, not absorbed.  Every advisor entry point funnels its numeric inputs through
+//! the validators below before touching a table.
+
+use std::fmt;
+
+/// Errors produced by the advisor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdvisorError {
+    /// A numeric request parameter failed validation (NaN, infinite, or out of range).
+    InvalidInput {
+        /// Name of the offending parameter.
+        field: &'static str,
+        /// The rejected value, rendered to text (NaN survives formatting, unlike JSON).
+        value: String,
+        /// Why the value was rejected.
+        reason: &'static str,
+    },
+    /// A required request parameter was missing.
+    MissingInput {
+        /// Name of the missing parameter.
+        field: &'static str,
+    },
+    /// The request named a regime the model pack does not contain.
+    UnknownRegime {
+        /// The requested regime name.
+        regime: String,
+        /// Regimes the pack does contain.
+        available: Vec<String>,
+    },
+    /// The model pack is malformed (bad tables, version mismatch, build failure).
+    Pack(String),
+}
+
+impl fmt::Display for AdvisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdvisorError::InvalidInput {
+                field,
+                value,
+                reason,
+            } => {
+                write!(f, "invalid `{field}`: {value} ({reason})")
+            }
+            AdvisorError::MissingInput { field } => {
+                write!(f, "request is missing required field `{field}`")
+            }
+            AdvisorError::UnknownRegime { regime, available } => {
+                write!(
+                    f,
+                    "unknown regime `{regime}` (pack contains: {})",
+                    available.join(", ")
+                )
+            }
+            AdvisorError::Pack(msg) => write!(f, "model pack: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AdvisorError {}
+
+impl From<tcp_numerics::NumericsError> for AdvisorError {
+    fn from(e: tcp_numerics::NumericsError) -> Self {
+        AdvisorError::Pack(e.to_string())
+    }
+}
+
+/// Advisor result type.
+pub type Result<T> = std::result::Result<T, AdvisorError>;
+
+/// Unwraps a required request field.
+pub fn require(field: &'static str, value: Option<f64>) -> Result<f64> {
+    value.ok_or(AdvisorError::MissingInput { field })
+}
+
+/// Validates a finite, non-negative parameter (VM ages). Rejects NaN, ±inf, and
+/// negatives with a typed error instead of clamping.
+pub fn validate_non_negative(field: &'static str, value: f64) -> Result<f64> {
+    if !value.is_finite() {
+        return Err(AdvisorError::InvalidInput {
+            field,
+            value: format!("{value}"),
+            reason: "must be a finite number",
+        });
+    }
+    if value < 0.0 {
+        return Err(AdvisorError::InvalidInput {
+            field,
+            value: format!("{value}"),
+            reason: "must be non-negative",
+        });
+    }
+    Ok(value)
+}
+
+/// Validates a finite, strictly positive parameter (job lengths, checkpoint overheads).
+pub fn validate_positive(field: &'static str, value: f64) -> Result<f64> {
+    if !value.is_finite() {
+        return Err(AdvisorError::InvalidInput {
+            field,
+            value: format!("{value}"),
+            reason: "must be a finite number",
+        });
+    }
+    if value <= 0.0 {
+        return Err(AdvisorError::InvalidInput {
+            field,
+            value: format!("{value}"),
+            reason: "must be positive",
+        });
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_and_negative_are_rejected_with_typed_errors() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let err = validate_non_negative("vm_age", bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    AdvisorError::InvalidInput {
+                        field: "vm_age",
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+        }
+        for bad in [f64::NAN, f64::INFINITY, -0.5, 0.0] {
+            let err = validate_positive("job_len", bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    AdvisorError::InvalidInput {
+                        field: "job_len",
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn valid_values_pass_through_unchanged() {
+        assert_eq!(validate_non_negative("vm_age", 0.0).unwrap(), 0.0);
+        assert_eq!(validate_non_negative("vm_age", 23.5).unwrap(), 23.5);
+        assert_eq!(validate_positive("job_len", 6.0).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn missing_field_is_typed() {
+        assert_eq!(require("job_len", Some(2.0)).unwrap(), 2.0);
+        let err = require("job_len", None).unwrap_err();
+        assert_eq!(err, AdvisorError::MissingInput { field: "job_len" });
+        assert!(err.to_string().contains("job_len"));
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let err = validate_positive("overhead_minutes", f64::NAN).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("overhead_minutes") && msg.contains("NaN"),
+            "{msg}"
+        );
+    }
+}

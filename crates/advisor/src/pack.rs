@@ -1,0 +1,243 @@
+//! The versioned, serializable "model pack" — the artifact `advise build` produces and
+//! `advise serve` loads.
+//!
+//! A pack holds one [`RegimePack`] per preemption regime (distribution × pricing), each
+//! with dense grids of the quantities the paper's policies are built on: VM survival
+//! (Equation 1), expected makespan from age (Equation 8), conditional job-failure
+//! probability (Section 4.2), and the DP checkpoint value function (Section 4.3), plus a
+//! precomputed policy-ranking card.  Grids are plain `Vec<f64>` so the pack serializes to
+//! self-contained JSON; the query engine rebuilds fast interpolants on load.
+
+use crate::error::{AdvisorError, Result};
+use serde::{Deserialize, Serialize};
+use tcp_core::BathtubModel;
+
+/// Current pack format version. Bumped whenever the schema changes shape.
+pub const PACK_FORMAT_VERSION: u32 = 1;
+
+/// A complete serialized advisory model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelPack {
+    /// Schema version; [`ModelPack::from_json`] rejects mismatches.
+    pub format_version: u32,
+    /// Pack name (from the sweep spec it was built from).
+    pub name: String,
+    /// Base seed used for any fitted models inside the pack.
+    pub base_seed: u64,
+    /// How the per-regime models were obtained (`paper-representative` or `fitted`).
+    pub model_mode: String,
+    /// One table set per preemption regime, in spec order.
+    pub regimes: Vec<RegimePack>,
+}
+
+/// Precomputed tables for one preemption regime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegimePack {
+    /// Regime name (the request routing key).
+    pub name: String,
+    /// The fitted bathtub model the tables were computed from.
+    pub model: BathtubModel,
+    /// Temporal constraint `L` in hours (24 for GCP preemptible VMs).
+    pub horizon_hours: f64,
+    /// End of the early high-hazard phase (hours), from the fitted parameters.
+    pub phase_early_end_hours: f64,
+    /// Start of the deadline phase (hours).
+    pub phase_deadline_start_hours: f64,
+    /// VM type the cost tables assume (GCP name).
+    pub vm_type: String,
+    /// vCPUs of that VM type.
+    pub vcpus: u32,
+    /// On-demand price per vCPU-hour, USD.
+    pub on_demand_per_vcpu_hour: f64,
+    /// Preemptible price per vCPU-hour, USD.
+    pub preemptible_per_vcpu_hour: f64,
+    /// Age grid (hours), strictly increasing, covering `[0, horizon]`, dense (default
+    /// one-minute spacing).
+    pub ages: Vec<f64>,
+    /// VM survival probability `S(age)` on the age grid.
+    pub survival: Vec<f64>,
+    /// First-moment table `W(age) = ∫_0^age t f(t) dt` on the age grid (the deadline
+    /// atom included once `age` reaches the horizon).
+    ///
+    /// Every age/job-length query decomposes over this 1-D curve: Equation 8's makespan
+    /// is `E[T_s] = T + W(min(s+T, L)) − W(s)` and the conditional failure probability
+    /// is `1 − S(min(s+T, L⁻))/S(s)` — so the kink along `s + T = L` (where jobs start
+    /// crossing the deadline) is handled *analytically* instead of being smeared by a
+    /// rectangular 2-D interpolation across the diagonal.
+    pub first_moment: Vec<f64>,
+    /// DP checkpoint tables, one cell per checkpoint-cost value.
+    pub checkpoint_cells: Vec<CheckpointCell>,
+    /// Precomputed best-policy ranking for this regime.
+    pub policy_card: PolicyCard,
+}
+
+/// DP checkpoint tables for one checkpoint-cost setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointCell {
+    /// Cost of writing one checkpoint, minutes.
+    pub checkpoint_cost_minutes: f64,
+    /// DP work-step granularity, minutes.
+    pub dp_step_minutes: f64,
+    /// Restart overhead after a preemption, minutes.
+    pub restart_overhead_minutes: f64,
+    /// Start-age grid (hours) of the expected-makespan table.
+    pub ages: Vec<f64>,
+    /// Job-length grid (hours).
+    pub job_lens: Vec<f64>,
+    /// DP expected makespan, row-major over `ages × job_lens`.
+    pub expected_makespan: Vec<f64>,
+    /// Fresh-VM checkpoint schedules, one per job-length grid point.
+    pub schedules: Vec<PackSchedule>,
+}
+
+/// One precomputed checkpoint schedule (fresh VM).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackSchedule {
+    /// Job length the schedule covers (hours, after DP step quantisation).
+    pub job_len_hours: f64,
+    /// Work executed before each checkpoint, in order (hours).
+    pub intervals_hours: Vec<f64>,
+    /// DP expected makespan of the job under this schedule (hours).
+    pub expected_makespan_hours: f64,
+}
+
+/// One policy's standing in a [`PolicyCard`] ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyScore {
+    /// Policy name (e.g. `model-driven`, `memoryless`, `young-daly`, `none`).
+    pub name: String,
+    /// Ranking score; lower is better. Scheduling scores are average job-failure
+    /// probabilities, checkpointing scores are expected makespans in hours.
+    pub score: f64,
+}
+
+/// Precomputed best-policy answer for one regime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyCard {
+    /// Job length (hours) the comparison was evaluated at.
+    pub reference_job_len_hours: f64,
+    /// Scheduling policies ranked by average failure probability (ascending).
+    pub scheduling: Vec<PolicyScore>,
+    /// Checkpointing policies ranked by expected makespan (ascending).
+    pub checkpointing: Vec<PolicyScore>,
+    /// The winning scheduling policy.
+    pub recommended_scheduling: String,
+    /// The winning checkpointing policy.
+    pub recommended_checkpointing: String,
+}
+
+impl ModelPack {
+    /// Serializes the pack to compact JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| AdvisorError::Pack(e.to_string()))
+    }
+
+    /// Parses a pack from JSON, rejecting format-version mismatches.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let pack: ModelPack =
+            serde_json::from_str(text).map_err(|e| AdvisorError::Pack(e.to_string()))?;
+        if pack.format_version != PACK_FORMAT_VERSION {
+            return Err(AdvisorError::Pack(format!(
+                "pack format version {} is not supported (this build reads version {})",
+                pack.format_version, PACK_FORMAT_VERSION
+            )));
+        }
+        pack.validate()?;
+        Ok(pack)
+    }
+
+    /// Structural sanity checks shared by the builder and the loader.
+    pub fn validate(&self) -> Result<()> {
+        if self.regimes.is_empty() {
+            return Err(AdvisorError::Pack("pack contains no regimes".to_string()));
+        }
+        let mut names: Vec<&str> = self.regimes.iter().map(|r| r.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != self.regimes.len() {
+            return Err(AdvisorError::Pack(
+                "regime names must be unique".to_string(),
+            ));
+        }
+        for regime in &self.regimes {
+            regime.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Names of the regimes in the pack, in pack order.
+    pub fn regime_names(&self) -> Vec<String> {
+        self.regimes.iter().map(|r| r.name.clone()).collect()
+    }
+}
+
+impl RegimePack {
+    fn validate(&self) -> Result<()> {
+        let grid = |name: &str, len: usize, expected: usize| -> Result<()> {
+            if len != expected {
+                return Err(AdvisorError::Pack(format!(
+                    "regime `{}`: {name} has {len} entries, expected {expected}",
+                    self.name
+                )));
+            }
+            Ok(())
+        };
+        if self.ages.len() < 2 {
+            return Err(AdvisorError::Pack(format!(
+                "regime `{}`: age grid needs at least two knots",
+                self.name
+            )));
+        }
+        grid("survival", self.survival.len(), self.ages.len())?;
+        grid("first_moment", self.first_moment.len(), self.ages.len())?;
+        if self.checkpoint_cells.is_empty() {
+            return Err(AdvisorError::Pack(format!(
+                "regime `{}` has no checkpoint cells",
+                self.name
+            )));
+        }
+        for cell in &self.checkpoint_cells {
+            let dp_cells = cell.ages.len() * cell.job_lens.len();
+            if cell.expected_makespan.len() != dp_cells {
+                return Err(AdvisorError::Pack(format!(
+                    "regime `{}`: checkpoint cell has {} makespan entries, expected {dp_cells}",
+                    self.name,
+                    cell.expected_makespan.len()
+                )));
+            }
+            if cell.schedules.len() != cell.job_lens.len() {
+                return Err(AdvisorError::Pack(format!(
+                    "regime `{}`: checkpoint cell has {} schedules for {} job lengths",
+                    self.name,
+                    cell.schedules.len(),
+                    cell.job_lens.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let json = format!(
+            "{{\"format_version\":{},\"name\":\"x\",\"base_seed\":1,\"model_mode\":\"m\",\"regimes\":[]}}",
+            PACK_FORMAT_VERSION + 1
+        );
+        let err = ModelPack::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("format version"), "{err}");
+    }
+
+    #[test]
+    fn empty_pack_is_rejected() {
+        let json = format!(
+            "{{\"format_version\":{PACK_FORMAT_VERSION},\"name\":\"x\",\"base_seed\":1,\"model_mode\":\"m\",\"regimes\":[]}}"
+        );
+        let err = ModelPack::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("no regimes"), "{err}");
+    }
+}

@@ -1,0 +1,175 @@
+//! NDJSON serving: request streams in, response streams out.
+//!
+//! Each input line is one [`AdviceRequest`] in JSON; each output line is either the
+//! matching [`AdviceResponse`] or an `{"error": ..., "id": ...}` line.  Lines are parsed,
+//! answered, and serialized inside the worker tasks and emitted in input order, so the
+//! byte output is identical for every thread count — a malformed line never stalls or
+//! reorders the stream.
+
+use crate::engine::{AdviceRequest, Advisor};
+use crate::pack::ModelPack;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tcp_cloudsim::run_tasks;
+
+/// The error line emitted for requests that could not be answered.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorLine {
+    /// What went wrong (parse error or advisor error).
+    pub error: String,
+    /// Correlation id of the failing request, when it could be parsed.
+    pub id: Option<u64>,
+}
+
+/// Answers one NDJSON request line, returning the response (or error) line without a
+/// trailing newline.
+pub fn respond_line(advisor: &Advisor, line: &str) -> String {
+    let emit_error = |error: String, id: Option<u64>| {
+        serde_json::to_string(&ErrorLine { error, id }).expect("error lines serialize")
+    };
+    match serde_json::from_str::<AdviceRequest>(line) {
+        Err(e) => emit_error(format!("parse error: {e}"), None),
+        Ok(request) => match advisor.advise(&request) {
+            Ok(response) => serde_json::to_string(&response).expect("responses serialize"),
+            Err(e) => emit_error(e.to_string(), request.id),
+        },
+    }
+}
+
+/// Serves a whole NDJSON request stream over `threads` worker threads (`0` = all CPUs).
+///
+/// Blank lines are skipped; every other input line produces exactly one output line, in
+/// input order.  The returned string is newline-terminated unless empty.
+pub fn serve_ndjson(advisor: &Advisor, input: &str, threads: usize) -> String {
+    let lines: Vec<&str> = input.lines().filter(|l| !l.trim().is_empty()).collect();
+    let responses = run_tasks(lines.len(), threads, |i| respond_line(advisor, lines[i]));
+    let mut out = responses.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Deterministically generates a mixed request workload against `pack` — the load
+/// generator behind `advise gen` and the throughput benchmarks.
+///
+/// The mix is 40 % reuse decisions, 25 % cost estimates, 25 % checkpoint plans and 10 %
+/// best-policy lookups, spread across every regime in the pack, with ages across the
+/// whole horizon and job lengths up to half the horizon.
+pub fn generate_requests(pack: &ModelPack, count: usize, seed: u64) -> Vec<AdviceRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut requests = Vec::with_capacity(count);
+    for i in 0..count {
+        let regime = &pack.regimes[rng.gen_range(0..pack.regimes.len())];
+        let horizon = regime.horizon_hours;
+        let vm_age = rng.gen_range(0.0..horizon);
+        let job_len = rng.gen_range(0.1..0.5 * horizon);
+        let roll: f64 = rng.gen();
+        let mut request = if roll < 0.40 {
+            AdviceRequest::should_reuse(regime.name.clone(), vm_age, job_len)
+        } else if roll < 0.65 {
+            AdviceRequest::expected_cost_makespan(regime.name.clone(), vm_age, job_len)
+        } else if roll < 0.90 {
+            let mut req = AdviceRequest::checkpoint_plan(regime.name.clone(), vm_age, job_len);
+            let cells = &regime.checkpoint_cells;
+            req.overhead_minutes =
+                Some(cells[rng.gen_range(0..cells.len())].checkpoint_cost_minutes);
+            req
+        } else {
+            AdviceRequest::best_policy(regime.name.clone())
+        };
+        request.id = Some(i as u64);
+        requests.push(request);
+    }
+    requests
+}
+
+/// Renders requests as an NDJSON document (newline-terminated).
+pub fn requests_to_ndjson(requests: &[AdviceRequest]) -> String {
+    let mut out = String::new();
+    for request in requests {
+        out.push_str(&serde_json::to_string(request).expect("requests serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::tests::{tiny_builder, tiny_spec};
+    use crate::engine::RequestKind;
+
+    fn advisor() -> Advisor {
+        Advisor::new(tiny_builder().build_from_spec(&tiny_spec()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn serves_requests_and_reports_errors_in_place() {
+        let a = advisor();
+        let input = r#"
+{"kind": "should-reuse", "regime": "gcp-day", "vm_age": 8.0, "job_len": 6.0, "id": 1}
+{"kind": "should-reuse", "vm_age": -3.0, "job_len": 6.0, "id": 2}
+not json at all
+{"kind": "best-policy", "regime": "exp8", "id": 4}
+"#;
+        let out = serve_ndjson(&a, input, 1);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"id\":1"), "{}", lines[0]);
+        assert!(lines[0].contains("\"decision\":\"reuse\""), "{}", lines[0]);
+        assert!(
+            lines[1].contains("error") && lines[1].contains("vm_age"),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[2].contains("parse error"), "{}", lines[2]);
+        assert!(lines[3].contains("best-policy"), "{}", lines[3]);
+    }
+
+    #[test]
+    fn output_is_byte_identical_for_any_thread_count() {
+        let a = advisor();
+        let requests = generate_requests(a.pack(), 500, 7);
+        let input = requests_to_ndjson(&requests);
+        let one = serve_ndjson(&a, &input, 1);
+        let four = serve_ndjson(&a, &input, 4);
+        let eight = serve_ndjson(&a, &input, 8);
+        assert_eq!(one, four);
+        assert_eq!(one, eight);
+        assert_eq!(one.lines().count(), 500);
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_covers_every_kind() {
+        let a = advisor();
+        let r1 = generate_requests(a.pack(), 300, 11);
+        let r2 = generate_requests(a.pack(), 300, 11);
+        assert_eq!(r1, r2);
+        let r3 = generate_requests(a.pack(), 300, 12);
+        assert_ne!(r1, r3);
+        for kind in [
+            RequestKind::ShouldReuse,
+            RequestKind::CheckpointPlan,
+            RequestKind::ExpectedCostMakespan,
+            RequestKind::BestPolicy,
+        ] {
+            assert!(r1.iter().any(|r| r.kind == kind), "mix is missing {kind}");
+        }
+        // Every generated request is answerable.
+        for result in a.advise_batch(&r1, 0) {
+            result.unwrap();
+        }
+    }
+
+    #[test]
+    fn request_round_trips_through_ndjson() {
+        let requests = generate_requests(advisor().pack(), 20, 3);
+        let text = requests_to_ndjson(&requests);
+        for (line, original) in text.lines().zip(&requests) {
+            let parsed: AdviceRequest = serde_json::from_str(line).unwrap();
+            assert_eq!(&parsed, original);
+        }
+    }
+}

@@ -1,22 +1,29 @@
 //! `sweep` — run a declarative scenario sweep from the command line.
 //!
 //! ```text
-//! sweep <spec.toml|spec.json> [--threads N] [--out-dir DIR] [--dry-run] [--quiet]
+//! sweep <spec.toml|spec.json> [--threads N] [--out-dir DIR] [--shard I/N] [--dry-run] [--quiet]
+//! sweep merge <shard.json>... [--out-dir DIR] [--quiet]
 //! ```
 //!
 //! Loads the spec, expands the grid, runs every `scenario × trial` in parallel, prints a
 //! human-readable summary, and writes `<name>.json` and `<name>.csv` reports into the
 //! output directory.  Results are bit-identical for every `--threads` value.
+//!
+//! With `--shard I/N` only the scenarios with `id % N == I` run, and the report is
+//! written as `<name>.shard-I-of-N.json`; `sweep merge` reassembles shard reports into
+//! the exact bytes the unsharded run would have produced.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use tcp_scenarios::{expand, run_sweep_on_grid, SweepSpec};
+use tcp_scenarios::{expand, run_sweep_on_grid, run_sweep_shard, SweepReport, SweepSpec};
 
 const USAGE: &str = "usage: sweep <spec.toml|spec.json> [options]
+       sweep merge <shard.json>... [options]
 
 options:
   --threads N    worker threads (default 0 = all CPUs)
   --out-dir DIR  directory for the JSON/CSV reports (default sweep-results)
+  --shard I/N    run only scenarios with id % N == I (merge shards with `sweep merge`)
   --dry-run      expand and list the scenario grid without running it
   --quiet        suppress the per-regime summary tables
   --help         show this message";
@@ -25,14 +32,33 @@ struct Args {
     spec_path: PathBuf,
     threads: usize,
     out_dir: PathBuf,
+    shard: Option<(usize, usize)>,
     dry_run: bool,
     quiet: bool,
+}
+
+struct MergeArgs {
+    shard_paths: Vec<PathBuf>,
+    out_dir: PathBuf,
+    quiet: bool,
+}
+
+fn parse_shard(v: &str) -> Result<(usize, usize), String> {
+    let err = || format!("invalid --shard value `{v}` (expected I/N, e.g. 0/4)");
+    let (i, n) = v.split_once('/').ok_or_else(err)?;
+    let i: usize = i.trim().parse().map_err(|_| err())?;
+    let n: usize = n.trim().parse().map_err(|_| err())?;
+    if n == 0 || i >= n {
+        return Err(err());
+    }
+    Ok((i, n))
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut spec_path: Option<PathBuf> = None;
     let mut threads = 0usize;
     let mut out_dir = PathBuf::from("sweep-results");
+    let mut shard = None;
     let mut dry_run = false;
     let mut quiet = false;
 
@@ -48,6 +74,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--out-dir" => {
                 out_dir = PathBuf::from(it.next().ok_or("--out-dir needs a value")?);
+            }
+            "--shard" => {
+                shard = Some(parse_shard(it.next().ok_or("--shard needs a value")?)?);
             }
             "--dry-run" => dry_run = true,
             "--quiet" => quiet = true,
@@ -67,9 +96,55 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         spec_path,
         threads,
         out_dir,
+        shard,
         dry_run,
         quiet,
     })
+}
+
+fn parse_merge_args(argv: &[String]) -> Result<MergeArgs, String> {
+    let mut shard_paths = Vec::new();
+    let mut out_dir = PathBuf::from("sweep-results");
+    let mut quiet = false;
+
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--out-dir" => {
+                out_dir = PathBuf::from(it.next().ok_or("--out-dir needs a value")?);
+            }
+            "--quiet" => quiet = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n\n{USAGE}"))
+            }
+            other => shard_paths.push(PathBuf::from(other)),
+        }
+    }
+    if shard_paths.is_empty() {
+        return Err(format!("merge needs at least one shard report\n\n{USAGE}"));
+    }
+    Ok(MergeArgs {
+        shard_paths,
+        out_dir,
+        quiet,
+    })
+}
+
+fn write_reports(report: &SweepReport, out_dir: &PathBuf, quiet: bool) -> Result<(), String> {
+    if !quiet {
+        print!("{}", report.render_text());
+    }
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let json_path = out_dir.join(format!("{}.json", report.name));
+    let csv_path = out_dir.join(format!("{}.csv", report.name));
+    std::fs::write(&json_path, report.to_json().map_err(|e| e.to_string())?)
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    std::fs::write(&csv_path, report.to_csv())
+        .map_err(|e| format!("cannot write {}: {e}", csv_path.display()))?;
+    println!("\nwrote {} and {}", json_path.display(), csv_path.display());
+    Ok(())
 }
 
 fn run(args: &Args) -> Result<(), String> {
@@ -90,34 +165,68 @@ fn run(args: &Args) -> Result<(), String> {
         return Ok(());
     }
 
-    let report = run_sweep_on_grid(&spec, &grid, args.threads).map_err(|e| e.to_string())?;
-
-    if !args.quiet {
-        print!("{}", report.render_text());
+    if let Some((index, count)) = args.shard {
+        let report =
+            run_sweep_shard(&spec, &grid, index, count, args.threads).map_err(|e| e.to_string())?;
+        println!(
+            "shard {index}/{count}: ran {} of {} scenarios",
+            report.scenarios.len(),
+            grid.len()
+        );
+        std::fs::create_dir_all(&args.out_dir)
+            .map_err(|e| format!("cannot create {}: {e}", args.out_dir.display()))?;
+        let path = args
+            .out_dir
+            .join(format!("{}.shard-{index}-of-{count}.json", spec.sweep.name));
+        std::fs::write(&path, report.to_json().map_err(|e| e.to_string())?)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {} (merge shards with `sweep merge`)", path.display());
+        return Ok(());
     }
 
-    std::fs::create_dir_all(&args.out_dir)
-        .map_err(|e| format!("cannot create {}: {e}", args.out_dir.display()))?;
-    let json_path = args.out_dir.join(format!("{}.json", spec.sweep.name));
-    let csv_path = args.out_dir.join(format!("{}.csv", spec.sweep.name));
-    std::fs::write(&json_path, report.to_json().map_err(|e| e.to_string())?)
-        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
-    std::fs::write(&csv_path, report.to_csv())
-        .map_err(|e| format!("cannot write {}: {e}", csv_path.display()))?;
-    println!("\nwrote {} and {}", json_path.display(), csv_path.display());
-    Ok(())
+    let report = run_sweep_on_grid(&spec, &grid, args.threads).map_err(|e| e.to_string())?;
+    write_reports(&report, &args.out_dir, args.quiet)
+}
+
+fn run_merge(args: &MergeArgs) -> Result<(), String> {
+    let mut shards = Vec::with_capacity(args.shard_paths.len());
+    for path in &args.shard_paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let report: SweepReport = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+        shards.push(report);
+    }
+    let merged = SweepReport::merge(&shards).map_err(|e| e.to_string())?;
+    println!(
+        "merged {} shards into sweep `{}` ({} scenarios)",
+        shards.len(),
+        merged.name,
+        merged.scenario_count
+    );
+    write_reports(&merged, &args.out_dir, args.quiet)
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = match parse_args(&argv) {
-        Ok(args) => args,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
+    let outcome = if argv.first().map(String::as_str) == Some("merge") {
+        match parse_merge_args(&argv[1..]) {
+            Ok(args) => run_merge(&args),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match parse_args(&argv) {
+            Ok(args) => run(&args),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::from(2);
+            }
         }
     };
-    match run(&args) {
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");

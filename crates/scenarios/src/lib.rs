@@ -36,5 +36,5 @@ pub mod spec;
 
 pub use grid::{cross_product, expand, ExpandedGrid, Scenario, ScenarioMeta};
 pub use report::{RankedPolicy, RegimeRanking, ScenarioMetrics, ScenarioResult, SweepReport};
-pub use runner::{run_sweep, run_sweep_on_grid, trial_seed};
+pub use runner::{regime_model, run_sweep, run_sweep_on_grid, run_sweep_shard, trial_seed};
 pub use spec::{Regime, RegimeSpec, SweepSpec};

@@ -152,7 +152,8 @@ pub struct SweepReport {
 impl SweepReport {
     /// Assembles a report from per-scenario results.
     pub fn new(spec: &SweepSpec, grid: &ExpandedGrid, scenarios: Vec<ScenarioResult>) -> Self {
-        let rankings = rank_policies(&scenarios, grid);
+        let regime_names: Vec<String> = grid.regimes.iter().map(|r| r.name.clone()).collect();
+        let rankings = rank_policies(&scenarios, &regime_names);
         SweepReport {
             name: spec.sweep.name.clone(),
             base_seed: spec.base_seed(),
@@ -169,6 +170,72 @@ impl SweepReport {
             scenarios,
             rankings,
         }
+    }
+
+    /// Merges shard reports (from [`run_sweep_shard`](crate::runner::run_sweep_shard))
+    /// back into the full sweep report.
+    ///
+    /// Validates that every shard came from the same sweep (name, base seed, trials,
+    /// axes), that the union of their scenarios covers the whole grid exactly once, then
+    /// reassembles the scenarios in grid order and recomputes the regime rankings.  The
+    /// result is byte-identical to the report an unsharded run would have produced,
+    /// because per-scenario results only depend on `(base_seed, scenario id, trial)`.
+    pub fn merge(shards: &[SweepReport]) -> Result<SweepReport> {
+        let first = shards
+            .first()
+            .ok_or_else(|| NumericsError::invalid("nothing to merge: no shard reports given"))?;
+        for shard in &shards[1..] {
+            if shard.name != first.name
+                || shard.base_seed != first.base_seed
+                || shard.trials != first.trials
+                || shard.axes != first.axes
+            {
+                return Err(NumericsError::invalid(format!(
+                    "shard `{}` (seed {}) does not belong to sweep `{}` (seed {})",
+                    shard.name, shard.base_seed, first.name, first.base_seed
+                )));
+            }
+        }
+        let expected: usize = first.axes.iter().map(|a| a.values).product();
+        let mut scenarios: Vec<ScenarioResult> = shards
+            .iter()
+            .flat_map(|s| s.scenarios.iter().cloned())
+            .collect();
+        scenarios.sort_by_key(|s| s.scenario.id);
+        for (i, s) in scenarios.iter().enumerate() {
+            if s.scenario.id != i {
+                return Err(NumericsError::invalid(format!(
+                    "merged shards do not cover the grid: expected scenario id {i}, found {} \
+                     ({} of {expected} scenarios present)",
+                    s.scenario.id,
+                    scenarios.len()
+                )));
+            }
+        }
+        if scenarios.len() != expected {
+            return Err(NumericsError::invalid(format!(
+                "merged shards cover {} of {expected} scenarios",
+                scenarios.len()
+            )));
+        }
+        // Regime order: first appearance in grid order.  The regime axis varies slowest,
+        // so this reproduces the spec's regime order exactly.
+        let mut regime_names: Vec<String> = Vec::new();
+        for s in &scenarios {
+            if !regime_names.contains(&s.scenario.regime) {
+                regime_names.push(s.scenario.regime.clone());
+            }
+        }
+        let rankings = rank_policies(&scenarios, &regime_names);
+        Ok(SweepReport {
+            name: first.name.clone(),
+            base_seed: first.base_seed,
+            trials: first.trials,
+            axes: first.axes.clone(),
+            scenario_count: scenarios.len(),
+            scenarios,
+            rankings,
+        })
     }
 
     /// Structured JSON rendering (pretty-printed, byte-deterministic).
@@ -272,14 +339,14 @@ fn csv_escape(field: &str) -> String {
 
 /// Groups scenario results by `(regime, scheduling, checkpointing)`, averages each
 /// group's means over the remaining axes, and ranks policies within each regime by cost.
-fn rank_policies(scenarios: &[ScenarioResult], grid: &ExpandedGrid) -> Vec<RegimeRanking> {
+fn rank_policies(scenarios: &[ScenarioResult], regime_names: &[String]) -> Vec<RegimeRanking> {
     let mut rankings = Vec::new();
-    for regime_spec in &grid.regimes {
+    for regime_name in regime_names {
         // Policy combinations in first-appearance (grid) order.
         let mut combos: Vec<(String, String)> = Vec::new();
         for s in scenarios
             .iter()
-            .filter(|s| s.scenario.regime == regime_spec.name)
+            .filter(|s| &s.scenario.regime == regime_name)
         {
             let combo = (
                 s.scenario.scheduling.clone(),
@@ -295,7 +362,7 @@ fn rank_policies(scenarios: &[ScenarioResult], grid: &ExpandedGrid) -> Vec<Regim
                 let group: Vec<&ScenarioResult> = scenarios
                     .iter()
                     .filter(|s| {
-                        s.scenario.regime == regime_spec.name
+                        &s.scenario.regime == regime_name
                             && s.scenario.scheduling == scheduling
                             && s.scenario.checkpointing == checkpointing
                     })
@@ -331,7 +398,7 @@ fn rank_policies(scenarios: &[ScenarioResult], grid: &ExpandedGrid) -> Vec<Regim
             };
         }
         rankings.push(RegimeRanking {
-            regime: regime_spec.name.clone(),
+            regime: regime_name.clone(),
             policies,
         });
     }

@@ -50,8 +50,15 @@ pub fn bag_seed(base_seed: u64, application: &str, jobs: usize) -> u64 {
     mix(h ^ (jobs as u64))
 }
 
-/// Builds the policy model for one regime according to the sweep's `model` setting.
-fn build_model(spec: &SweepSpec, regime: &RegimeSpec, regime_index: usize) -> Result<BathtubModel> {
+/// Builds the policy model for one regime according to the sweep's `model` setting
+/// (`paper-representative` uses the Section 3.2.2 parameters, `fitted` samples the
+/// regime's ground truth and refits).  Public so other subsystems — the advisor's pack
+/// builder in particular — derive byte-identical models from the same spec.
+pub fn regime_model(
+    spec: &SweepSpec,
+    regime: &RegimeSpec,
+    regime_index: usize,
+) -> Result<BathtubModel> {
     match spec.sweep.model.as_deref() {
         None | Some("paper-representative") => Ok(BathtubModel::paper_representative()),
         Some("fitted") => {
@@ -81,19 +88,23 @@ struct PreparedScenario {
     bag: BagOfJobs,
 }
 
-fn prepare(spec: &SweepSpec, grid: &ExpandedGrid) -> Result<Vec<PreparedScenario>> {
+fn prepare(
+    spec: &SweepSpec,
+    grid: &ExpandedGrid,
+    keep: &dyn Fn(usize) -> bool,
+) -> Result<Vec<PreparedScenario>> {
     // Regimes and models are built once per regime, not once per scenario.
     let mut regimes = Vec::with_capacity(grid.regimes.len());
     for (i, regime_spec) in grid.regimes.iter().enumerate() {
         regimes.push(Regime {
             name: regime_spec.name.clone(),
             template: regime_spec.build_template()?,
-            model: build_model(spec, regime_spec, i)?,
+            model: regime_model(spec, regime_spec, i)?,
         });
     }
 
     let mut prepared = Vec::with_capacity(grid.scenarios.len());
-    for scenario in &grid.scenarios {
+    for scenario in grid.scenarios.iter().filter(|s| keep(s.meta.id)) {
         let regime = regimes[scenario.regime_index].clone();
         let service = BatchService::new(scenario.config, regime.model).map_err(|e| {
             NumericsError::invalid(format!("scenario `{}`: {e}", scenario.meta.label))
@@ -138,6 +149,43 @@ pub fn run_sweep_on_grid(
     grid: &ExpandedGrid,
     threads: usize,
 ) -> Result<SweepReport> {
+    run_sweep_filtered(spec, grid, &|_| true, threads)
+}
+
+/// Runs one shard of a sweep: the scenarios whose id satisfies
+/// `id % shard_count == shard_index`.
+///
+/// Striding by id (rather than splitting contiguous ranges) balances load across shards
+/// even when one regime or policy is much slower than the others.  Because every trial's
+/// RNG stream is derived from `(base_seed, scenario id, trial)` and the full grid is
+/// expanded before filtering, a shard's per-scenario results are byte-identical to the
+/// same scenarios in an unsharded run — which is what lets
+/// [`SweepReport::merge`](crate::report::SweepReport::merge) reassemble the exact
+/// unsharded report.
+pub fn run_sweep_shard(
+    spec: &SweepSpec,
+    grid: &ExpandedGrid,
+    shard_index: usize,
+    shard_count: usize,
+    threads: usize,
+) -> Result<SweepReport> {
+    if shard_count == 0 {
+        return Err(NumericsError::invalid("shard count must be at least 1"));
+    }
+    if shard_index >= shard_count {
+        return Err(NumericsError::invalid(format!(
+            "shard index {shard_index} out of range for {shard_count} shards"
+        )));
+    }
+    run_sweep_filtered(spec, grid, &|id| id % shard_count == shard_index, threads)
+}
+
+fn run_sweep_filtered(
+    spec: &SweepSpec,
+    grid: &ExpandedGrid,
+    keep: &dyn Fn(usize) -> bool,
+    threads: usize,
+) -> Result<SweepReport> {
     if grid.is_empty() {
         return Err(NumericsError::invalid(
             "the sweep grid is empty (an axis has no values)",
@@ -145,7 +193,7 @@ pub fn run_sweep_on_grid(
     }
     let trials = spec.trials();
     let base_seed = spec.base_seed();
-    let prepared = prepare(spec, grid)?;
+    let prepared = prepare(spec, grid, keep)?;
 
     // Flatten scenario × trial into one task space and let workers steal across it.
     let task_count = prepared.len() * trials;
@@ -235,9 +283,33 @@ size = [4]
     fn policies_share_identical_bags() {
         let spec = tiny_spec("\n[policy]\nscheduling = [\"model-driven\", \"memoryless\"]\n");
         let grid = expand(&spec).unwrap();
-        let prepared = prepare(&spec, &grid).unwrap();
+        let prepared = prepare(&spec, &grid, &|_| true).unwrap();
         assert_eq!(prepared.len(), 2);
         assert_eq!(prepared[0].bag, prepared[1].bag);
+    }
+
+    #[test]
+    fn shard_arguments_are_validated() {
+        let spec = tiny_spec("");
+        let grid = expand(&spec).unwrap();
+        assert!(run_sweep_shard(&spec, &grid, 0, 0, 1).is_err());
+        assert!(run_sweep_shard(&spec, &grid, 3, 3, 1).is_err());
+    }
+
+    #[test]
+    fn shards_partition_the_grid() {
+        let spec = tiny_spec("\n[policy]\nscheduling = [\"model-driven\", \"memoryless\"]\n");
+        let grid = expand(&spec).unwrap();
+        let a = run_sweep_shard(&spec, &grid, 0, 2, 1).unwrap();
+        let b = run_sweep_shard(&spec, &grid, 1, 2, 1).unwrap();
+        assert_eq!(a.scenarios.len(), 1);
+        assert_eq!(b.scenarios.len(), 1);
+        assert_eq!(a.scenarios[0].scenario.id, 0);
+        assert_eq!(b.scenarios[0].scenario.id, 1);
+        // Shard results match the same scenarios of the unsharded run exactly.
+        let full = run_sweep(&spec, 1).unwrap();
+        assert_eq!(full.scenarios[0], a.scenarios[0]);
+        assert_eq!(full.scenarios[1], b.scenarios[0]);
     }
 
     #[test]

@@ -57,6 +57,65 @@ fn sweep_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn sharded_sweep_merges_byte_identically() {
+    let spec = small_spec();
+    let grid = expand(&spec).unwrap();
+    let full = run_sweep(&spec, 0).unwrap();
+
+    let shards: Vec<SweepReport> = (0..3)
+        .map(|i| tcp_scenarios::run_sweep_shard(&spec, &grid, i, 3, 2).unwrap())
+        .collect();
+    assert_eq!(
+        shards.iter().map(|s| s.scenarios.len()).sum::<usize>(),
+        full.scenarios.len()
+    );
+
+    // Merge order must not matter; exercise a permuted order.
+    let permuted = vec![shards[2].clone(), shards[0].clone(), shards[1].clone()];
+    let merged = SweepReport::merge(&permuted).unwrap();
+    assert_eq!(merged, full, "structural equality");
+    assert_eq!(
+        merged.to_json().unwrap(),
+        full.to_json().unwrap(),
+        "merged JSON must be byte-identical to the unsharded run"
+    );
+    assert_eq!(merged.to_csv(), full.to_csv());
+
+    // A shard report also survives its own JSON round trip into a merge.
+    let rehydrated: Vec<SweepReport> = shards
+        .iter()
+        .map(|s| serde_json::from_str(&s.to_json().unwrap()).unwrap())
+        .collect();
+    let merged2 = SweepReport::merge(&rehydrated).unwrap();
+    assert_eq!(merged2.to_json().unwrap(), full.to_json().unwrap());
+}
+
+#[test]
+fn merge_rejects_incomplete_or_foreign_shards() {
+    let spec = small_spec();
+    let grid = expand(&spec).unwrap();
+    let shard0 = tcp_scenarios::run_sweep_shard(&spec, &grid, 0, 2, 1).unwrap();
+    let shard1 = tcp_scenarios::run_sweep_shard(&spec, &grid, 1, 2, 1).unwrap();
+
+    assert!(SweepReport::merge(&[]).is_err(), "empty merge");
+    assert!(
+        SweepReport::merge(std::slice::from_ref(&shard0)).is_err(),
+        "missing shard"
+    );
+    assert!(
+        SweepReport::merge(&[shard0.clone(), shard0.clone()]).is_err(),
+        "duplicate shard"
+    );
+
+    let mut foreign = shard1.clone();
+    foreign.base_seed += 1;
+    assert!(
+        SweepReport::merge(&[shard0, foreign]).is_err(),
+        "mismatched base seed"
+    );
+}
+
+#[test]
 fn sweep_rankings_cover_every_regime_and_policy() {
     let report = run_sweep(&small_spec(), 0).unwrap();
     assert_eq!(report.scenario_count, 8);

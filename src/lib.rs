@@ -1,9 +1,11 @@
 //! Facade crate re-exporting the full public API.
+pub use tcp_advisor as advisor;
 pub use tcp_batch as batch;
 pub use tcp_cloudsim as cloudsim;
 pub use tcp_core as model;
 pub use tcp_dists as dists;
 pub use tcp_numerics as numerics;
 pub use tcp_policy as policy;
+pub use tcp_scenarios as scenarios;
 pub use tcp_trace as trace;
 pub use tcp_workloads as workloads;
