@@ -2,21 +2,28 @@
 //!
 //! ```text
 //! advise build <spec.toml|spec.json> --out pack.json [resolution knobs]
+//! advise build --per-cell --catalog catalog.json --out multi.json [knobs]
 //! advise gen   --pack pack.json --count N [--seed S] [--out requests.ndjson]
 //! advise serve --pack pack.json --input requests.ndjson [--output FILE] [--threads N]
 //! advise bench --pack pack.json [--requests N] [--threads N] [--seed S]
 //! ```
 //!
-//! `build` precomputes the tables offline; `serve` answers an NDJSON request stream with
-//! byte-identical output for every `--threads` value; `gen` emits a deterministic load;
-//! `bench` reports throughput and latency percentiles of the serving path.
+//! `build` precomputes the tables offline — from a sweep spec (single pack) or, with
+//! `--per-cell`, from a `calibrate fit` regime catalog (a multi-pack: pooled fallback
+//! plus one pack per calibration cell, routed by the requests' `cell` field); `serve`
+//! answers an NDJSON request stream with byte-identical output for every `--threads`
+//! value, honouring `!reload <path>` control lines via a lock-free `Arc` swap; `gen`
+//! emits a deterministic load; `bench` reports throughput and latency percentiles of
+//! the serving path.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 use tcp_advisor::{
-    generate_requests, requests_to_ndjson, serve_ndjson, Advisor, ModelPack, PackBuilder,
+    generate_requests, requests_to_ndjson, serve_session_with_stats, AdvisorHandle, ModelPack,
+    MultiAdvisor, MultiPack, PackBuilder,
 };
+use tcp_calibrate::RegimeCatalog;
 use tcp_scenarios::SweepSpec;
 
 const USAGE: &str = "usage: advise <command> [options]
@@ -28,6 +35,11 @@ commands:
       --checkpoint-age-points N  DP age-grid resolution (default 9)
       --checkpoint-job-points N  DP job-grid resolution (default 10)
       --max-checkpoint-job H     largest DP job length, hours (default 8)
+      --per-cell                 build a per-cell multi-pack from a regime catalog
+      --catalog FILE             `calibrate fit` catalog (required with --per-cell)
+      --checkpoint-cost M        checkpoint cost axis, minutes (repeatable; default 1)
+      --dp-step M                DP step, minutes (default 5)
+      --threads T                worker threads for --per-cell builds (default 0)
 
   gen                          generate a deterministic NDJSON request load
       --pack FILE                model pack (required)
@@ -55,17 +67,22 @@ fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("invalid {flag} value `{v}`"))
 }
 
-fn load_advisor(pack_path: &Option<PathBuf>) -> Result<Advisor, String> {
+fn load_advisor(pack_path: &Option<PathBuf>) -> Result<MultiAdvisor, String> {
     let path = pack_path.as_ref().ok_or("--pack is required")?;
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    Advisor::from_json(&text).map_err(|e| e.to_string())
+    MultiAdvisor::from_json(&text).map_err(|e| e.to_string())
 }
 
 fn cmd_build(argv: &[String]) -> Result<(), String> {
     let mut spec_path: Option<PathBuf> = None;
+    let mut catalog_path: Option<PathBuf> = None;
+    let mut per_cell = false;
     let mut out = PathBuf::from("pack.json");
     let mut builder = PackBuilder::default();
+    let mut checkpoint_costs: Vec<f64> = Vec::new();
+    let mut dp_step_minutes = 5.0f64;
+    let mut threads = 0usize;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -80,6 +97,11 @@ fn cmd_build(argv: &[String]) -> Result<(), String> {
             "--max-checkpoint-job" => {
                 builder.max_checkpoint_job_hours = parse(next_value(&mut it, arg)?, arg)?
             }
+            "--per-cell" => per_cell = true,
+            "--catalog" => catalog_path = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--checkpoint-cost" => checkpoint_costs.push(parse(next_value(&mut it, arg)?, arg)?),
+            "--dp-step" => dp_step_minutes = parse(next_value(&mut it, arg)?, arg)?,
+            "--threads" => threads = parse(next_value(&mut it, arg)?, arg)?,
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other => {
                 if spec_path.is_some() {
@@ -89,9 +111,36 @@ fn cmd_build(argv: &[String]) -> Result<(), String> {
             }
         }
     }
+    let started = Instant::now();
+    if per_cell {
+        let catalog_path = catalog_path.ok_or("--per-cell needs --catalog <catalog.json>")?;
+        if spec_path.is_some() {
+            return Err("--per-cell builds from a catalog, not a sweep spec".to_string());
+        }
+        let catalog = RegimeCatalog::load(&catalog_path).map_err(|e| e.to_string())?;
+        if checkpoint_costs.is_empty() {
+            checkpoint_costs.push(1.0);
+        }
+        let multi = builder
+            .build_from_catalog(&catalog, &checkpoint_costs, dp_step_minutes, threads)
+            .map_err(|e| e.to_string())?;
+        let json = multi.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(&out, &json).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        println!(
+            "built multi-pack `{}`: pooled + {} cell packs, {} bytes, {:.2}s -> {}",
+            multi.name,
+            multi.cells.len(),
+            json.len(),
+            started.elapsed().as_secs_f64(),
+            out.display()
+        );
+        return Ok(());
+    }
+    if catalog_path.is_some() {
+        return Err("--catalog requires --per-cell".to_string());
+    }
     let spec_path = spec_path.ok_or("build needs a sweep spec file")?;
     let spec = SweepSpec::from_path(&spec_path).map_err(|e| e.to_string())?;
-    let started = Instant::now();
     let pack = builder.build_from_spec(&spec).map_err(|e| e.to_string())?;
     let json = pack.to_json().map_err(|e| e.to_string())?;
     std::fs::write(&out, &json).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
@@ -156,25 +205,32 @@ fn write_or_print(output: &Option<PathBuf>, text: &str) -> Result<(), String> {
 
 fn cmd_gen(argv: &[String]) -> Result<(), String> {
     let args = parse_io_args(argv)?;
+    // Multi-packs generate against their pooled pack (cell routing is opt-in per
+    // request via the `cell` field).  Only the pack metadata is needed here, so no
+    // interpolation engines are built.
     let path = args.pack.as_ref().ok_or("--pack is required")?;
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let pack = ModelPack::from_json(&text).map_err(|e| e.to_string())?;
-    let requests = generate_requests(&pack, args.count, args.seed);
+    let pooled = match MultiPack::from_json(&text) {
+        Ok(multi) => multi.pooled,
+        Err(_) => ModelPack::from_json(&text).map_err(|e| e.to_string())?,
+    };
+    let requests = generate_requests(&pooled, args.count, args.seed);
     write_or_print(&args.output, &requests_to_ndjson(&requests))
 }
 
 fn cmd_serve(argv: &[String]) -> Result<(), String> {
     let args = parse_io_args(argv)?;
-    let advisor = load_advisor(&args.pack)?;
+    let handle = AdvisorHandle::new(load_advisor(&args.pack)?);
     let input_path = args.input.as_ref().ok_or("--input is required")?;
     let input = std::fs::read_to_string(input_path)
         .map_err(|e| format!("cannot read {}: {e}", input_path.display()))?;
     let started = Instant::now();
-    let output = serve_ndjson(&advisor, &input, args.threads);
+    // Stats are aggregated across every advisor that served part of the stream —
+    // reading only the final advisor would drop counts from before a `!reload`.
+    let (output, stats) = serve_session_with_stats(&handle, &input, args.threads);
     let elapsed = started.elapsed().as_secs_f64();
     write_or_print(&args.output, &output)?;
-    let stats = advisor.stats();
     eprintln!(
         "served {} queries in {elapsed:.3}s ({:.0} q/s; {} reuse, {} plan, {} cost, {} policy)",
         stats.total(),
@@ -198,7 +254,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 fn cmd_bench(argv: &[String]) -> Result<(), String> {
     let args = parse_io_args(argv)?;
     let advisor = load_advisor(&args.pack)?;
-    let requests = generate_requests(advisor.pack(), args.requests, args.seed);
+    let requests = generate_requests(advisor.pooled().pack(), args.requests, args.seed);
 
     // Throughput: one big batch over the worker pool.
     let started = Instant::now();

@@ -9,9 +9,11 @@
 
 use crate::error::{AdvisorError, Result};
 use crate::pack::{
-    CheckpointCell, ModelPack, PackSchedule, PolicyCard, PolicyScore, RegimePack,
-    PACK_FORMAT_VERSION,
+    CellPackEntry, CheckpointCell, ModelPack, MultiPack, PackSchedule, PolicyCard, PolicyScore,
+    RegimePack, MULTI_PACK_FORMAT_VERSION, PACK_FORMAT_VERSION,
 };
+use tcp_calibrate::RegimeCatalog;
+use tcp_cloudsim::{run_tasks, PricingModel};
 use tcp_core::analysis::expected_makespan_from_age;
 use tcp_core::BathtubModel;
 use tcp_dists::LifetimeDistribution;
@@ -21,7 +23,7 @@ use tcp_policy::{
     ModelDrivenScheduler, YoungDalyPolicy,
 };
 use tcp_scenarios::spec::RegimeSpec;
-use tcp_scenarios::{regime_model, SweepSpec};
+use tcp_scenarios::{regime_model, resolve_regimes, SweepSpec};
 use tcp_trace::VmType;
 
 /// Resolution and scope knobs for pack construction.
@@ -91,10 +93,9 @@ impl PackBuilder {
     pub fn build_from_spec(&self, spec: &SweepSpec) -> Result<ModelPack> {
         self.validate()?;
         spec.validate()?;
-        let regime_specs: Vec<RegimeSpec> = match &spec.regime {
-            Some(regimes) if !regimes.is_empty() => regimes.clone(),
-            _ => vec![RegimeSpec::default_catalog()],
-        };
+        // Resolved exactly like the sweep grid, so calibrated regimes without a pinned
+        // cell become one regime pack per catalog cell here too.
+        let regime_specs: Vec<RegimeSpec> = resolve_regimes(spec)?;
         let checkpoint_costs: Vec<f64> = spec
             .workload
             .as_ref()
@@ -131,6 +132,109 @@ impl PackBuilder {
         Ok(pack)
     }
 
+    /// Builds a per-cell pack set from a calibrated regime catalog: the pooled
+    /// all-records fit becomes the fallback pack, and every catalog cell with a
+    /// parametric bathtub fit becomes its own single-regime pack (named after the
+    /// cell), with cost tables priced for the cell's actual VM type.  Cells too small
+    /// for a parametric fit are skipped.
+    ///
+    /// Table construction fans out over `threads` worker threads (`0` = all CPUs);
+    /// assembly is in catalog order, so the pack set is byte-identical for every thread
+    /// count.
+    pub fn build_from_catalog(
+        &self,
+        catalog: &RegimeCatalog,
+        checkpoint_costs: &[f64],
+        dp_step_minutes: f64,
+        threads: usize,
+    ) -> Result<MultiPack> {
+        self.validate()?;
+        if checkpoint_costs.is_empty() {
+            return Err(AdvisorError::Pack(
+                "at least one checkpoint cost is required".to_string(),
+            ));
+        }
+        if !(dp_step_minutes > 0.0) || !dp_step_minutes.is_finite() {
+            return Err(AdvisorError::Pack(
+                "dp_step_minutes must be positive".to_string(),
+            ));
+        }
+        let pooled_model = catalog.pooled.bathtub_model().ok_or_else(|| {
+            AdvisorError::Pack(
+                "the catalog's pooled entry has no bathtub fit (too few records?)".to_string(),
+            )
+        })?;
+        let cells: Vec<(String, BathtubModel, VmType)> = catalog
+            .cells
+            .iter()
+            .filter_map(|cell| {
+                let model = cell.bathtub_model()?;
+                Some((cell.cell.clone(), model, cell.vm_type?))
+            })
+            .collect();
+        if cells.is_empty() {
+            return Err(AdvisorError::Pack(
+                "no catalog cell has a parametric bathtub fit; refit with more records \
+                 per cell (or a lower --min-records)"
+                    .to_string(),
+            ));
+        }
+        // Per-vCPU GCP pricing; each pack's absolute costs follow its cell's VM type.
+        let pricing = PricingModel::gcp_n1_highcpu();
+
+        // Task 0 builds the pooled pack's tables; tasks 1.. the cells in catalog order.
+        let outcomes: Vec<Result<RegimePack>> =
+            run_tasks(cells.len() + 1, threads, |task| match task {
+                0 => self.build_regime_tables(
+                    "pooled",
+                    pooled_model,
+                    pricing,
+                    self.vm_type,
+                    checkpoint_costs,
+                    dp_step_minutes,
+                ),
+                i => {
+                    let (name, model, vm_type) = &cells[i - 1];
+                    self.build_regime_tables(
+                        name,
+                        *model,
+                        pricing,
+                        *vm_type,
+                        checkpoint_costs,
+                        dp_step_minutes,
+                    )
+                }
+            });
+        let mut outcomes = outcomes.into_iter();
+        let wrap = |name: &str, regime: RegimePack| ModelPack {
+            format_version: PACK_FORMAT_VERSION,
+            name: name.to_string(),
+            base_seed: 0,
+            model_mode: "calibrated".to_string(),
+            regimes: vec![regime],
+        };
+        let pooled = wrap("pooled", outcomes.next().expect("pooled task")?);
+        let mut entries = Vec::with_capacity(cells.len());
+        for ((name, _, _), outcome) in cells.iter().zip(outcomes) {
+            entries.push(CellPackEntry {
+                cell: name.clone(),
+                pack: wrap(name, outcome?),
+            });
+        }
+        // The catalog orders cells by typed key; the router binary-searches by *name*,
+        // so the serialized entries are name-sorted (still deterministic).
+        entries.sort_by(|a, b| a.cell.cmp(&b.cell));
+        let multi = MultiPack {
+            format_version: MULTI_PACK_FORMAT_VERSION,
+            name: catalog.name.clone(),
+            catalog: catalog.name.clone(),
+            pooled,
+            cells: entries,
+        };
+        multi.validate()?;
+        Ok(multi)
+    }
+
     fn build_regime(
         &self,
         regime_spec: &RegimeSpec,
@@ -138,9 +242,40 @@ impl PackBuilder {
         checkpoint_costs: &[f64],
         dp_step_minutes: f64,
     ) -> Result<RegimePack> {
+        let pricing = regime_spec.build_template()?.config.pricing;
+        // Calibrated regimes pinned to a cell are priced for the cell's actual VM
+        // type, matching `build_from_catalog` answers for the same cell; every other
+        // regime (and the `pooled` pseudo-cell) uses the builder's VM type.
+        let vm_type = regime_spec
+            .cell
+            .as_deref()
+            .filter(|_| regime_spec.kind == "calibrated")
+            .and_then(|cell| cell.parse::<tcp_calibrate::CellKey>().ok())
+            .map(|key| key.vm_type)
+            .unwrap_or(self.vm_type);
+        self.build_regime_tables(
+            &regime_spec.name,
+            model,
+            pricing,
+            vm_type,
+            checkpoint_costs,
+            dp_step_minutes,
+        )
+    }
+
+    /// The table-construction core shared by the spec path and the catalog path: every
+    /// grid in a [`RegimePack`] derives from the model, the pricing and the VM type.
+    fn build_regime_tables(
+        &self,
+        name: &str,
+        model: BathtubModel,
+        pricing: PricingModel,
+        vm_type: VmType,
+        checkpoint_costs: &[f64],
+        dp_step_minutes: f64,
+    ) -> Result<RegimePack> {
         let horizon = model.horizon();
         let (early_end, deadline_start) = model.phase_boundaries();
-        let pricing = regime_spec.build_template()?.config.pricing;
 
         let ages = linspace(0.0, horizon, self.age_points);
         let dist = model.dist();
@@ -165,13 +300,13 @@ impl PackBuilder {
         let policy_card = self.build_policy_card(&model, &checkpoint_cells[0])?;
 
         Ok(RegimePack {
-            name: regime_spec.name.clone(),
+            name: name.to_string(),
             model,
             horizon_hours: horizon,
             phase_early_end_hours: early_end,
             phase_deadline_start_hours: deadline_start,
-            vm_type: self.vm_type.to_string(),
-            vcpus: self.vm_type.vcpus(),
+            vm_type: vm_type.to_string(),
+            vcpus: vm_type.vcpus(),
             on_demand_per_vcpu_hour: pricing.on_demand_per_vcpu_hour,
             preemptible_per_vcpu_hour: pricing.preemptible_per_vcpu_hour,
             ages,

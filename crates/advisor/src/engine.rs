@@ -105,6 +105,11 @@ pub struct AdviceRequest {
     pub id: Option<u64>,
     /// Regime to answer under; defaults to the pack's first regime.
     pub regime: Option<String>,
+    /// Calibration cell to route to (`vm-type/zone/time-of-day`).  Interpreted by the
+    /// multi-pack router ([`crate::router::MultiAdvisor`]): requests carrying a cell go
+    /// to that cell's pack, requests without one fall back to the pooled pack.  A plain
+    /// [`Advisor`] ignores the field (its single pack *is* the routing target).
+    pub cell: Option<String>,
     /// Age of the candidate VM, hours.
     pub vm_age: Option<f64>,
     /// Uninterrupted job length, hours.
@@ -119,10 +124,17 @@ impl AdviceRequest {
             kind,
             id: None,
             regime: None,
+            cell: None,
             vm_age: None,
             job_len: None,
             overhead_minutes: None,
         }
+    }
+
+    /// Tags the request with a calibration cell for multi-pack routing.
+    pub fn with_cell(mut self, cell: impl Into<String>) -> Self {
+        self.cell = Some(cell.into());
+        self
     }
 
     /// A reuse-or-launch-fresh question.
@@ -206,6 +218,9 @@ pub struct AdviceResponse {
     pub id: Option<u64>,
     /// The regime that answered.
     pub regime: String,
+    /// The calibration cell that answered (multi-pack routing only; `null` for answers
+    /// from the pooled pack or a single-pack advisor).
+    pub cell: Option<String>,
     /// `should-reuse`: the decision.
     pub decision: Option<Decision>,
     /// `should-reuse`: which bathtub phase the queried age falls into.
@@ -245,6 +260,7 @@ impl AdviceResponse {
             kind,
             id,
             regime: regime.to_string(),
+            cell: None,
             decision: None,
             vm_phase: None,
             reuse_makespan_hours: None,

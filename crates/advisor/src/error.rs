@@ -32,6 +32,13 @@ pub enum AdvisorError {
         /// Regimes the pack does contain.
         available: Vec<String>,
     },
+    /// The request named a calibration cell the loaded pack set does not contain.
+    UnknownCell {
+        /// The requested cell name.
+        cell: String,
+        /// Cells the pack set does contain (empty for a single-pack advisor).
+        available: Vec<String>,
+    },
     /// The model pack is malformed (bad tables, version mismatch, build failure).
     Pack(String),
 }
@@ -55,6 +62,21 @@ impl fmt::Display for AdvisorError {
                     "unknown regime `{regime}` (pack contains: {})",
                     available.join(", ")
                 )
+            }
+            AdvisorError::UnknownCell { cell, available } => {
+                if available.is_empty() {
+                    write!(
+                        f,
+                        "unknown cell `{cell}` (no per-cell packs are loaded; \
+                         build one with `advise build --per-cell`)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "unknown cell `{cell}` (loaded cells: {})",
+                        available.join(", ")
+                    )
+                }
             }
             AdvisorError::Pack(msg) => write!(f, "model pack: {msg}"),
         }

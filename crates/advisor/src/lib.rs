@@ -14,6 +14,10 @@
 //!   ([`tcp_numerics::interp::LinearInterp`] + bilinear [`table::Table2D`]), answering
 //!   typed requests in microseconds, individually or in batches fanned over the
 //!   [`tcp_cloudsim::run_tasks`] work-stealing driver;
+//! * [`router`] — [`MultiAdvisor`], per-cell routing over a pack set built from a
+//!   `calibrate fit` regime catalog (requests carrying a `cell` go to that cell's
+//!   pack, the rest fall back to the pooled pack), and [`AdvisorHandle`], the
+//!   hot-reload slot behind the `!reload` control line;
 //! * [`serve`] — the NDJSON front end behind the `advise` binary (`advise build` /
 //!   `gen` / `serve` / `bench`), with a deterministic load generator.
 //!
@@ -37,6 +41,7 @@ pub mod builder;
 pub mod engine;
 pub mod error;
 pub mod pack;
+pub mod router;
 pub mod serve;
 pub mod table;
 
@@ -45,6 +50,12 @@ pub use engine::{
     AdviceRequest, AdviceResponse, Advisor, AdvisorStats, Decision, RequestKind, VmPhase,
 };
 pub use error::{AdvisorError, Result};
-pub use pack::{CheckpointCell, ModelPack, PackSchedule, PolicyCard, RegimePack};
-pub use serve::{generate_requests, requests_to_ndjson, respond_line, serve_ndjson};
+pub use pack::{
+    CellPackEntry, CheckpointCell, ModelPack, MultiPack, PackSchedule, PolicyCard, RegimePack,
+};
+pub use router::{AdvisorHandle, MultiAdvisor};
+pub use serve::{
+    generate_requests, requests_to_ndjson, respond_line, serve_ndjson, serve_session,
+    serve_session_with_stats,
+};
 pub use table::Table2D;

@@ -218,6 +218,86 @@ impl RegimePack {
     }
 }
 
+/// Current multi-pack format version. Bumped whenever the schema changes shape.
+pub const MULTI_PACK_FORMAT_VERSION: u32 = 1;
+
+/// One per-cell pack inside a [`MultiPack`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellPackEntry {
+    /// Calibration cell name (`vm-type/zone/time-of-day`) — the routing key.
+    pub cell: String,
+    /// The cell's model pack (one regime, named after the cell).
+    pub pack: ModelPack,
+}
+
+/// A pack set for per-cell routing: the pooled all-records pack plus one pack per
+/// calibration cell, built from a `calibrate fit` regime catalog.
+///
+/// The query engine routes requests carrying a `cell` field to the matching cell's
+/// pack and everything else to the pooled pack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiPack {
+    /// Schema version; [`MultiPack::from_json`] rejects mismatches.
+    pub format_version: u32,
+    /// Pack-set name (the catalog name).
+    pub name: String,
+    /// Name of the catalog the packs were built from.
+    pub catalog: String,
+    /// The pooled (all-records) pack — the routing fallback.
+    pub pooled: ModelPack,
+    /// Per-cell packs, sorted by cell name.
+    pub cells: Vec<CellPackEntry>,
+}
+
+impl MultiPack {
+    /// Serializes the pack set to compact JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| AdvisorError::Pack(e.to_string()))
+    }
+
+    /// Parses a pack set from JSON, rejecting format-version mismatches.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let multi: MultiPack =
+            serde_json::from_str(text).map_err(|e| AdvisorError::Pack(e.to_string()))?;
+        if multi.format_version != MULTI_PACK_FORMAT_VERSION {
+            return Err(AdvisorError::Pack(format!(
+                "multi-pack format version {} is not supported (this build reads version {})",
+                multi.format_version, MULTI_PACK_FORMAT_VERSION
+            )));
+        }
+        multi.validate()?;
+        Ok(multi)
+    }
+
+    /// Structural sanity checks shared by the builder and the loader.
+    pub fn validate(&self) -> Result<()> {
+        self.pooled.validate()?;
+        if self.cells.is_empty() {
+            return Err(AdvisorError::Pack(
+                "multi-pack contains no cell packs".to_string(),
+            ));
+        }
+        let names: Vec<&str> = self.cells.iter().map(|c| c.cell.as_str()).collect();
+        if !names.windows(2).all(|w| w[0] < w[1]) {
+            return Err(AdvisorError::Pack(
+                "cell packs must be unique and sorted by cell name".to_string(),
+            ));
+        }
+        for entry in &self.cells {
+            entry
+                .pack
+                .validate()
+                .map_err(|e| AdvisorError::Pack(format!("cell `{}`: {e}", entry.cell)))?;
+        }
+        Ok(())
+    }
+
+    /// Names of the routable cells, in pack order.
+    pub fn cell_names(&self) -> Vec<String> {
+        self.cells.iter().map(|c| c.cell.clone()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,12 +5,20 @@
 //! answered, and serialized inside the worker tasks and emitted in input order, so the
 //! byte output is identical for every thread count — a malformed line never stalls or
 //! reorders the stream.
+//!
+//! Control lines start with `!`.  `!reload <path>` swaps the served pack (single or
+//! multi) through the [`AdvisorHandle`]'s `Arc` swap: lines before the control line are
+//! answered by the old pack, lines after it by the new one, and any batch already
+//! holding a snapshot keeps answering from it unaffected.  The control line itself
+//! produces one `{"control": "reload", ...}` (or `{"error": ...}`) line in place.
 
-use crate::engine::{AdviceRequest, Advisor};
+use crate::engine::{AdviceRequest, AdvisorStats};
 use crate::pack::ModelPack;
+use crate::router::{AdvisorHandle, MultiAdvisor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use tcp_cloudsim::run_tasks;
 
 /// The error line emitted for requests that could not be answered.
@@ -22,9 +30,20 @@ pub struct ErrorLine {
     pub id: Option<u64>,
 }
 
+/// The acknowledgement line emitted for a successful `!reload`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlLine {
+    /// The control verb (`reload`).
+    pub control: String,
+    /// Name of the pack (set) now being served.
+    pub pack: String,
+    /// Number of routable cell packs now loaded.
+    pub cells: usize,
+}
+
 /// Answers one NDJSON request line, returning the response (or error) line without a
 /// trailing newline.
-pub fn respond_line(advisor: &Advisor, line: &str) -> String {
+pub fn respond_line(advisor: &MultiAdvisor, line: &str) -> String {
     let emit_error = |error: String, id: Option<u64>| {
         serde_json::to_string(&ErrorLine { error, id }).expect("error lines serialize")
     };
@@ -40,8 +59,9 @@ pub fn respond_line(advisor: &Advisor, line: &str) -> String {
 /// Serves a whole NDJSON request stream over `threads` worker threads (`0` = all CPUs).
 ///
 /// Blank lines are skipped; every other input line produces exactly one output line, in
-/// input order.  The returned string is newline-terminated unless empty.
-pub fn serve_ndjson(advisor: &Advisor, input: &str, threads: usize) -> String {
+/// input order.  The returned string is newline-terminated unless empty.  Control lines
+/// are *not* interpreted here — use [`serve_session`] for a reloadable stream.
+pub fn serve_ndjson(advisor: &MultiAdvisor, input: &str, threads: usize) -> String {
     let lines: Vec<&str> = input.lines().filter(|l| !l.trim().is_empty()).collect();
     let responses = run_tasks(lines.len(), threads, |i| respond_line(advisor, lines[i]));
     let mut out = responses.join("\n");
@@ -49,6 +69,97 @@ pub fn serve_ndjson(advisor: &Advisor, input: &str, threads: usize) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Serves an NDJSON stream with `!reload <path>` control-line support.
+///
+/// The stream is processed in segments: each run of request lines is answered in
+/// parallel by a snapshot of the current advisor, and each control line swaps the
+/// served pack before the next segment starts.  Output order matches input order, and
+/// for a fixed set of pack files the bytes are identical for every thread count.
+pub fn serve_session(handle: &AdvisorHandle, input: &str, threads: usize) -> String {
+    serve_session_with_stats(handle, input, threads).0
+}
+
+/// [`serve_session`], additionally returning the query counters aggregated across
+/// *every* advisor that served part of the stream — a `!reload` swaps the advisor (and
+/// with it the live counters), so reading only the final advisor's stats would drop
+/// everything answered before the swap.
+pub fn serve_session_with_stats(
+    handle: &AdvisorHandle,
+    input: &str,
+    threads: usize,
+) -> (String, AdvisorStats) {
+    let mut out = String::new();
+    let mut segment: Vec<&str> = Vec::new();
+    let mut used: Vec<Arc<MultiAdvisor>> = Vec::new();
+    let flush = |segment: &mut Vec<&str>, out: &mut String, used: &mut Vec<Arc<MultiAdvisor>>| {
+        if segment.is_empty() {
+            return;
+        }
+        let advisor = handle.current();
+        if !used.iter().any(|u| Arc::ptr_eq(u, &advisor)) {
+            used.push(advisor.clone());
+        }
+        let responses = run_tasks(segment.len(), threads, |i| {
+            respond_line(&advisor, segment[i])
+        });
+        for response in responses {
+            out.push_str(&response);
+            out.push('\n');
+        }
+        segment.clear();
+    };
+    for line in input.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(control) = trimmed.strip_prefix('!') {
+            flush(&mut segment, &mut out, &mut used);
+            let line = match control.split_once(char::is_whitespace) {
+                Some(("reload", path)) => {
+                    match handle.reload_from_path(std::path::Path::new(path.trim())) {
+                        Ok(advisor) => serde_json::to_string(&ControlLine {
+                            control: "reload".to_string(),
+                            pack: advisor.name().to_string(),
+                            cells: advisor.cell_names().len(),
+                        })
+                        .expect("control lines serialize"),
+                        Err(e) => serde_json::to_string(&ErrorLine {
+                            error: format!("reload failed (previous pack kept): {e}"),
+                            id: None,
+                        })
+                        .expect("error lines serialize"),
+                    }
+                }
+                _ => serde_json::to_string(&ErrorLine {
+                    error: format!("unknown control line `!{control}` (expected `!reload <path>`)"),
+                    id: None,
+                })
+                .expect("error lines serialize"),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        } else {
+            segment.push(line);
+        }
+    }
+    flush(&mut segment, &mut out, &mut used);
+    let mut stats = AdvisorStats {
+        should_reuse: 0,
+        checkpoint_plan: 0,
+        expected_cost_makespan: 0,
+        best_policy: 0,
+    };
+    for advisor in &used {
+        let s = advisor.stats();
+        stats.should_reuse += s.should_reuse;
+        stats.checkpoint_plan += s.checkpoint_plan;
+        stats.expected_cost_makespan += s.expected_cost_makespan;
+        stats.best_policy += s.best_policy;
+    }
+    (out, stats)
 }
 
 /// Deterministically generates a mixed request workload against `pack` — the load
@@ -101,8 +212,12 @@ mod tests {
     use crate::builder::tests::{tiny_builder, tiny_spec};
     use crate::engine::RequestKind;
 
-    fn advisor() -> Advisor {
-        Advisor::new(tiny_builder().build_from_spec(&tiny_spec()).unwrap()).unwrap()
+    fn advisor() -> MultiAdvisor {
+        MultiAdvisor::from_pack(tiny_builder().build_from_spec(&tiny_spec()).unwrap()).unwrap()
+    }
+
+    fn pack() -> ModelPack {
+        tiny_builder().build_from_spec(&tiny_spec()).unwrap()
     }
 
     #[test]
@@ -131,7 +246,7 @@ not json at all
     #[test]
     fn output_is_byte_identical_for_any_thread_count() {
         let a = advisor();
-        let requests = generate_requests(a.pack(), 500, 7);
+        let requests = generate_requests(a.pooled().pack(), 500, 7);
         let input = requests_to_ndjson(&requests);
         let one = serve_ndjson(&a, &input, 1);
         let four = serve_ndjson(&a, &input, 4);
@@ -144,10 +259,10 @@ not json at all
     #[test]
     fn generator_is_deterministic_and_covers_every_kind() {
         let a = advisor();
-        let r1 = generate_requests(a.pack(), 300, 11);
-        let r2 = generate_requests(a.pack(), 300, 11);
+        let r1 = generate_requests(a.pooled().pack(), 300, 11);
+        let r2 = generate_requests(a.pooled().pack(), 300, 11);
         assert_eq!(r1, r2);
-        let r3 = generate_requests(a.pack(), 300, 12);
+        let r3 = generate_requests(a.pooled().pack(), 300, 12);
         assert_ne!(r1, r3);
         for kind in [
             RequestKind::ShouldReuse,
@@ -165,11 +280,115 @@ not json at all
 
     #[test]
     fn request_round_trips_through_ndjson() {
-        let requests = generate_requests(advisor().pack(), 20, 3);
+        let requests = generate_requests(&pack(), 20, 3);
         let text = requests_to_ndjson(&requests);
         for (line, original) in text.lines().zip(&requests) {
             let parsed: AdviceRequest = serde_json::from_str(line).unwrap();
             assert_eq!(&parsed, original);
         }
+    }
+
+    #[test]
+    fn reload_control_line_swaps_the_pack_mid_stream() {
+        // Two packs on disk with different regime names.
+        let dir = std::env::temp_dir().join("tcp_advisor_serve_reload_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pack_b_path = dir.join("pack-b.json");
+        let spec_b = tcp_scenarios::SweepSpec::from_toml(
+            r#"
+[sweep]
+name = "pack-b"
+
+[[regime]]
+name = "exp6"
+kind = "exponential"
+mean_hours = 6.0
+
+[workload]
+dp_step_minutes = 30.0
+"#,
+        )
+        .unwrap();
+        let pack_b = tiny_builder().build_from_spec(&spec_b).unwrap();
+        std::fs::write(&pack_b_path, pack_b.to_json().unwrap()).unwrap();
+
+        let handle = AdvisorHandle::new(advisor());
+        let input = format!(
+            "{}\n!reload {}\n{}\n{}\n",
+            r#"{"kind": "best-policy", "regime": "gcp-day", "id": 1}"#,
+            pack_b_path.display(),
+            r#"{"kind": "best-policy", "regime": "exp6", "id": 2}"#,
+            r#"{"kind": "best-policy", "regime": "gcp-day", "id": 3}"#,
+        );
+        let out = serve_session(&handle, &input, 2);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Before the reload the old pack answers; its regimes exist.
+        assert!(lines[0].contains("\"regime\":\"gcp-day\""), "{}", lines[0]);
+        // The control line acknowledges the swap.
+        assert!(
+            lines[1].contains("\"control\":\"reload\"") && lines[1].contains("pack-b"),
+            "{}",
+            lines[1]
+        );
+        // After the reload the new pack answers, and the old regime is gone.
+        assert!(lines[2].contains("\"regime\":\"exp6\""), "{}", lines[2]);
+        assert!(
+            lines[3].contains("error") && lines[3].contains("gcp-day"),
+            "{}",
+            lines[3]
+        );
+    }
+
+    #[test]
+    fn failed_reload_keeps_serving_the_old_pack() {
+        let handle = AdvisorHandle::new(advisor());
+        let input = "\
+!reload /nonexistent/pack.json
+{\"kind\": \"best-policy\", \"regime\": \"gcp-day\", \"id\": 1}
+!bogus control
+";
+        let out = serve_session(&handle, input, 1);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[0].contains("reload failed") && lines[0].contains("previous pack kept"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains("\"regime\":\"gcp-day\""), "{}", lines[1]);
+        assert!(lines[2].contains("unknown control"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn session_stats_survive_a_reload() {
+        let dir = std::env::temp_dir().join("tcp_advisor_serve_stats_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pack_path = dir.join("pack.json");
+        std::fs::write(&pack_path, pack().to_json().unwrap()).unwrap();
+
+        let handle = AdvisorHandle::new(advisor());
+        let query = r#"{"kind": "best-policy", "regime": "gcp-day"}"#;
+        let input = format!(
+            "{query}\n{query}\n!reload {}\n{query}\n",
+            pack_path.display()
+        );
+        let (out, stats) = serve_session_with_stats(&handle, &input, 1);
+        assert_eq!(out.lines().count(), 4);
+        // Two queries before the swap, one after: all three must be counted even
+        // though the swap replaced the advisor (and its live counters) mid-stream.
+        assert_eq!(stats.best_policy, 3);
+        assert_eq!(stats.total(), 3);
+        // The final advisor alone only saw the post-reload query.
+        assert_eq!(handle.current().stats().total(), 1);
+    }
+
+    #[test]
+    fn session_and_plain_serving_agree_without_control_lines() {
+        let requests = generate_requests(&pack(), 200, 17);
+        let input = requests_to_ndjson(&requests);
+        let plain = serve_ndjson(&advisor(), &input, 2);
+        let session = serve_session(&AdvisorHandle::new(advisor()), &input, 2);
+        assert_eq!(plain, session);
     }
 }

@@ -262,11 +262,11 @@ fn pack_round_trips_through_json_with_identical_answers() {
 
 #[test]
 fn serving_10k_requests_is_thread_invariant() {
-    let a = advisor();
+    let router = tcp_advisor::MultiAdvisor::from_pack(pack().clone()).unwrap();
     let requests = generate_requests(pack(), 10_000, 2020);
     let input = requests_to_ndjson(&requests);
-    let one = serve_ndjson(&a, &input, 1);
-    let four = serve_ndjson(&a, &input, 4);
+    let one = serve_ndjson(&router, &input, 1);
+    let four = serve_ndjson(&router, &input, 4);
     assert_eq!(one, four, "NDJSON output must be byte-identical");
     assert_eq!(one.lines().count(), 10_000);
 }

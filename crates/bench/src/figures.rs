@@ -91,18 +91,25 @@ pub fn figure2(seed: u64, per_cell: usize, grid_points: usize) -> Result<[Figure
         Ok(xs.into_iter().zip(ys).collect())
     };
 
+    // Each panel builds its group index once; the per-group queries below then touch
+    // only the matching cells instead of re-scanning the whole record list per group.
+
     // 2a: VM types in us-central1-c
-    let recs = gen.generate_vm_type_sweep(Zone::UsCentral1C, per_cell)?;
+    let index = stats::GroupIndex::build(&gen.generate_vm_type_sweep(Zone::UsCentral1C, per_cell)?);
     let mut fig2a = FigureData::new("fig2a", &["time_hours", "cdf"]);
     for vm_type in VmType::all() {
-        let lifetimes = stats::lifetimes_matching(&recs, Some(vm_type), None, None, None);
+        let lifetimes = index.matching(Some(vm_type), None, None, None);
         for (t, v) in grid(&lifetimes)? {
             fig2a.push(vm_type.to_string(), vec![t, v]);
         }
     }
 
     // 2b: day/night × idle/non-idle for n1-highcpu-16
-    let recs = gen.generate_diurnal_sweep(VmType::N1HighCpu16, Zone::UsEast1B, per_cell)?;
+    let index = stats::GroupIndex::build(&gen.generate_diurnal_sweep(
+        VmType::N1HighCpu16,
+        Zone::UsEast1B,
+        per_cell,
+    )?);
     let mut fig2b = FigureData::new("fig2b", &["time_hours", "cdf"]);
     for (label, tod, wk) in [
         ("Idle", None, Some(WorkloadKind::Idle)),
@@ -110,17 +117,17 @@ pub fn figure2(seed: u64, per_cell: usize, grid_points: usize) -> Result<[Figure
         ("Night", Some(TimeOfDay::Night), None),
         ("Day", Some(TimeOfDay::Day), None),
     ] {
-        let lifetimes = stats::lifetimes_matching(&recs, None, None, tod, wk);
+        let lifetimes = index.matching(None, None, tod, wk);
         for (t, v) in grid(&lifetimes)? {
             fig2b.push(label, vec![t, v]);
         }
     }
 
     // 2c: zones for n1-highcpu-16
-    let recs = gen.generate_zone_sweep(VmType::N1HighCpu16, per_cell)?;
+    let index = stats::GroupIndex::build(&gen.generate_zone_sweep(VmType::N1HighCpu16, per_cell)?);
     let mut fig2c = FigureData::new("fig2c", &["time_hours", "cdf"]);
     for zone in Zone::all() {
-        let lifetimes = stats::lifetimes_matching(&recs, None, Some(zone), None, None);
+        let lifetimes = index.matching(None, Some(zone), None, None);
         for (t, v) in grid(&lifetimes)? {
             fig2c.push(zone.to_string(), vec![t, v]);
         }

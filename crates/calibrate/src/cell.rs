@@ -1,0 +1,129 @@
+//! The calibration cell key.
+//!
+//! Calibration partitions a dataset along the three dimensions the paper's Figure 2
+//! breaks preemptions down by: VM type (2a), time of day (2b) and zone (2c).  Idle and
+//! non-idle records are pooled per cell — the workload split is a property of the
+//! *tenant*, not of the provider-side regime the catalog models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+use tcp_trace::{PreemptionRecord, TimeOfDay, VmType, Zone};
+
+/// One calibration cell: `(VM type, zone, time of day)`.
+///
+/// Renders as (and parses from) `vm-type/zone/time-of-day` using the GCP names, e.g.
+/// `n1-highcpu-16/us-east1-b/day` — the form CLIs, sweep specs and advisory requests use
+/// to name cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellKey {
+    /// Machine type.
+    pub vm_type: VmType,
+    /// Zone.
+    pub zone: Zone,
+    /// Time of day at launch.
+    pub time_of_day: TimeOfDay,
+}
+
+impl CellKey {
+    /// The cell a record falls into.
+    pub fn of(record: &PreemptionRecord) -> Self {
+        CellKey {
+            vm_type: record.vm_type,
+            zone: record.zone,
+            time_of_day: record.time_of_day,
+        }
+    }
+
+    /// Every cell, in the catalog's canonical (sorted) order.
+    pub fn all() -> Vec<CellKey> {
+        let mut out = Vec::with_capacity(5 * 4 * 2);
+        for vm_type in VmType::all() {
+            for zone in Zone::all() {
+                for time_of_day in TimeOfDay::all() {
+                    out.push(CellKey {
+                        vm_type,
+                        zone,
+                        time_of_day,
+                    });
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.vm_type, self.zone, self.time_of_day)
+    }
+}
+
+impl FromStr for CellKey {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.trim().split('/').collect();
+        let [vm, zone, tod] = parts[..] else {
+            return Err(format!(
+                "cell key `{s}` must have the form vm-type/zone/time-of-day \
+                 (e.g. n1-highcpu-16/us-east1-b/day)"
+            ));
+        };
+        Ok(CellKey {
+            vm_type: vm.parse()?,
+            zone: zone.parse()?,
+            time_of_day: tod.parse()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_trace::WorkloadKind;
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for cell in CellKey::all() {
+            assert_eq!(cell.to_string().parse::<CellKey>().unwrap(), cell);
+        }
+    }
+
+    #[test]
+    fn all_cells_are_distinct_sorted_and_complete() {
+        let all = CellKey::all();
+        assert_eq!(all.len(), 5 * 4 * 2);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn malformed_keys_are_rejected() {
+        assert!("n1-highcpu-16/us-east1-b".parse::<CellKey>().is_err());
+        assert!("n1-highcpu-16/us-east1-b/day/extra"
+            .parse::<CellKey>()
+            .is_err());
+        assert!("n9-mega-64/us-east1-b/day".parse::<CellKey>().is_err());
+        assert!("n1-highcpu-16/mars-east1-z/day".parse::<CellKey>().is_err());
+        assert!("n1-highcpu-16/us-east1-b/dusk".parse::<CellKey>().is_err());
+    }
+
+    #[test]
+    fn records_map_to_their_cell_ignoring_workload() {
+        let mk = |workload| {
+            PreemptionRecord::new(
+                VmType::N1HighCpu8,
+                Zone::UsWest1A,
+                TimeOfDay::Night,
+                workload,
+                2.0,
+            )
+            .unwrap()
+        };
+        let idle = CellKey::of(&mk(WorkloadKind::Idle));
+        let busy = CellKey::of(&mk(WorkloadKind::NonIdle));
+        assert_eq!(idle, busy);
+        assert_eq!(idle.to_string(), "n1-highcpu-8/us-west1-a/night");
+    }
+}

@@ -1,0 +1,557 @@
+//! Per-cell candidate fitting and model selection.
+//!
+//! This is the paper's Section 3.2 methodology applied per cell instead of once: the
+//! observed lifetimes of a cell are fit by every candidate family, each candidate is
+//! scored by the Kolmogorov–Smirnov statistic against the cell's empirical CDF (with
+//! censoring-aware log-likelihood and AIC reported alongside), and the winner becomes
+//! the cell's calibrated model.  Cells that are too small to fit — or where no
+//! parametric family reaches an acceptable K-S distance — fall back to the raw
+//! empirical distribution, which is always available because the catalog stores each
+//! cell's observed lifetimes.
+//!
+//! Candidate families:
+//!
+//! * `bathtub` — the paper's constrained-preemption model (Equation 1), fitted by the
+//!   same bounded least-squares pipeline as Figure 1;
+//! * `weibull`, `exponential` — the classical baselines of Figure 1;
+//! * `phased` — the piecewise three-phase hazard of Section 8, fitted by closed-form
+//!   per-phase exposure MLE (phase boundaries and the deadline acceleration are held at
+//!   their representative values; the three phase rates are free);
+//! * `empirical` — the fallback: the observed lifetimes themselves.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use tcp_core::BathtubModel;
+use tcp_dists::bathtub::BathtubParams;
+use tcp_dists::fit::{fit_distribution, DistributionFamily};
+use tcp_dists::phased::PhasedHazardParams;
+use tcp_dists::{
+    ConstrainedBathtub, EmpiricalLifetime, Exponential, LifetimeDistribution, PhasedHazard, Weibull,
+};
+use tcp_numerics::stats::{r_squared, rmse, Ecdf};
+use tcp_numerics::{NumericsError, Result};
+
+/// Fewest observations any parametric fit will be attempted on (the least-squares
+/// pipeline needs a meaningful empirical CDF grid).
+pub const MIN_PARAMETRIC_RECORDS: usize = 10;
+
+/// Floor applied to MLE hazard rates so phases with zero observed events still produce
+/// a valid (just extremely quiet) phase.
+const RATE_FLOOR: f64 = 1e-6;
+
+/// Knobs of the per-cell fitting and selection step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitOptions {
+    /// Temporal constraint `L` in hours (24 for GCP Preemptible VMs).
+    pub horizon_hours: f64,
+    /// Cells with fewer records than this keep the empirical fallback even when the
+    /// parametric candidates fit (small-sample parametric fits are noise).
+    pub min_records: usize,
+    /// A parametric winner whose K-S statistic exceeds this keeps the empirical
+    /// fallback instead.
+    pub ks_threshold: f64,
+    /// Grid resolution of the empirical CDF the least-squares fits run against.
+    pub grid_points: usize,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        FitOptions {
+            horizon_hours: 24.0,
+            min_records: 15,
+            ks_threshold: 0.15,
+            grid_points: 200,
+        }
+    }
+}
+
+impl FitOptions {
+    /// Validates the knobs.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.horizon_hours > 0.0) || !self.horizon_hours.is_finite() {
+            return Err(NumericsError::invalid("horizon_hours must be positive"));
+        }
+        if !(self.ks_threshold > 0.0) || !self.ks_threshold.is_finite() {
+            return Err(NumericsError::invalid("ks_threshold must be positive"));
+        }
+        if self.grid_points < 20 {
+            return Err(NumericsError::invalid("grid_points must be at least 20"));
+        }
+        Ok(())
+    }
+}
+
+/// One fitted candidate family with its goodness-of-fit scores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateFit {
+    /// Family name (`bathtub`, `weibull`, `exponential`, `phased`).
+    pub family: String,
+    /// Fitted parameter vector (family-specific ordering; `phased` stores the full
+    /// seven-value [`PhasedHazardParams`] field order).
+    pub params: Vec<f64>,
+    /// Kolmogorov–Smirnov statistic against the cell's empirical CDF (lower is better).
+    pub ks_statistic: f64,
+    /// Censoring-aware log-likelihood: density for preempted records, surviving
+    /// probability mass for records reclaimed at the deadline.
+    pub log_likelihood: f64,
+    /// Akaike information criterion `2k − 2·LL` (lower is better).
+    pub aic: f64,
+    /// Coefficient of determination of the CDF fit.
+    pub r_squared: f64,
+    /// Root-mean-square CDF error.
+    pub rmse: f64,
+}
+
+/// The selected model of one cell — self-contained: the observed (sorted) lifetimes ride
+/// along so the empirical fallback, refits and downstream samplers never need the CSV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibratedModel {
+    /// Winning family (`bathtub`, `weibull`, `exponential`, `phased` or `empirical`).
+    pub family: String,
+    /// Parameters of the winning family (empty for `empirical`).
+    pub params: Vec<f64>,
+    /// The cell's observed lifetimes, sorted ascending.
+    pub lifetimes: Vec<f64>,
+}
+
+impl CalibratedModel {
+    /// Materialises the calibrated distribution.
+    pub fn to_distribution(&self, horizon: f64) -> Result<Arc<dyn LifetimeDistribution>> {
+        let need = |n: usize| -> Result<()> {
+            if self.params.len() != n {
+                return Err(NumericsError::invalid(format!(
+                    "calibrated `{}` model needs {n} parameters, found {}",
+                    self.family,
+                    self.params.len()
+                )));
+            }
+            Ok(())
+        };
+        let p = &self.params;
+        Ok(match self.family.as_str() {
+            "bathtub" => {
+                need(4)?;
+                Arc::new(ConstrainedBathtub::new(BathtubParams {
+                    a: p[0],
+                    tau1: p[1],
+                    tau2: p[2],
+                    b: p[3],
+                    horizon,
+                })?)
+            }
+            "exponential" => {
+                need(1)?;
+                Arc::new(Exponential::new(p[0])?)
+            }
+            "weibull" => {
+                need(2)?;
+                Arc::new(Weibull::new(p[0], p[1])?)
+            }
+            "phased" => {
+                need(7)?;
+                Arc::new(PhasedHazard::new(phased_params_from_vec(p)?)?)
+            }
+            "empirical" => Arc::new(EmpiricalLifetime::new(&self.lifetimes, Some(horizon))?),
+            other => {
+                return Err(NumericsError::invalid(format!(
+                    "unknown calibrated model family `{other}`"
+                )))
+            }
+        })
+    }
+
+    /// The winning model as a [`BathtubModel`], when the winner is the bathtub family.
+    pub fn bathtub(&self) -> Option<BathtubModel> {
+        if self.family != "bathtub" || self.params.len() != 4 {
+            return None;
+        }
+        ConstrainedBathtub::from_parts(
+            self.params[0],
+            self.params[1],
+            self.params[2],
+            self.params[3],
+        )
+        .ok()
+        .map(BathtubModel::from_distribution)
+    }
+}
+
+/// The full outcome of fitting one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitOutcome {
+    /// Every parametric candidate that fitted, sorted by ascending K-S statistic.
+    pub candidates: Vec<CandidateFit>,
+    /// The selected model.
+    pub model: CalibratedModel,
+    /// Human-readable selection rationale (which rule picked the winner).
+    pub selection: String,
+}
+
+fn phased_params_from_vec(p: &[f64]) -> Result<PhasedHazardParams> {
+    if p.len() != 7 {
+        return Err(NumericsError::invalid(
+            "phased parameter vector must have 7 entries",
+        ));
+    }
+    Ok(PhasedHazardParams {
+        early_rate: p[0],
+        early_end: p[1],
+        stable_rate: p[2],
+        deadline_start: p[3],
+        deadline_base_rate: p[4],
+        deadline_acceleration: p[5],
+        horizon: p[6],
+    })
+}
+
+/// Censoring-aware log-likelihood: records preempted strictly before the horizon
+/// contribute `ln f(t)`, records reclaimed at the deadline contribute the surviving
+/// probability mass `ln S(L⁻)`.
+fn log_likelihood(dist: &dyn LifetimeDistribution, lifetimes: &[f64], horizon: f64) -> f64 {
+    let censor_edge = horizon - 1e-9;
+    let survive = (1.0 - dist.cdf(horizon - 1e-6)).max(1e-300).ln();
+    lifetimes
+        .iter()
+        .map(|&t| {
+            if t < censor_edge {
+                dist.pdf(t).max(1e-300).ln()
+            } else {
+                survive
+            }
+        })
+        .sum()
+}
+
+/// Closed-form exposure MLE for the three-phase hazard: each phase's rate is its event
+/// count divided by the total time at risk spent inside the phase.  The phase
+/// boundaries and the deadline acceleration are held at their representative values
+/// (scaled to the horizon), so the candidate has three free parameters.
+fn fit_phased(lifetimes: &[f64], horizon: f64) -> Result<(Vec<f64>, PhasedHazard)> {
+    let early_end = horizon * (3.0 / 24.0);
+    let deadline_start = horizon * (22.0 / 24.0);
+    let acceleration = 2.2;
+    let censor_edge = horizon - 1e-9;
+
+    let mut events = [0usize; 3];
+    let mut exposure = [0.0f64; 3];
+    for &t in lifetimes {
+        exposure[0] += t.min(early_end);
+        exposure[1] += (t.min(deadline_start) - early_end).max(0.0);
+        // The deadline phase's hazard is base·exp(acc·(u − start)); the MLE denominator
+        // is the integral of the acceleration profile over the time at risk.
+        let span = (t.min(horizon) - deadline_start).max(0.0);
+        exposure[2] += ((acceleration * span).exp() - 1.0) / acceleration;
+        if t < censor_edge {
+            if t <= early_end {
+                events[0] += 1;
+            } else if t <= deadline_start {
+                events[1] += 1;
+            } else {
+                events[2] += 1;
+            }
+        }
+    }
+    let rate = |i: usize| -> f64 {
+        if exposure[i] <= 0.0 {
+            RATE_FLOOR
+        } else {
+            (events[i] as f64 / exposure[i]).max(RATE_FLOOR)
+        }
+    };
+    let params = PhasedHazardParams {
+        early_rate: rate(0),
+        early_end,
+        stable_rate: rate(1),
+        deadline_start,
+        deadline_base_rate: rate(2),
+        deadline_acceleration: acceleration,
+        horizon,
+    };
+    let dist = PhasedHazard::new(params)?;
+    Ok((
+        vec![
+            params.early_rate,
+            params.early_end,
+            params.stable_rate,
+            params.deadline_start,
+            params.deadline_base_rate,
+            params.deadline_acceleration,
+            params.horizon,
+        ],
+        dist,
+    ))
+}
+
+/// Fits every candidate family to one cell's lifetimes and selects the winner.
+///
+/// Deterministic: no randomness anywhere in the fitting path, so the same lifetimes and
+/// options always produce the identical outcome.
+pub fn fit_cell(lifetimes: &[f64], options: &FitOptions) -> Result<FitOutcome> {
+    options.validate()?;
+    if lifetimes.is_empty() {
+        return Err(NumericsError::invalid("cannot calibrate an empty cell"));
+    }
+    let horizon = options.horizon_hours;
+    if lifetimes
+        .iter()
+        .any(|&t| !t.is_finite() || t < 0.0 || t > horizon + 1e-9)
+    {
+        return Err(NumericsError::invalid(
+            "lifetimes must be finite and inside [0, horizon]",
+        ));
+    }
+    let mut sorted = lifetimes.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite lifetimes"));
+
+    let mut candidates = Vec::new();
+    if sorted.len() >= MIN_PARAMETRIC_RECORDS {
+        let ecdf = Ecdf::new(&sorted)?;
+        let empirical = EmpiricalLifetime::new(&sorted, Some(horizon))?;
+        let (xs, ys) = empirical.grid(options.grid_points)?;
+
+        let score = |family: &str,
+                     params: Vec<f64>,
+                     free_params: usize,
+                     dist: &dyn LifetimeDistribution,
+                     r2: f64,
+                     rms: f64|
+         -> CandidateFit {
+            let ll = log_likelihood(dist, &sorted, horizon);
+            CandidateFit {
+                family: family.to_string(),
+                params,
+                ks_statistic: ecdf.ks_statistic(|t| dist.cdf(t)),
+                log_likelihood: ll,
+                aic: 2.0 * free_params as f64 - 2.0 * ll,
+                r_squared: r2,
+                rmse: rms,
+            }
+        };
+
+        for (family, name, free) in [
+            (DistributionFamily::ConstrainedBathtub, "bathtub", 4usize),
+            (DistributionFamily::Weibull, "weibull", 2),
+            (DistributionFamily::Exponential, "exponential", 1),
+        ] {
+            if let Ok(fitted) = fit_distribution(family, &xs, &ys, horizon) {
+                candidates.push(score(
+                    name,
+                    fitted.params.clone(),
+                    free,
+                    fitted.dist.as_ref(),
+                    fitted.r_squared,
+                    fitted.rmse,
+                ));
+            }
+        }
+        if let Ok((params, dist)) = fit_phased(&sorted, horizon) {
+            let predictions: Vec<f64> = xs.iter().map(|&x| dist.cdf(x)).collect();
+            let r2 = r_squared(&ys, &predictions)?;
+            let rms = rmse(&ys, &predictions)?;
+            candidates.push(score("phased", params, 3, &dist, r2, rms));
+        }
+        candidates.sort_by(|a, b| {
+            a.ks_statistic
+                .partial_cmp(&b.ks_statistic)
+                .expect("finite K-S")
+                .then_with(|| a.params.len().cmp(&b.params.len()))
+                .then_with(|| a.family.cmp(&b.family))
+        });
+    }
+
+    let empirical_model = |lifetimes: Vec<f64>| CalibratedModel {
+        family: "empirical".to_string(),
+        params: Vec::new(),
+        lifetimes,
+    };
+    let (model, selection) = match candidates.first() {
+        None => (
+            empirical_model(sorted),
+            format!(
+                "empirical fallback: {} records are too few for parametric fits",
+                lifetimes.len()
+            ),
+        ),
+        Some(best) if sorted.len() < options.min_records => (
+            empirical_model(sorted.clone()),
+            format!(
+                "empirical fallback: {} records < min_records {} (best parametric: {} at K-S {:.4})",
+                sorted.len(),
+                options.min_records,
+                best.family,
+                best.ks_statistic
+            ),
+        ),
+        Some(best) if best.ks_statistic > options.ks_threshold => (
+            empirical_model(sorted.clone()),
+            format!(
+                "empirical fallback: best parametric {} has K-S {:.4} > threshold {:.4}",
+                best.family, best.ks_statistic, options.ks_threshold
+            ),
+        ),
+        Some(best) => (
+            CalibratedModel {
+                family: best.family.clone(),
+                params: best.params.clone(),
+                lifetimes: sorted.clone(),
+            },
+            format!("{} wins on K-S {:.4}", best.family, best.ks_statistic),
+        ),
+    };
+    Ok(FitOutcome {
+        candidates,
+        model,
+        selection,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn representative_lifetimes(n: usize, seed: u64) -> Vec<f64> {
+        let truth = PhasedHazard::representative();
+        let mut rng = StdRng::seed_from_u64(seed);
+        truth
+            .sample_n(&mut rng, n)
+            .into_iter()
+            .map(|t| t.clamp(0.0, 24.0))
+            .collect()
+    }
+
+    #[test]
+    fn bathtub_wins_on_bathtub_shaped_data() {
+        let lifetimes = representative_lifetimes(600, 1);
+        let outcome = fit_cell(&lifetimes, &FitOptions::default()).unwrap();
+        assert!(outcome.candidates.len() >= 3, "{:?}", outcome.candidates);
+        // K-S ascending.
+        for w in outcome.candidates.windows(2) {
+            assert!(w[0].ks_statistic <= w[1].ks_statistic);
+        }
+        // The constrained shape beats the memoryless baseline decisively.
+        let ks = |family: &str| {
+            outcome
+                .candidates
+                .iter()
+                .find(|c| c.family == family)
+                .map(|c| c.ks_statistic)
+        };
+        let bathtub = ks("bathtub").unwrap();
+        let expo = ks("exponential").unwrap();
+        assert!(bathtub < expo, "bathtub {bathtub} vs exponential {expo}");
+        assert!(
+            outcome.model.family == "bathtub" || outcome.model.family == "phased",
+            "winner {} ({})",
+            outcome.model.family,
+            outcome.selection
+        );
+        assert!(outcome.model.bathtub().is_some() || outcome.model.family != "bathtub");
+        // Lifetimes ride along, sorted.
+        assert_eq!(outcome.model.lifetimes.len(), 600);
+        assert!(outcome.model.lifetimes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn tiny_cells_fall_back_to_empirical() {
+        let lifetimes = vec![1.0, 2.5, 7.0];
+        let outcome = fit_cell(&lifetimes, &FitOptions::default()).unwrap();
+        assert_eq!(outcome.model.family, "empirical");
+        assert!(outcome.candidates.is_empty());
+        assert!(
+            outcome.selection.contains("too few"),
+            "{}",
+            outcome.selection
+        );
+        let dist = outcome.model.to_distribution(24.0).unwrap();
+        assert!(dist.cdf(24.0) > 0.999);
+    }
+
+    #[test]
+    fn min_records_keeps_empirical_even_when_fits_exist() {
+        let lifetimes = representative_lifetimes(12, 3);
+        let options = FitOptions {
+            min_records: 50,
+            ..FitOptions::default()
+        };
+        let outcome = fit_cell(&lifetimes, &options).unwrap();
+        assert_eq!(outcome.model.family, "empirical");
+        assert!(!outcome.candidates.is_empty(), "fits are still reported");
+        assert!(
+            outcome.selection.contains("min_records"),
+            "{}",
+            outcome.selection
+        );
+    }
+
+    #[test]
+    fn log_likelihood_handles_censored_records() {
+        // Half the records survive to the deadline: the LL must stay finite and the
+        // candidates must still be scored.
+        let mut lifetimes = vec![24.0; 30];
+        lifetimes.extend(representative_lifetimes(30, 5).into_iter().map(|t| t / 2.0));
+        let outcome = fit_cell(&lifetimes, &FitOptions::default()).unwrap();
+        for c in &outcome.candidates {
+            assert!(c.log_likelihood.is_finite(), "{c:?}");
+            assert!(c.aic.is_finite(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn every_winner_materialises() {
+        for (family, params, lifetimes) in [
+            ("bathtub", vec![0.4, 1.0, 0.8, 24.0], vec![1.0, 2.0]),
+            ("exponential", vec![0.2], vec![1.0]),
+            ("weibull", vec![0.1, 1.5], vec![1.0]),
+            (
+                "phased",
+                vec![0.17, 3.0, 0.015, 22.0, 0.2, 2.2, 24.0],
+                vec![1.0],
+            ),
+            ("empirical", vec![], vec![1.0, 3.0, 24.0]),
+        ] {
+            let model = CalibratedModel {
+                family: family.to_string(),
+                params,
+                lifetimes,
+            };
+            let dist = model.to_distribution(24.0).unwrap();
+            assert!(dist.cdf(12.0) >= 0.0);
+        }
+        let bogus = CalibratedModel {
+            family: "psychic".into(),
+            params: vec![],
+            lifetimes: vec![1.0],
+        };
+        assert!(bogus.to_distribution(24.0).is_err());
+        let short = CalibratedModel {
+            family: "weibull".into(),
+            params: vec![0.1],
+            lifetimes: vec![1.0],
+        };
+        assert!(short.to_distribution(24.0).is_err());
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let options = FitOptions::default();
+        assert!(fit_cell(&[], &options).is_err());
+        assert!(fit_cell(&[f64::NAN], &options).is_err());
+        assert!(fit_cell(&[-1.0], &options).is_err());
+        assert!(fit_cell(&[25.0], &options).is_err());
+        let bad = FitOptions {
+            ks_threshold: f64::NAN,
+            ..FitOptions::default()
+        };
+        assert!(fit_cell(&[1.0], &bad).is_err());
+    }
+
+    #[test]
+    fn fitting_is_deterministic() {
+        let lifetimes = representative_lifetimes(200, 9);
+        let a = fit_cell(&lifetimes, &FitOptions::default()).unwrap();
+        let b = fit_cell(&lifetimes, &FitOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,43 @@
+//! `tcp-calibrate` — trace-calibrated regime catalogs.
+//!
+//! The paper's pipeline starts from *measured* preemption data: 870 Preemptible VMs
+//! whose lifetimes, broken down by VM type, zone and time of day (Figures 1–2), are fit
+//! to the bathtub model of Equation 1 before any policy analysis happens.  This crate is
+//! that step for the workspace: it turns a recorded preemption CSV (the
+//! [`tcp_trace`] schema) into a **calibrated regime catalog** that the scenario sweeps
+//! (`kind = "calibrated"`) and the advisor's per-cell model packs consume.
+//!
+//! The pipeline, in layers:
+//!
+//! * [`cell`] — the calibration cell key `(VM type, zone, time of day)`, the grouping the
+//!   paper's Figure 2 uses (idle and non-idle records are pooled per cell);
+//! * [`fit`] — per-cell candidate fitting: the paper's constrained bathtub (Equation 1,
+//!   via [`tcp_core`]'s fitter), Weibull and exponential baselines, a piecewise
+//!   three-phase hazard (Section 8's sketch, fitted by closed-form exposure MLE), and a
+//!   raw empirical fallback; winners are selected by Kolmogorov–Smirnov statistic with
+//!   log-likelihood/AIC reported alongside;
+//! * [`catalog`] — the versioned, deterministic JSON artifact ([`RegimeCatalog`]): one
+//!   [`CellFit`] per cell plus a pooled all-records fit, self-contained (each cell
+//!   carries its observed lifetimes) so downstream consumers never re-read the CSV;
+//! * [`pipeline`] — the streaming calibration driver: records are partitioned into cells
+//!   in one pass, and per-cell fitting fans out over the workspace's work-stealing
+//!   driver ([`tcp_cloudsim::run_tasks`]) with byte-identical catalogs for every thread
+//!   count.
+//!
+//! The `calibrate` binary wraps it into a CLI (`fit` / `inspect` / `compare`).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`
+// they are false for NaN, which is exactly the validation we want for config values.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod catalog;
+pub mod cell;
+pub mod fit;
+pub mod pipeline;
+
+pub use catalog::{CellFit, RegimeCatalog, CATALOG_FORMAT_VERSION};
+pub use cell::CellKey;
+pub use fit::{fit_cell, CalibratedModel, CandidateFit, FitOptions};
+pub use pipeline::{Calibrator, CellPartition};

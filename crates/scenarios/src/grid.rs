@@ -105,10 +105,9 @@ pub struct ExpandedGrid {
 
 /// Expands a spec's axes into the full scenario grid.
 pub fn expand(spec: &SweepSpec) -> Result<ExpandedGrid> {
-    let regimes: Vec<RegimeSpec> = match &spec.regime {
-        Some(regimes) if !regimes.is_empty() => regimes.clone(),
-        _ => vec![RegimeSpec::default_catalog()],
-    };
+    // Calibrated regimes without a pinned cell expand into one regime per catalog cell
+    // here, so the regime axis the cross product sees is already flat.
+    let regimes: Vec<RegimeSpec> = crate::spec::resolve_regimes(spec)?;
     {
         let mut names: Vec<&str> = regimes.iter().map(|r| r.name.as_str()).collect();
         names.sort_unstable();

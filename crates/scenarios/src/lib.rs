@@ -37,4 +37,4 @@ pub mod spec;
 pub use grid::{cross_product, expand, ExpandedGrid, Scenario, ScenarioMeta};
 pub use report::{RankedPolicy, RegimeRanking, ScenarioMetrics, ScenarioResult, SweepReport};
 pub use runner::{regime_model, run_sweep, run_sweep_on_grid, run_sweep_shard, trial_seed};
-pub use spec::{Regime, RegimeSpec, SweepSpec};
+pub use spec::{resolve_regimes, Regime, RegimeSpec, SweepSpec};

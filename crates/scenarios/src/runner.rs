@@ -52,7 +52,8 @@ pub fn bag_seed(base_seed: u64, application: &str, jobs: usize) -> u64 {
 
 /// Builds the policy model for one regime according to the sweep's `model` setting
 /// (`paper-representative` uses the Section 3.2.2 parameters, `fitted` samples the
-/// regime's ground truth and refits).  Public so other subsystems — the advisor's pack
+/// regime's ground truth and refits, `calibrated` reads the per-cell bathtub fit from a
+/// calibrated regime's catalog).  Public so other subsystems — the advisor's pack
 /// builder in particular — derive byte-identical models from the same spec.
 pub fn regime_model(
     spec: &SweepSpec,
@@ -61,6 +62,13 @@ pub fn regime_model(
 ) -> Result<BathtubModel> {
     match spec.sweep.model.as_deref() {
         None | Some("paper-representative") => Ok(BathtubModel::paper_representative()),
+        Some("calibrated") => {
+            // Non-calibrated regimes (and cells too small for a parametric fit) keep
+            // the documented default, the paper's representative parameters.
+            Ok(regime
+                .calibrated_bathtub()?
+                .unwrap_or_else(BathtubModel::paper_representative))
+        }
         Some("fitted") => {
             let samples = spec.sweep.fit_samples.unwrap_or(DEFAULT_FIT_SAMPLES);
             if samples < 50 {
@@ -310,6 +318,60 @@ size = [4]
         let full = run_sweep(&spec, 1).unwrap();
         assert_eq!(full.scenarios[0], a.scenarios[0]);
         assert_eq!(full.scenarios[1], b.scenarios[0]);
+    }
+
+    #[test]
+    fn calibrated_sweep_runs_one_scenario_per_cell() {
+        // Build a catalog, then sweep it with `kind = "calibrated"` and the catalog's
+        // own per-cell bathtub fits as the policy models.
+        let dir = std::env::temp_dir().join("tcp_scenarios_runner_calibrated");
+        std::fs::create_dir_all(&dir).unwrap();
+        let catalog_path = dir.join("catalog.json");
+        let records = tcp_trace::TraceGenerator::new(7)
+            .generate_study(500, 80)
+            .unwrap();
+        let catalog = tcp_calibrate::Calibrator::new("runner-test")
+            .calibrate(&records, "synthetic", 0)
+            .unwrap();
+        std::fs::write(&catalog_path, catalog.to_json().unwrap()).unwrap();
+
+        let spec = SweepSpec::from_toml(&format!(
+            r#"
+[sweep]
+name = "calibrated"
+trials = 1
+base_seed = 5
+model = "calibrated"
+
+[[regime]]
+name = "cal"
+kind = "calibrated"
+catalog = "{}"
+cells = ["n1-highcpu-16/us-east1-b/day", "n1-highcpu-2/us-west1-a/night"]
+
+[workload]
+application = ["shapes"]
+jobs = [4]
+
+[cluster]
+size = [2]
+"#,
+            catalog_path.display()
+        ))
+        .unwrap();
+        let report = run_sweep(&spec, 2).unwrap();
+        assert_eq!(report.scenarios.len(), 2);
+        assert_eq!(
+            report.scenarios[0].scenario.regime,
+            "cal/n1-highcpu-16/us-east1-b/day"
+        );
+        assert_eq!(
+            report.scenarios[1].scenario.regime,
+            "cal/n1-highcpu-2/us-west1-a/night"
+        );
+        for s in &report.scenarios {
+            assert!(s.metrics.makespan_hours.mean > 0.0);
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use tcp_calibrate::{CellFit, RegimeCatalog};
 use tcp_cloudsim::{PricingModel, ProviderTemplate};
 use tcp_core::BathtubModel;
 use tcp_dists::{
@@ -81,7 +82,10 @@ pub struct SweepSettings {
     pub base_seed: Option<u64>,
     /// How the policies' preemption model is obtained per regime:
     /// `"paper-representative"` (default) uses the paper's fitted parameters;
-    /// `"fitted"` samples lifetimes from the regime's ground truth and refits.
+    /// `"fitted"` samples lifetimes from the regime's ground truth and refits;
+    /// `"calibrated"` uses the per-cell bathtub fit stored in a `calibrated` regime's
+    /// catalog (other regime kinds, and cells too small for a parametric fit, fall back
+    /// to the paper's representative parameters).
     pub model: Option<String>,
     /// Lifetimes sampled per regime when `model = "fitted"` (default 600).
     pub fit_samples: Option<usize>,
@@ -97,7 +101,7 @@ pub struct RegimeSpec {
     /// Regime label used in reports and rankings.
     pub name: String,
     /// Family: `catalog` (a.k.a. `phased`), `exponential`, `weibull`, `bathtub`,
-    /// `uniform`, `lognormal`, or `trace`.
+    /// `uniform`, `lognormal`, `trace`, or `calibrated`.
     pub kind: String,
     /// `catalog`: time of day (`day`/`night`, default day).
     pub time_of_day: Option<String>,
@@ -126,6 +130,15 @@ pub struct RegimeSpec {
     /// `trace`: path to a preemption-record CSV; the empirical lifetime distribution of
     /// its records becomes the ground truth.
     pub trace_csv: Option<String>,
+    /// `calibrated`: path to a regime catalog JSON produced by `calibrate fit`.
+    pub catalog: Option<String>,
+    /// `calibrated`: pin one catalog cell (`vm-type/zone/time-of-day`, or `pooled`).
+    /// When omitted, grid expansion replaces this regime with one pinned regime per
+    /// catalog cell (named `<name>/<cell>`).
+    pub cell: Option<String>,
+    /// `calibrated`: expand only this subset of catalog cells (mutually exclusive with
+    /// `cell`).
+    pub cells: Option<Vec<String>>,
     /// Pricing: preemptible discount factor (on-demand price ÷ preemptible price);
     /// default is the GCP ~5×.
     pub preemptible_discount: Option<f64>,
@@ -224,10 +237,11 @@ impl SweepSpec {
             return Err(NumericsError::invalid("sweep.trials must be at least 1"));
         }
         match self.sweep.model.as_deref() {
-            None | Some("paper-representative") | Some("fitted") => {}
+            None | Some("paper-representative") | Some("fitted") | Some("calibrated") => {}
             Some(other) => {
                 return Err(NumericsError::invalid(format!(
-                    "sweep.model must be `paper-representative` or `fitted`, got `{other}`"
+                    "sweep.model must be `paper-representative`, `fitted` or `calibrated`, \
+                     got `{other}`"
                 )))
             }
         }
@@ -340,15 +354,125 @@ impl RegimeSpec {
                 let lifetimes: Vec<f64> = records.iter().map(|r| r.lifetime_hours).collect();
                 Arc::new(EmpiricalLifetime::new(&lifetimes, Some(24.0))?)
             }
+            "calibrated" => {
+                let catalog = self.load_catalog()?;
+                let fit = self.calibrated_cell_fit(&catalog)?;
+                fit.model
+                    .to_distribution(catalog.horizon_hours)
+                    .map_err(|e| NumericsError::invalid(format!("regime `{}`: {e}", self.name)))?
+            }
             other => {
                 return Err(NumericsError::invalid(format!(
                     "regime `{}`: unknown kind `{other}` (expected catalog, exponential, weibull, \
-                     bathtub, uniform, lognormal or trace)",
+                     bathtub, uniform, lognormal, trace or calibrated)",
                     self.name
                 )))
             }
         };
         Ok(Some(dist))
+    }
+
+    /// Loads the regime catalog a `calibrated` regime points at.
+    ///
+    /// Loads are memoized per path for the life of the process: expansion turns one
+    /// calibrated regime into one pinned regime per cell, and validation, template
+    /// building and model building each consult the catalog — without the cache a
+    /// 40-cell sweep would re-read and re-parse the same self-contained JSON dozens
+    /// of times.  Catalogs are treated as immutable build artifacts while a process
+    /// runs (regenerate the catalog, rerun the sweep).
+    fn load_catalog(&self) -> Result<Arc<RegimeCatalog>> {
+        static CACHE: std::sync::OnceLock<
+            std::sync::Mutex<std::collections::BTreeMap<String, Arc<RegimeCatalog>>>,
+        > = std::sync::OnceLock::new();
+        let path = self.catalog.as_deref().ok_or_else(|| {
+            NumericsError::invalid(format!(
+                "regime `{}` (calibrated) requires `catalog`",
+                self.name
+            ))
+        })?;
+        let cache = CACHE.get_or_init(|| std::sync::Mutex::new(std::collections::BTreeMap::new()));
+        if let Some(catalog) = cache.lock().expect("catalog cache lock").get(path) {
+            return Ok(catalog.clone());
+        }
+        let catalog = Arc::new(
+            RegimeCatalog::load(std::path::Path::new(path))
+                .map_err(|e| NumericsError::invalid(format!("regime `{}`: {e}", self.name)))?,
+        );
+        cache
+            .lock()
+            .expect("catalog cache lock")
+            .insert(path.to_string(), catalog.clone());
+        Ok(catalog)
+    }
+
+    /// The catalog entry this regime answers from: the pinned `cell`, or the pooled
+    /// all-records fit when no cell is pinned (grid expansion pins cells before runs).
+    fn calibrated_cell_fit<'a>(&self, catalog: &'a RegimeCatalog) -> Result<&'a CellFit> {
+        if self.cell.is_some() && self.cells.is_some() {
+            return Err(NumericsError::invalid(format!(
+                "regime `{}`: `cell` and `cells` are mutually exclusive",
+                self.name
+            )));
+        }
+        match self.cell.as_deref() {
+            None => Ok(&catalog.pooled),
+            Some(cell) => catalog.find(cell).ok_or_else(|| {
+                NumericsError::invalid(format!(
+                    "regime `{}`: catalog has no cell `{cell}` (available: {})",
+                    self.name,
+                    catalog.cell_names().join(", ")
+                ))
+            }),
+        }
+    }
+
+    /// The per-cell bathtub fit stored in this regime's catalog, for
+    /// `sweep.model = "calibrated"`.  `Ok(None)` when this is not a calibrated regime or
+    /// the cell was too small for a parametric fit.
+    pub fn calibrated_bathtub(&self) -> Result<Option<BathtubModel>> {
+        if self.kind != "calibrated" {
+            return Ok(None);
+        }
+        let catalog = self.load_catalog()?;
+        Ok(self.calibrated_cell_fit(&catalog)?.bathtub_model())
+    }
+
+    /// Expands a `calibrated` regime without a pinned cell into one pinned regime per
+    /// catalog cell (honouring a `cells` subset); every other regime passes through
+    /// unchanged.
+    pub fn expand_calibrated(&self) -> Result<Vec<RegimeSpec>> {
+        if self.kind != "calibrated" || self.cell.is_some() {
+            return Ok(vec![self.clone()]);
+        }
+        let catalog = self.load_catalog()?;
+        let selected: Vec<String> = match &self.cells {
+            Some(cells) => {
+                if cells.is_empty() {
+                    return Err(NumericsError::invalid(format!(
+                        "regime `{}`: `cells` must not be empty",
+                        self.name
+                    )));
+                }
+                cells.clone()
+            }
+            None => catalog.cell_names(),
+        };
+        let mut out = Vec::with_capacity(selected.len());
+        for cell in selected {
+            if catalog.find(&cell).is_none() {
+                return Err(NumericsError::invalid(format!(
+                    "regime `{}`: catalog has no cell `{cell}` (available: {})",
+                    self.name,
+                    catalog.cell_names().join(", ")
+                )));
+            }
+            let mut pinned = self.clone();
+            pinned.name = format!("{}/{cell}", self.name);
+            pinned.cell = Some(cell);
+            pinned.cells = None;
+            out.push(pinned);
+        }
+        Ok(out)
     }
 
     /// The provider template for this regime (ground truth + pricing + provisioning).
@@ -437,11 +561,30 @@ impl RegimeSpec {
             mu: None,
             sigma: None,
             trace_csv: None,
+            catalog: None,
+            cell: None,
+            cells: None,
             preemptible_discount: None,
             provisioning_delay_minutes: None,
             max_lifetime_hours: None,
         }
     }
+}
+
+/// The resolved regime axis of a spec: the declared regimes (or the default catalog
+/// regime when none are listed), with every unpinned `calibrated` regime expanded into
+/// one pinned regime per catalog cell.  Both the sweep grid and the advisor's pack
+/// builder resolve through here, so they agree on regime order and names.
+pub fn resolve_regimes(spec: &SweepSpec) -> Result<Vec<RegimeSpec>> {
+    let declared: Vec<RegimeSpec> = match &spec.regime {
+        Some(regimes) if !regimes.is_empty() => regimes.clone(),
+        _ => vec![RegimeSpec::default_catalog()],
+    };
+    let mut resolved = Vec::with_capacity(declared.len());
+    for regime in &declared {
+        resolved.extend(regime.expand_calibrated()?);
+    }
+    Ok(resolved)
 }
 
 #[cfg(test)]
@@ -556,6 +699,104 @@ checkpointing = ["none", "young-daly"]
             "scaled catalog stays lazy so VM-type/zone structure survives"
         );
         assert_eq!(t.catalog_scale, 2.0);
+    }
+
+    /// Writes a small calibrated catalog to a unique temp file and returns its path.
+    fn temp_catalog(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tcp_scenarios_calibrated_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("catalog-{tag}.json"));
+        let records = tcp_trace::TraceGenerator::new(42)
+            .generate_study(600, 80)
+            .unwrap();
+        let catalog = tcp_calibrate::Calibrator::new("spec-test")
+            .calibrate(&records, "synthetic", 0)
+            .unwrap();
+        std::fs::write(&path, catalog.to_json().unwrap()).unwrap();
+        path
+    }
+
+    fn calibrated_spec(tag: &str) -> RegimeSpec {
+        let mut spec = RegimeSpec::default_catalog();
+        spec.name = "cal".into();
+        spec.kind = "calibrated".into();
+        spec.catalog = Some(temp_catalog(tag).display().to_string());
+        spec
+    }
+
+    #[test]
+    fn calibrated_regime_requires_a_catalog() {
+        let mut spec = RegimeSpec::default_catalog();
+        spec.kind = "calibrated".into();
+        let err = spec.build_ground_truth().err().expect("must fail");
+        assert!(err.to_string().contains("catalog"), "{err}");
+    }
+
+    #[test]
+    fn calibrated_regime_builds_from_pooled_and_pinned_cells() {
+        let spec = calibrated_spec("pooled");
+        // Unpinned: answers from the pooled fit.
+        let pooled = spec.build_ground_truth().unwrap().unwrap();
+        assert!(pooled.mean() > 0.0 && pooled.mean() < 24.0);
+        // Pinned to the (oversampled) Figure 1 cell.
+        let mut pinned = spec.clone();
+        pinned.cell = Some("n1-highcpu-16/us-east1-b/day".into());
+        let cell = pinned.build_ground_truth().unwrap().unwrap();
+        assert!(cell.mean() > 0.0 && cell.mean() < 24.0);
+        // Unknown cells are rejected with the available names.
+        let mut unknown = spec.clone();
+        unknown.cell = Some("n1-highcpu-16/mars-east1-z/day".into());
+        let err = unknown.build_ground_truth().err().expect("must fail");
+        assert!(err.to_string().contains("no cell"), "{err}");
+        // `cell` and `cells` cannot be combined.
+        let mut both = pinned.clone();
+        both.cells = Some(vec!["n1-highcpu-16/us-east1-b/day".into()]);
+        assert!(both.build_ground_truth().is_err());
+    }
+
+    #[test]
+    fn calibrated_regime_expands_one_regime_per_cell() {
+        let spec = calibrated_spec("expand");
+        let expanded = spec.expand_calibrated().unwrap();
+        assert!(expanded.len() > 10, "expanded {} regimes", expanded.len());
+        for regime in &expanded {
+            let cell = regime.cell.as_deref().unwrap();
+            assert_eq!(regime.name, format!("cal/{cell}"));
+            assert!(regime.build_ground_truth().unwrap().is_some());
+        }
+        // A subset expands exactly the named cells, in order.
+        let mut subset = spec.clone();
+        subset.cells = Some(vec![
+            "n1-highcpu-16/us-east1-b/day".into(),
+            "n1-highcpu-2/us-west1-a/night".into(),
+        ]);
+        let expanded = subset.expand_calibrated().unwrap();
+        assert_eq!(expanded.len(), 2);
+        assert_eq!(expanded[0].name, "cal/n1-highcpu-16/us-east1-b/day");
+        // A pinned regime passes through unchanged.
+        let mut pinned = spec.clone();
+        pinned.cell = Some("n1-highcpu-16/us-east1-b/day".into());
+        assert_eq!(pinned.expand_calibrated().unwrap(), vec![pinned.clone()]);
+        // Unknown subset entries are rejected.
+        let mut bad = spec.clone();
+        bad.cells = Some(vec!["n1-highcpu-16/us-east1-b/noon".into()]);
+        assert!(bad.expand_calibrated().is_err());
+    }
+
+    #[test]
+    fn calibrated_bathtub_comes_from_the_catalog() {
+        let mut spec = calibrated_spec("bathtub");
+        spec.cell = Some("n1-highcpu-16/us-east1-b/day".into());
+        let model = spec.calibrated_bathtub().unwrap();
+        // The Figure 1 cell is oversampled, so a parametric bathtub fit exists and it
+        // differs from the paper's canned parameters.
+        let model = model.expect("figure-1 cell has a bathtub fit");
+        assert!(model.params().a > 0.0);
+        // Non-calibrated regimes answer None.
+        assert!(RegimeSpec::default_catalog()
+            .calibrated_bathtub()
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -15,11 +15,18 @@
 
 use crate::record::{TimeOfDay, VmType, WorkloadKind, Zone};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
 use tcp_dists::phased::{PhasedHazard, PhasedHazardParams};
 use tcp_numerics::Result;
 
 /// A fully specified measurement configuration, one cell of the empirical study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Renders as (and parses from) `vm-type/zone/time-of-day/workload` using the GCP
+/// names; the workload segment may be omitted when parsing, defaulting to `non-idle`
+/// (the paper's service-experiment conditions) — so CLIs can name cells like
+/// `n1-highcpu-4/us-east1-b/night`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ConfigKey {
     /// Machine type.
     pub vm_type: VmType,
@@ -61,6 +68,43 @@ impl ConfigKey {
             }
         }
         out
+    }
+}
+
+impl fmt::Display for ConfigKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}/{}",
+            self.vm_type, self.zone, self.time_of_day, self.workload
+        )
+    }
+}
+
+impl FromStr for ConfigKey {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.trim().split('/').collect();
+        let (vm, zone, tod, workload) = match parts[..] {
+            [vm, zone, tod] => (vm, zone, tod, None),
+            [vm, zone, tod, workload] => (vm, zone, tod, Some(workload)),
+            _ => {
+                return Err(format!(
+                    "config key `{s}` must have the form vm-type/zone/time-of-day[/workload] \
+                     (e.g. n1-highcpu-16/us-east1-b/day/non-idle)"
+                ))
+            }
+        };
+        Ok(ConfigKey {
+            vm_type: vm.parse()?,
+            zone: zone.parse()?,
+            time_of_day: tod.parse()?,
+            workload: match workload {
+                Some(w) => w.parse()?,
+                None => WorkloadKind::NonIdle,
+            },
+        })
     }
 }
 
@@ -172,6 +216,37 @@ mod tests {
         let k = ConfigKey::figure1();
         assert_eq!(k.vm_type, VmType::N1HighCpu16);
         assert_eq!(k.zone, Zone::UsEast1B);
+    }
+
+    #[test]
+    fn config_key_display_round_trips() {
+        for key in ConfigKey::all() {
+            assert_eq!(key.to_string().parse::<ConfigKey>().unwrap(), key);
+        }
+        assert_eq!(
+            ConfigKey::figure1().to_string(),
+            "n1-highcpu-16/us-east1-b/day/non-idle"
+        );
+    }
+
+    #[test]
+    fn config_key_workload_segment_is_optional() {
+        let k: ConfigKey = "n1-highcpu-4/us-east1-b/night".parse().unwrap();
+        assert_eq!(k.vm_type, VmType::N1HighCpu4);
+        assert_eq!(k.time_of_day, TimeOfDay::Night);
+        assert_eq!(k.workload, WorkloadKind::NonIdle);
+        let idle: ConfigKey = "n1-highcpu-4/us-east1-b/night/idle".parse().unwrap();
+        assert_eq!(idle.workload, WorkloadKind::Idle);
+    }
+
+    #[test]
+    fn config_key_rejects_malformed_strings() {
+        assert!("n1-highcpu-4/us-east1-b".parse::<ConfigKey>().is_err());
+        assert!("n1-highcpu-4/us-east1-b/dusk".parse::<ConfigKey>().is_err());
+        assert!("n1-highcpu-4/us-east1-b/day/idle/extra"
+            .parse::<ConfigKey>()
+            .is_err());
+        assert!("n9-mega-64/us-east1-b/day".parse::<ConfigKey>().is_err());
     }
 
     #[test]

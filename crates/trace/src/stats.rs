@@ -32,35 +32,118 @@ pub fn group_label(record: &PreemptionRecord, by: GroupBy) -> String {
     }
 }
 
+fn config_label(key: &ConfigKey, by: GroupBy) -> String {
+    match by {
+        GroupBy::VmType => key.vm_type.to_string(),
+        GroupBy::Zone => key.zone.to_string(),
+        GroupBy::TimeOfDay => key.time_of_day.to_string(),
+        GroupBy::Workload => key.workload.to_string(),
+    }
+}
+
+/// A one-pass group index over a dataset.
+///
+/// Every grouping and filtering query used by the figure harness previously re-scanned
+/// the full record list per group (`O(n · groups)`); the index buckets lifetimes by full
+/// configuration cell in a single pass, after which any group, partial filter or
+/// per-cell query only touches the (few) matching cells.
+#[derive(Debug, Clone, Default)]
+pub struct GroupIndex {
+    cells: BTreeMap<ConfigKey, Vec<f64>>,
+    total: usize,
+}
+
+impl GroupIndex {
+    /// Builds the index in one pass over the records; each cell's lifetimes end up
+    /// sorted ascending.
+    pub fn build(records: &[PreemptionRecord]) -> Self {
+        let mut cells: BTreeMap<ConfigKey, Vec<f64>> = BTreeMap::new();
+        for r in records {
+            let key = ConfigKey {
+                vm_type: r.vm_type,
+                zone: r.zone,
+                time_of_day: r.time_of_day,
+                workload: r.workload,
+            };
+            cells.entry(key).or_default().push(r.lifetime_hours);
+        }
+        for v in cells.values_mut() {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        }
+        GroupIndex {
+            cells,
+            total: records.len(),
+        }
+    }
+
+    /// Total records indexed.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The non-empty configuration cells, in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &ConfigKey> {
+        self.cells.keys()
+    }
+
+    /// The sorted lifetimes of one full configuration cell (empty when absent).
+    pub fn config(&self, key: &ConfigKey) -> &[f64] {
+        self.cells.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Sorted lifetimes matching a partial filter (any `None` dimension matches
+    /// everything).  Only the matching cells are touched.
+    pub fn matching(
+        &self,
+        vm_type: Option<VmType>,
+        zone: Option<Zone>,
+        time_of_day: Option<TimeOfDay>,
+        workload: Option<WorkloadKind>,
+    ) -> Vec<f64> {
+        let mut out = Vec::new();
+        for (key, lifetimes) in &self.cells {
+            if vm_type.is_none_or(|v| key.vm_type == v)
+                && zone.is_none_or(|z| key.zone == z)
+                && time_of_day.is_none_or(|t| key.time_of_day == t)
+                && workload.is_none_or(|w| key.workload == w)
+            {
+                out.extend_from_slice(lifetimes);
+            }
+        }
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out
+    }
+
+    /// Groups lifetimes along one dimension, returning `label -> sorted lifetimes`.
+    pub fn group(&self, by: GroupBy) -> BTreeMap<String, Vec<f64>> {
+        let mut map: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for (key, lifetimes) in &self.cells {
+            map.entry(config_label(key, by))
+                .or_default()
+                .extend_from_slice(lifetimes);
+        }
+        for v in map.values_mut() {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        }
+        map
+    }
+}
+
 /// Groups lifetimes by a dimension, returning `label -> sorted lifetimes`.
+///
+/// One-off convenience over [`GroupIndex`]; build the index once when issuing several
+/// queries against the same dataset.
 pub fn group_lifetimes(records: &[PreemptionRecord], by: GroupBy) -> BTreeMap<String, Vec<f64>> {
-    let mut map: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-    for r in records {
-        map.entry(group_label(r, by))
-            .or_default()
-            .push(r.lifetime_hours);
-    }
-    for v in map.values_mut() {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    }
-    map
+    GroupIndex::build(records).group(by)
 }
 
-/// Selects the lifetimes of records matching a full configuration cell.
+/// Selects the (sorted) lifetimes of records matching a full configuration cell.
 pub fn lifetimes_for_config(records: &[PreemptionRecord], key: &ConfigKey) -> Vec<f64> {
-    records
-        .iter()
-        .filter(|r| {
-            r.vm_type == key.vm_type
-                && r.zone == key.zone
-                && r.time_of_day == key.time_of_day
-                && r.workload == key.workload
-        })
-        .map(|r| r.lifetime_hours)
-        .collect()
+    GroupIndex::build(records).config(key).to_vec()
 }
 
-/// Selects lifetimes matching a partial filter (any `None` dimension matches everything).
+/// Selects the (sorted) lifetimes matching a partial filter (any `None` dimension
+/// matches everything).
 pub fn lifetimes_matching(
     records: &[PreemptionRecord],
     vm_type: Option<VmType>,
@@ -68,14 +151,7 @@ pub fn lifetimes_matching(
     time_of_day: Option<TimeOfDay>,
     workload: Option<WorkloadKind>,
 ) -> Vec<f64> {
-    records
-        .iter()
-        .filter(|r| vm_type.is_none_or(|v| r.vm_type == v))
-        .filter(|r| zone.is_none_or(|z| r.zone == z))
-        .filter(|r| time_of_day.is_none_or(|t| r.time_of_day == t))
-        .filter(|r| workload.is_none_or(|w| r.workload == w))
-        .map(|r| r.lifetime_hours)
-        .collect()
+    GroupIndex::build(records).matching(vm_type, zone, time_of_day, workload)
 }
 
 /// Dataset-level summary used by reports and the README quickstart.
@@ -197,6 +273,47 @@ mod tests {
         assert!(summary.early_phase_fraction > 0.15 && summary.early_phase_fraction < 0.6);
         assert!(!summary.mean_lifetime_by_vm_type.is_empty());
         assert!(DatasetSummary::compute(&[]).is_err());
+    }
+
+    #[test]
+    fn index_agrees_with_direct_scans() {
+        let records = study();
+        let index = GroupIndex::build(&records);
+        assert_eq!(index.total(), records.len());
+        // Full-cell query agrees with a manual scan.
+        let key = ConfigKey::figure1();
+        let mut manual: Vec<f64> = records
+            .iter()
+            .filter(|r| {
+                r.vm_type == key.vm_type
+                    && r.zone == key.zone
+                    && r.time_of_day == key.time_of_day
+                    && r.workload == key.workload
+            })
+            .map(|r| r.lifetime_hours)
+            .collect();
+        manual.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(index.config(&key), &manual[..]);
+        // Partial filters cover exactly the records a scan would keep.
+        for vm in VmType::all() {
+            let got = index.matching(Some(vm), None, None, None);
+            let want = records.iter().filter(|r| r.vm_type == vm).count();
+            assert_eq!(got.len(), want);
+            assert!(got.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // Grouping through the index matches the convenience function.
+        for by in [
+            GroupBy::VmType,
+            GroupBy::Zone,
+            GroupBy::TimeOfDay,
+            GroupBy::Workload,
+        ] {
+            assert_eq!(index.group(by), group_lifetimes(&records, by));
+        }
+        // Absent cells answer with an empty slice, not a panic.
+        let empty = GroupIndex::build(&[]);
+        assert!(empty.config(&key).is_empty());
+        assert_eq!(empty.total(), 0);
     }
 
     #[test]

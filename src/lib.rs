@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the full public API.
 pub use tcp_advisor as advisor;
 pub use tcp_batch as batch;
+pub use tcp_calibrate as calibrate;
 pub use tcp_cloudsim as cloudsim;
 pub use tcp_core as model;
 pub use tcp_dists as dists;
