@@ -12,6 +12,7 @@ use crate::pack::{
     CellPackEntry, CheckpointCell, ModelPack, MultiPack, PackSchedule, PolicyCard, PolicyScore,
     RegimePack, MULTI_PACK_FORMAT_VERSION, PACK_FORMAT_VERSION,
 };
+use std::sync::Arc;
 use tcp_calibrate::RegimeCatalog;
 use tcp_cloudsim::{run_tasks, PricingModel};
 use tcp_core::analysis::expected_makespan_from_age;
@@ -60,6 +61,65 @@ impl Default for PackBuilder {
             reference_job_len: 6.0,
         }
     }
+}
+
+/// Which distribution's survival/W(t) curves a regime pack serves.
+///
+/// The DP checkpoint tables and the policy card always come from the bathtub fit (the
+/// policy stack is built on Equation 1); this enum only selects what the Equation 8
+/// curves — survival and the first moment `W(t)` — are tabulated from.
+enum ServedCurves<'a> {
+    /// The policy model's own bathtub curves (closed form, exact).
+    Bathtub,
+    /// A goodness-of-fit winner from another family, tabulated by quadrature.
+    Winner {
+        /// Family name recorded in the pack metadata.
+        family: &'a str,
+        /// The winner distribution.
+        dist: &'a dyn LifetimeDistribution,
+    },
+    /// A weighted mixture of per-cell winners (the pooled fallback); weights are the
+    /// catalog per-cell record shares and must sum to one.
+    Mixture {
+        /// `(weight, distribution)` components.
+        components: &'a [(f64, Arc<dyn LifetimeDistribution>)],
+    },
+}
+
+/// Tabulates survival and `W(t) = ∫_0^t u f(u) du` for an arbitrary distribution on the
+/// age grid, under the temporal constraint: survival drops to zero at the horizon, and
+/// any mass an *unconstrained* family leaves past the horizon becomes a reclamation
+/// atom at the deadline — exactly how [`tcp_dists::ConstrainedBathtub`] treats its own
+/// residual mass, so Equation 8 keeps penalising deadline-crossing jobs.
+fn tabulate_curves(
+    dist: &dyn LifetimeDistribution,
+    ages: &[f64],
+    horizon: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let survival: Vec<f64> = ages
+        .iter()
+        .map(|&s| {
+            if s >= horizon {
+                0.0
+            } else {
+                dist.survival(s).clamp(0.0, 1.0)
+            }
+        })
+        .collect();
+    // W is additive over segments, so accumulate instead of integrating from zero at
+    // every knot — O(grid) instead of O(grid²) quadrature work.
+    let mut first_moment = vec![0.0; ages.len()];
+    let mut acc = 0.0;
+    for i in 1..ages.len() {
+        acc += dist.partial_expectation(ages[i - 1], ages[i]).max(0.0);
+        first_moment[i] = acc;
+    }
+    if dist.horizon().is_none() {
+        if let Some(last) = first_moment.last_mut() {
+            *last += dist.survival(horizon).clamp(0.0, 1.0) * horizon;
+        }
+    }
+    (survival, first_moment)
 }
 
 impl PackBuilder {
@@ -138,6 +198,14 @@ impl PackBuilder {
     /// cell), with cost tables priced for the cell's actual VM type.  Cells too small
     /// for a parametric fit are skipped.
     ///
+    /// Each cell pack *serves* its goodness-of-fit winner: the survival and `W(t)`
+    /// curves are tabulated from the cell's selected model (empirical, phased, Weibull,
+    /// exponential or bathtub — recorded in [`RegimePack::served_family`]), while the
+    /// DP checkpoint tables and policy card stay on the cell's bathtub fit, which is
+    /// what the paper's policy stack is built on.  The pooled fallback serves the
+    /// record-count-weighted mixture of every catalog cell's winner (not the uniform
+    /// all-records fit), so heavily sampled cells carry proportionate weight.
+    ///
     /// Table construction fans out over `threads` worker threads (`0` = all CPUs);
     /// assembly is in catalog order, so the pack set is byte-identical for every thread
     /// count.
@@ -159,25 +227,46 @@ impl PackBuilder {
                 "dp_step_minutes must be positive".to_string(),
             ));
         }
+        let horizon = catalog.horizon_hours;
         let pooled_model = catalog.pooled.bathtub_model().ok_or_else(|| {
             AdvisorError::Pack(
                 "the catalog's pooled entry has no bathtub fit (too few records?)".to_string(),
             )
         })?;
-        let cells: Vec<(String, BathtubModel, VmType)> = catalog
-            .cells
-            .iter()
-            .filter_map(|cell| {
-                let model = cell.bathtub_model()?;
-                Some((cell.cell.clone(), model, cell.vm_type?))
-            })
-            .collect();
+        struct CellPlan {
+            name: String,
+            policy_model: BathtubModel,
+            vm_type: VmType,
+            family: String,
+            dist: Arc<dyn LifetimeDistribution>,
+        }
+        let mut cells: Vec<CellPlan> = Vec::new();
+        for cell in &catalog.cells {
+            let (Some(policy_model), Some(vm_type)) = (cell.bathtub_model(), cell.vm_type) else {
+                continue;
+            };
+            cells.push(CellPlan {
+                name: cell.cell.clone(),
+                policy_model,
+                vm_type,
+                family: cell.model.family.clone(),
+                dist: cell.model.to_distribution(horizon)?,
+            });
+        }
         if cells.is_empty() {
             return Err(AdvisorError::Pack(
                 "no catalog cell has a parametric bathtub fit; refit with more records \
                  per cell (or a lower --min-records)"
                     .to_string(),
             ));
+        }
+        // The pooled fallback's curves: every catalog cell's winner (including cells
+        // too small for their own pack), weighted by its share of the records.
+        let mut components: Vec<(f64, Arc<dyn LifetimeDistribution>)> =
+            Vec::with_capacity(catalog.cells.len());
+        for cell in &catalog.cells {
+            let weight = cell.records as f64 / catalog.total_records as f64;
+            components.push((weight, cell.model.to_distribution(horizon)?));
         }
         // Per-vCPU GCP pricing; each pack's absolute costs follow its cell's VM type.
         let pricing = PricingModel::gcp_n1_highcpu();
@@ -192,16 +281,28 @@ impl PackBuilder {
                     self.vm_type,
                     checkpoint_costs,
                     dp_step_minutes,
+                    ServedCurves::Mixture {
+                        components: &components,
+                    },
                 ),
                 i => {
-                    let (name, model, vm_type) = &cells[i - 1];
+                    let cell = &cells[i - 1];
+                    let served = if cell.family == "bathtub" {
+                        ServedCurves::Bathtub
+                    } else {
+                        ServedCurves::Winner {
+                            family: &cell.family,
+                            dist: cell.dist.as_ref(),
+                        }
+                    };
                     self.build_regime_tables(
-                        name,
-                        *model,
+                        &cell.name,
+                        cell.policy_model,
                         pricing,
-                        *vm_type,
+                        cell.vm_type,
                         checkpoint_costs,
                         dp_step_minutes,
+                        served,
                     )
                 }
             });
@@ -215,10 +316,10 @@ impl PackBuilder {
         };
         let pooled = wrap("pooled", outcomes.next().expect("pooled task")?);
         let mut entries = Vec::with_capacity(cells.len());
-        for ((name, _, _), outcome) in cells.iter().zip(outcomes) {
+        for (cell, outcome) in cells.iter().zip(outcomes) {
             entries.push(CellPackEntry {
-                cell: name.clone(),
-                pack: wrap(name, outcome?),
+                cell: cell.name.clone(),
+                pack: wrap(&cell.name, outcome?),
             });
         }
         // The catalog orders cells by typed key; the router binary-searches by *name*,
@@ -260,11 +361,15 @@ impl PackBuilder {
             vm_type,
             checkpoint_costs,
             dp_step_minutes,
+            ServedCurves::Bathtub,
         )
     }
 
     /// The table-construction core shared by the spec path and the catalog path: every
     /// grid in a [`RegimePack`] derives from the model, the pricing and the VM type.
+    /// `served` selects which distribution the Equation 8 curves are tabulated from
+    /// (the DP tables and policy card always come from the bathtub `model`).
+    #[allow(clippy::too_many_arguments)]
     fn build_regime_tables(
         &self,
         name: &str,
@@ -273,6 +378,7 @@ impl PackBuilder {
         vm_type: VmType,
         checkpoint_costs: &[f64],
         dp_step_minutes: f64,
+        served: ServedCurves<'_>,
     ) -> Result<RegimePack> {
         let horizon = model.horizon();
         let (early_end, deadline_start) = model.phase_boundaries();
@@ -280,13 +386,36 @@ impl PackBuilder {
         let ages = linspace(0.0, horizon, self.age_points);
         let dist = model.dist();
 
-        let survival: Vec<f64> = ages.iter().map(|&s| model.survival(s)).collect();
         // W(age) = ∫_0^age t f(t) dt — partial_expectation is additive, so every
         // Equation 8 makespan becomes two lookups: E[T_s] = T + W(min(s+T, L)) − W(s).
-        let first_moment: Vec<f64> = ages
-            .iter()
-            .map(|&s| dist.partial_expectation(0.0, s))
-            .collect();
+        let (survival, first_moment, served_family) = match served {
+            ServedCurves::Bathtub => {
+                let survival: Vec<f64> = ages.iter().map(|&s| model.survival(s)).collect();
+                let first_moment: Vec<f64> = ages
+                    .iter()
+                    .map(|&s| dist.partial_expectation(0.0, s))
+                    .collect();
+                (survival, first_moment, "bathtub".to_string())
+            }
+            ServedCurves::Winner { family, dist } => {
+                let (survival, first_moment) = tabulate_curves(dist, &ages, horizon);
+                (survival, first_moment, family.to_string())
+            }
+            ServedCurves::Mixture { components } => {
+                // Survival and W are both linear in the mixture, so the pooled curves
+                // are exactly the weighted sums of the per-component tabulations.
+                let mut survival = vec![0.0; ages.len()];
+                let mut first_moment = vec![0.0; ages.len()];
+                for (weight, component) in components {
+                    let (s, w) = tabulate_curves(component.as_ref(), &ages, horizon);
+                    for i in 0..ages.len() {
+                        survival[i] += weight * s[i];
+                        first_moment[i] += weight * w[i];
+                    }
+                }
+                (survival, first_moment, "mixture".to_string())
+            }
+        };
 
         let mut checkpoint_cells = Vec::with_capacity(checkpoint_costs.len());
         for &cost_minutes in checkpoint_costs {
@@ -302,6 +431,7 @@ impl PackBuilder {
         Ok(RegimePack {
             name: name.to_string(),
             model,
+            served_family,
             horizon_hours: horizon,
             phase_early_end_hours: early_end,
             phase_deadline_start_hours: deadline_start,
@@ -502,6 +632,141 @@ dp_step_minutes = 15.0
         assert_eq!(card.recommended_scheduling, "model-driven");
         assert!(card.scheduling[0].score <= card.scheduling[1].score);
         assert!(!card.checkpointing.is_empty());
+    }
+
+    #[test]
+    fn spec_packs_serve_the_bathtub_curves() {
+        let pack = tiny_builder().build_from_spec(&tiny_spec()).unwrap();
+        for regime in &pack.regimes {
+            assert_eq!(regime.served_family, "bathtub");
+        }
+    }
+
+    fn winner_test_catalog(min_records: usize) -> tcp_calibrate::RegimeCatalog {
+        let records = tcp_trace::TraceGenerator::new(11)
+            .generate_study(600, 90)
+            .unwrap();
+        let mut calibrator = tcp_calibrate::Calibrator::new("winner-test");
+        calibrator.options.min_records = min_records;
+        calibrator.calibrate(&records, "synthetic", 0).unwrap()
+    }
+
+    fn small_catalog_builder() -> PackBuilder {
+        PackBuilder {
+            age_points: 121,
+            checkpoint_age_points: 3,
+            checkpoint_job_points: 4,
+            max_checkpoint_job_hours: 4.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn catalog_cells_serve_their_winner_family_curves() {
+        // A sky-high min_records forces every cell's winner to the empirical fallback
+        // (parametric candidates still exist, so the cells keep their bathtub policy
+        // models): the packs must now *serve* the empirical curves, not the bathtub fit.
+        let catalog = winner_test_catalog(10_000);
+        let multi = small_catalog_builder()
+            .build_from_catalog(&catalog, &[5.0], 30.0, 0)
+            .unwrap();
+        assert!(!multi.cells.is_empty());
+        let horizon = catalog.horizon_hours;
+        for entry in &multi.cells {
+            let regime = &entry.pack.regimes[0];
+            let fit = catalog.find(&entry.cell).unwrap();
+            assert_eq!(fit.model.family, "empirical");
+            assert_eq!(regime.served_family, "empirical");
+            let dist = fit.model.to_distribution(horizon).unwrap();
+            // The tabulated survival is the winner's, not the bathtub candidate's.
+            for (i, &age) in regime.ages.iter().enumerate() {
+                let expected = if age >= horizon {
+                    0.0
+                } else {
+                    dist.survival(age)
+                };
+                assert!(
+                    (regime.survival[i] - expected).abs() < 1e-9,
+                    "cell {} survival at {age}: {} vs {expected}",
+                    entry.cell,
+                    regime.survival[i]
+                );
+            }
+            // W accumulates monotonically and its tail equals E[T], which for a
+            // non-negative constrained lifetime is ∫_0^L S(t) dt — evaluated by
+            // trapezoid on the pack's own (dense) survival grid.
+            assert!(regime.first_moment.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+            let expected_mean: f64 = regime
+                .ages
+                .windows(2)
+                .zip(regime.survival.windows(2))
+                .map(|(a, s)| 0.5 * (s[0] + s[1]) * (a[1] - a[0]))
+                .sum();
+            let got = *regime.first_moment.last().unwrap();
+            assert!(
+                (got - expected_mean).abs() < 0.05,
+                "cell {} W(L) {got} vs ∫S {expected_mean}",
+                entry.cell
+            );
+            // The policy model stays on the bathtub candidate for the DP tables.
+            assert!(!regime.checkpoint_cells.is_empty());
+        }
+    }
+
+    #[test]
+    fn pooled_fallback_is_the_record_weighted_mixture() {
+        let catalog = winner_test_catalog(15);
+        let multi = small_catalog_builder()
+            .build_from_catalog(&catalog, &[5.0], 30.0, 0)
+            .unwrap();
+        let pooled = &multi.pooled.regimes[0];
+        assert_eq!(pooled.served_family, "mixture");
+        let horizon = catalog.horizon_hours;
+        // The pooled survival curve equals the per-cell record-share weighted sum of
+        // every catalog cell's winner survival — heavily sampled cells dominate.
+        let dists: Vec<(f64, std::sync::Arc<dyn LifetimeDistribution>)> = catalog
+            .cells
+            .iter()
+            .map(|cell| {
+                (
+                    cell.records as f64 / catalog.total_records as f64,
+                    cell.model.to_distribution(horizon).unwrap(),
+                )
+            })
+            .collect();
+        for &i in &[0usize, 13, pooled.ages.len() / 2, pooled.ages.len() - 1] {
+            let age = pooled.ages[i];
+            let expected: f64 = if age >= horizon {
+                0.0
+            } else {
+                dists.iter().map(|(w, d)| w * d.survival(age)).sum()
+            };
+            assert!(
+                (pooled.survival[i] - expected).abs() < 1e-9,
+                "pooled survival at {age}: {} vs {expected}",
+                pooled.survival[i]
+            );
+        }
+        // Weights sum to one, so the curve starts at certainty.
+        assert!((pooled.survival[0] - 1.0).abs() < 1e-9);
+        assert!(pooled.first_moment.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+    }
+
+    #[test]
+    fn unconstrained_winners_get_a_deadline_atom() {
+        // An exponential served family leaves mass past the horizon; the tabulated W
+        // must add it back as a reclamation atom at the deadline so deadline-crossing
+        // jobs keep paying the full remaining preemption mass (Equation 8's kink).
+        let dist = tcp_dists::Exponential::new(1.0 / 8.0).unwrap();
+        let ages = tcp_numerics::interp::linspace(0.0, 24.0, 49);
+        let (survival, first_moment) = tabulate_curves(&dist, &ages, 24.0);
+        assert_eq!(*survival.last().unwrap(), 0.0);
+        let expected_tail = dist.partial_expectation(0.0, 24.0) + dist.survival(24.0) * 24.0;
+        let got = *first_moment.last().unwrap();
+        assert!(
+            (got - expected_tail).abs() < 1e-6,
+            "W(L) {got} vs {expected_tail}"
+        );
     }
 
     #[test]

@@ -56,6 +56,6 @@ pub use pack::{
 pub use router::{AdvisorHandle, MultiAdvisor};
 pub use serve::{
     generate_requests, requests_to_ndjson, respond_line, serve_ndjson, serve_session,
-    serve_session_with_stats,
+    serve_session_with_stats, ControlLine, ErrorLine, Session, StatsLine,
 };
 pub use table::Table2D;

@@ -13,7 +13,8 @@ use serde::{Deserialize, Serialize};
 use tcp_core::BathtubModel;
 
 /// Current pack format version. Bumped whenever the schema changes shape.
-pub const PACK_FORMAT_VERSION: u32 = 1;
+/// Version 2 added [`RegimePack::served_family`].
+pub const PACK_FORMAT_VERSION: u32 = 2;
 
 /// A complete serialized advisory model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,8 +36,15 @@ pub struct ModelPack {
 pub struct RegimePack {
     /// Regime name (the request routing key).
     pub name: String,
-    /// The fitted bathtub model the tables were computed from.
+    /// The fitted bathtub model behind the DP checkpoint tables and the policy card
+    /// (the policy stack is built on Equation 1, so it always consumes the bathtub
+    /// candidate — even when another family carried the survival/W(t) curves).
     pub model: BathtubModel,
+    /// Which distribution family the `survival`/`first_moment` curves were tabulated
+    /// from: `bathtub` for spec-built packs, the cell's goodness-of-fit winner
+    /// (`empirical`, `phased`, `weibull`, `exponential`, `bathtub`) for catalog-built
+    /// cell packs, and `mixture` for the record-weighted pooled fallback.
+    pub served_family: String,
     /// Temporal constraint `L` in hours (24 for GCP preemptible VMs).
     pub horizon_hours: f64,
     /// End of the early high-hazard phase (hours), from the fitted parameters.
@@ -185,6 +193,12 @@ impl RegimePack {
         if self.ages.len() < 2 {
             return Err(AdvisorError::Pack(format!(
                 "regime `{}`: age grid needs at least two knots",
+                self.name
+            )));
+        }
+        if self.served_family.is_empty() {
+            return Err(AdvisorError::Pack(format!(
+                "regime `{}` does not record its served family",
                 self.name
             )));
         }

@@ -11,6 +11,13 @@
 //! answered by the old pack, lines after it by the new one, and any batch already
 //! holding a snapshot keeps answering from it unaffected.  The control line itself
 //! produces one `{"control": "reload", ...}` (or `{"error": ...}`) line in place.
+//! `!stats` emits the sharded query counters as a one-line JSON health report.
+//!
+//! The line-level state machine lives in [`Session`], which is front-end agnostic: the
+//! file/stdin path below feeds it a whole document at once, while the TCP server in
+//! `tcp-serve` feeds it whatever slice of lines has arrived on the socket.  Both produce
+//! byte-identical output for the same line sequence because a [`Session`] only depends
+//! on the lines themselves and the packs they load.
 
 use crate::engine::{AdviceRequest, AdvisorStats};
 use crate::pack::ModelPack;
@@ -39,6 +46,27 @@ pub struct ControlLine {
     pub pack: String,
     /// Number of routable cell packs now loaded.
     pub cells: usize,
+}
+
+/// The health line emitted for a `!stats` control line: the cache-line-padded sharded
+/// query counters, aggregated and rendered as JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsLine {
+    /// The control verb (`stats`).
+    pub control: String,
+    /// Name of the pack (set) currently being served.
+    pub pack: String,
+    /// Number of routable cell packs currently loaded.
+    pub cells: usize,
+    /// Counters summed over every pack this session has served from — the figure that
+    /// survives a `!reload` (which swaps the live counters).  Pack counters are shared
+    /// by every session serving the same packs, so under a multi-connection server
+    /// this equals the session's own counts only for the sole connection; otherwise it
+    /// covers all traffic on the packs this session touched.
+    pub served: AdvisorStats,
+    /// Counters of the pack currently being served — under TCP, the server-wide
+    /// figure since the reload (every connection shares the pack).
+    pub current: AdvisorStats,
 }
 
 /// Answers one NDJSON request line, returning the response (or error) line without a
@@ -71,7 +99,143 @@ pub fn serve_ndjson(advisor: &MultiAdvisor, input: &str, threads: usize) -> Stri
     out
 }
 
-/// Serves an NDJSON stream with `!reload <path>` control-line support.
+/// The front-end-agnostic serving state machine: lines in, lines out.
+///
+/// A session wraps an [`AdvisorHandle`] and answers any mix of request lines and `!`
+/// control lines, preserving input order.  Request runs are answered in parallel over
+/// `threads` workers (`0` = all CPUs) by a snapshot of the current advisor; `!reload`
+/// swaps the pack between runs; `!stats` reports the sharded counters.  The output for
+/// a given line sequence does not depend on how the lines are sliced across
+/// [`Session::process`] calls, which is what makes the file front end
+/// ([`serve_session`]) and the TCP front end (`tcp-serve`) byte-identical.
+pub struct Session<'a> {
+    handle: &'a AdvisorHandle,
+    threads: usize,
+    /// Every advisor that answered part of this session, for reload-surviving stats.
+    used: Vec<Arc<MultiAdvisor>>,
+}
+
+impl<'a> Session<'a> {
+    /// Creates a session serving from `handle` with `threads` batch workers.
+    pub fn new(handle: &'a AdvisorHandle, threads: usize) -> Self {
+        Session {
+            handle,
+            threads,
+            used: Vec::new(),
+        }
+    }
+
+    /// Processes a slice of lines, appending one newline-terminated output line per
+    /// non-blank input line to `out`.  Blank lines are skipped.
+    pub fn process(&mut self, lines: &[&str], out: &mut String) {
+        let mut segment: Vec<&str> = Vec::new();
+        for line in lines {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if trimmed.starts_with('!') {
+                self.flush(&mut segment, out);
+                out.push_str(&self.control(trimmed));
+                out.push('\n');
+            } else {
+                segment.push(line);
+            }
+        }
+        self.flush(&mut segment, out);
+    }
+
+    /// Answers one run of request lines in parallel, preserving order.
+    fn flush(&mut self, segment: &mut Vec<&str>, out: &mut String) {
+        if segment.is_empty() {
+            return;
+        }
+        let advisor = self.snapshot();
+        let responses = run_tasks(segment.len(), self.threads, |i| {
+            respond_line(&advisor, segment[i])
+        });
+        for response in responses {
+            out.push_str(&response);
+            out.push('\n');
+        }
+        segment.clear();
+    }
+
+    /// Snapshots the current advisor, remembering it for [`Session::stats`].
+    fn snapshot(&mut self) -> Arc<MultiAdvisor> {
+        let advisor = self.handle.current();
+        if !self.used.iter().any(|u| Arc::ptr_eq(u, &advisor)) {
+            self.used.push(advisor.clone());
+        }
+        advisor
+    }
+
+    /// Handles one `!` control line (leading `!` included), returning the response line
+    /// without its trailing newline.
+    pub fn control(&mut self, line: &str) -> String {
+        // Strip exactly one `!`: a doubled prefix (`!!reload …`) is a malformed
+        // control line that must get the typed unknown-control error, not execute.
+        let trimmed = line.trim();
+        let control = trimmed.strip_prefix('!').unwrap_or(trimmed);
+        let emit_error = |error: String| {
+            serde_json::to_string(&ErrorLine { error, id: None }).expect("error lines serialize")
+        };
+        match control.split_once(char::is_whitespace) {
+            Some(("reload", path)) => {
+                match self
+                    .handle
+                    .reload_from_path(std::path::Path::new(path.trim()))
+                {
+                    Ok(advisor) => serde_json::to_string(&ControlLine {
+                        control: "reload".to_string(),
+                        pack: advisor.name().to_string(),
+                        cells: advisor.cell_names().len(),
+                    })
+                    .expect("control lines serialize"),
+                    Err(e) => emit_error(format!("reload failed (previous pack kept): {e}")),
+                }
+            }
+            None if control == "stats" => {
+                let advisor = self.handle.current();
+                serde_json::to_string(&StatsLine {
+                    control: "stats".to_string(),
+                    pack: advisor.name().to_string(),
+                    cells: advisor.cell_names().len(),
+                    served: self.stats(),
+                    current: advisor.stats(),
+                })
+                .expect("stats lines serialize")
+            }
+            _ => emit_error(format!(
+                "unknown control line `!{control}` (expected `!reload <path>` or `!stats`)"
+            )),
+        }
+    }
+
+    /// Query counters aggregated across *every* advisor that served part of this
+    /// session — a `!reload` swaps the advisor (and with it the live counters), so
+    /// reading only the final advisor's stats would drop everything answered before
+    /// the swap.  Pack counters are shared across sessions serving the same packs,
+    /// so with concurrent sessions this includes their traffic too.
+    pub fn stats(&self) -> AdvisorStats {
+        let mut stats = AdvisorStats {
+            should_reuse: 0,
+            checkpoint_plan: 0,
+            expected_cost_makespan: 0,
+            best_policy: 0,
+        };
+        for advisor in &self.used {
+            let s = advisor.stats();
+            stats.should_reuse += s.should_reuse;
+            stats.checkpoint_plan += s.checkpoint_plan;
+            stats.expected_cost_makespan += s.expected_cost_makespan;
+            stats.best_policy += s.best_policy;
+        }
+        stats
+    }
+}
+
+/// Serves an NDJSON stream with `!reload <path>` / `!stats` control-line support.
 ///
 /// The stream is processed in segments: each run of request lines is answered in
 /// parallel by a snapshot of the current advisor, and each control line swaps the
@@ -82,83 +246,17 @@ pub fn serve_session(handle: &AdvisorHandle, input: &str, threads: usize) -> Str
 }
 
 /// [`serve_session`], additionally returning the query counters aggregated across
-/// *every* advisor that served part of the stream — a `!reload` swaps the advisor (and
-/// with it the live counters), so reading only the final advisor's stats would drop
-/// everything answered before the swap.
+/// every advisor that served part of the stream (see [`Session::stats`]).
 pub fn serve_session_with_stats(
     handle: &AdvisorHandle,
     input: &str,
     threads: usize,
 ) -> (String, AdvisorStats) {
+    let mut session = Session::new(handle, threads);
+    let lines: Vec<&str> = input.lines().collect();
     let mut out = String::new();
-    let mut segment: Vec<&str> = Vec::new();
-    let mut used: Vec<Arc<MultiAdvisor>> = Vec::new();
-    let flush = |segment: &mut Vec<&str>, out: &mut String, used: &mut Vec<Arc<MultiAdvisor>>| {
-        if segment.is_empty() {
-            return;
-        }
-        let advisor = handle.current();
-        if !used.iter().any(|u| Arc::ptr_eq(u, &advisor)) {
-            used.push(advisor.clone());
-        }
-        let responses = run_tasks(segment.len(), threads, |i| {
-            respond_line(&advisor, segment[i])
-        });
-        for response in responses {
-            out.push_str(&response);
-            out.push('\n');
-        }
-        segment.clear();
-    };
-    for line in input.lines() {
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        if let Some(control) = trimmed.strip_prefix('!') {
-            flush(&mut segment, &mut out, &mut used);
-            let line = match control.split_once(char::is_whitespace) {
-                Some(("reload", path)) => {
-                    match handle.reload_from_path(std::path::Path::new(path.trim())) {
-                        Ok(advisor) => serde_json::to_string(&ControlLine {
-                            control: "reload".to_string(),
-                            pack: advisor.name().to_string(),
-                            cells: advisor.cell_names().len(),
-                        })
-                        .expect("control lines serialize"),
-                        Err(e) => serde_json::to_string(&ErrorLine {
-                            error: format!("reload failed (previous pack kept): {e}"),
-                            id: None,
-                        })
-                        .expect("error lines serialize"),
-                    }
-                }
-                _ => serde_json::to_string(&ErrorLine {
-                    error: format!("unknown control line `!{control}` (expected `!reload <path>`)"),
-                    id: None,
-                })
-                .expect("error lines serialize"),
-            };
-            out.push_str(&line);
-            out.push('\n');
-        } else {
-            segment.push(line);
-        }
-    }
-    flush(&mut segment, &mut out, &mut used);
-    let mut stats = AdvisorStats {
-        should_reuse: 0,
-        checkpoint_plan: 0,
-        expected_cost_makespan: 0,
-        best_policy: 0,
-    };
-    for advisor in &used {
-        let s = advisor.stats();
-        stats.should_reuse += s.should_reuse;
-        stats.checkpoint_plan += s.checkpoint_plan;
-        stats.expected_cost_makespan += s.expected_cost_makespan;
-        stats.best_policy += s.best_policy;
-    }
+    session.process(&lines, &mut out);
+    let stats = session.stats();
     (out, stats)
 }
 
@@ -347,10 +445,11 @@ dp_step_minutes = 30.0
 !reload /nonexistent/pack.json
 {\"kind\": \"best-policy\", \"regime\": \"gcp-day\", \"id\": 1}
 !bogus control
+!!stats
 ";
         let out = serve_session(&handle, input, 1);
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         assert!(
             lines[0].contains("reload failed") && lines[0].contains("previous pack kept"),
             "{}",
@@ -358,6 +457,8 @@ dp_step_minutes = 30.0
         );
         assert!(lines[1].contains("\"regime\":\"gcp-day\""), "{}", lines[1]);
         assert!(lines[2].contains("unknown control"), "{}", lines[2]);
+        // A doubled `!` is malformed, never an executed control.
+        assert!(lines[3].contains("unknown control"), "{}", lines[3]);
     }
 
     #[test]
@@ -381,6 +482,44 @@ dp_step_minutes = 30.0
         assert_eq!(stats.total(), 3);
         // The final advisor alone only saw the post-reload query.
         assert_eq!(handle.current().stats().total(), 1);
+    }
+
+    #[test]
+    fn stats_control_line_reports_the_sharded_counters() {
+        let handle = AdvisorHandle::new(advisor());
+        let query = r#"{"kind": "best-policy", "regime": "gcp-day"}"#;
+        let input = format!("{query}\n{query}\n!stats\n{query}\n!stats\n");
+        let out = serve_session(&handle, &input, 1);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        let first: StatsLine = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(first.control, "stats");
+        assert_eq!(first.pack, "tiny-pack");
+        assert_eq!(first.cells, 0);
+        assert_eq!(first.served.best_policy, 2);
+        assert_eq!(first.current.best_policy, 2);
+        let second: StatsLine = serde_json::from_str(lines[4]).unwrap();
+        assert_eq!(second.served.best_policy, 3);
+        assert_eq!(second.served.total(), 3);
+    }
+
+    #[test]
+    fn session_output_does_not_depend_on_how_lines_are_sliced() {
+        // The TCP front end feeds a Session whatever slice of lines arrived on the
+        // socket; the bytes must match the file front end, which feeds everything at
+        // once.
+        let requests = generate_requests(&pack(), 120, 23);
+        let input = requests_to_ndjson(&requests);
+        let lines: Vec<&str> = input.lines().collect();
+        let whole = serve_session(&AdvisorHandle::new(advisor()), &input, 2);
+        let handle = AdvisorHandle::new(advisor());
+        let mut session = Session::new(&handle, 2);
+        let mut sliced = String::new();
+        for chunk in lines.chunks(7) {
+            session.process(chunk, &mut sliced);
+        }
+        assert_eq!(whole, sliced);
+        assert_eq!(session.stats().total(), 120);
     }
 
     #[test]

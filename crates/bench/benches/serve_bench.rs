@@ -1,0 +1,74 @@
+//! Loopback TCP serving benchmark: the network front end against the in-process path.
+//!
+//! `ndjson_session_5k` is the serving engine alone (parse + advise + serialize, no
+//! sockets); the `loopback_5k_w*` benches push the same corpus through a real
+//! `tcp-serve` server over loopback TCP with 4 concurrent client connections and 1 /
+//! 2 / 4 workers.  The gap between the two is the cost of the socket layer, and the
+//! spread across worker counts is the worker-pool scaling on the machine running the
+//! bench (on a single-vCPU container only the I/O overlap shows; on multi-core
+//! hardware the batch query path scales near-linearly until parse/serialize saturates
+//! memory bandwidth).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tcp_advisor::{
+    generate_requests, requests_to_ndjson, serve_session, AdvisorHandle, MultiAdvisor, PackBuilder,
+};
+use tcp_scenarios::SweepSpec;
+use tcp_serve::loopback_bench;
+
+fn pack_json() -> String {
+    let spec = SweepSpec::from_toml(
+        r#"
+[sweep]
+name = "serve-bench"
+
+[[regime]]
+name = "paper"
+kind = "bathtub"
+a = 0.45
+tau1 = 1.0
+tau2 = 0.8
+
+[workload]
+checkpoint_cost_minutes = [1.0]
+dp_step_minutes = 15.0
+"#,
+    )
+    .expect("bench spec parses");
+    PackBuilder {
+        age_points: 241,
+        ..PackBuilder::default()
+    }
+    .build_from_spec(&spec)
+    .expect("pack builds")
+    .to_json()
+    .expect("pack serializes")
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let json = pack_json();
+    let advisor = MultiAdvisor::from_json(&json).expect("advisor loads");
+    let corpus = requests_to_ndjson(&generate_requests(advisor.pooled().pack(), 5_000, 2020));
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.bench_function("ndjson_session_5k", |b| {
+        b.iter(|| {
+            let handle = AdvisorHandle::new(MultiAdvisor::from_json(&json).unwrap());
+            black_box(serve_session(&handle, black_box(&corpus), 1))
+        })
+    });
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("loopback_5k_w{workers}"), |b| {
+            b.iter(|| {
+                let report = loopback_bench(&json, &corpus, workers, 4).expect("bench run");
+                assert_eq!(report.requests, 5_000);
+                black_box(report.qps)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

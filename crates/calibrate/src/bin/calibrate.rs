@@ -30,7 +30,11 @@ commands:
       --cell KEY             print one cell's full candidate scores instead
                              (vm-type/zone/time-of-day, or `pooled`)
 
-  compare <a.json> <b.json>  diff two catalogs cell by cell";
+  compare <a.json> <b.json>  diff two catalogs cell by cell, with a two-sample
+                             Kolmogorov-Smirnov drift test per shared cell
+      --alpha A              K-S significance level for the drift threshold (default 0.05)
+      --ks-threshold X       fixed drift threshold overriding the alpha-derived one
+      --fail-on-drift        exit non-zero when any shared cell drifts";
 
 fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
     it.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -176,14 +180,24 @@ fn cmd_inspect(argv: &[String]) -> Result<(), String> {
 fn cmd_compare(argv: &[String]) -> Result<(), String> {
     let mut a_path: Option<PathBuf> = None;
     let mut b_path: Option<PathBuf> = None;
-    for arg in argv {
-        if arg.starts_with('-') {
-            return Err(format!("unknown option `{arg}`"));
-        }
-        if a_path.is_none() {
-            a_path = Some(PathBuf::from(arg));
-        } else {
-            positional(&mut b_path, arg)?;
+    let mut options = tcp_calibrate::DriftOptions::default();
+    let mut fail_on_drift = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--alpha" => options.alpha = parse(next_value(&mut it, arg)?, arg)?,
+            "--ks-threshold" => {
+                options.fixed_threshold = Some(parse(next_value(&mut it, arg)?, arg)?)
+            }
+            "--fail-on-drift" => fail_on_drift = true,
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            other => {
+                if a_path.is_none() {
+                    a_path = Some(PathBuf::from(other));
+                } else {
+                    positional(&mut b_path, other)?;
+                }
+            }
         }
     }
     let a = load(&a_path.ok_or("compare needs two catalog files")?)?;
@@ -192,6 +206,7 @@ fn cmd_compare(argv: &[String]) -> Result<(), String> {
         "comparing `{}` ({} records) with `{}` ({} records)",
         a.name, a.total_records, b.name, b.total_records
     );
+    let drift = tcp_calibrate::drift_report(&a, &b, &options).map_err(|e| e.to_string())?;
     let mut differing = 0usize;
     for fit_a in std::iter::once(&a.pooled).chain(&a.cells) {
         match b.find(&fit_a.cell) {
@@ -227,6 +242,32 @@ fn cmd_compare(argv: &[String]) -> Result<(), String> {
         println!("  catalogs agree on every cell");
     } else {
         println!("  {differing} cell(s) differ");
+    }
+    println!(
+        "drift (two-sample K-S, {}):",
+        match options.fixed_threshold {
+            Some(t) => format!("fixed threshold {t:.4}"),
+            None => format!("alpha {:.3}", options.alpha),
+        }
+    );
+    let mut drifted = 0usize;
+    for cell in &drift {
+        if cell.drifted {
+            drifted += 1;
+        }
+        println!(
+            "  {:<36} D {:.4} vs {:.4} ({} vs {} records): {}",
+            cell.cell,
+            cell.ks_statistic,
+            cell.threshold,
+            cell.records_a,
+            cell.records_b,
+            if cell.drifted { "DRIFT" } else { "pass" }
+        );
+    }
+    println!("  {} of {} shared cell(s) drifted", drifted, drift.len());
+    if fail_on_drift && drifted > 0 {
+        return Err(format!("{drifted} cell(s) drifted"));
     }
     Ok(())
 }

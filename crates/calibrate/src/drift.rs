@@ -1,0 +1,203 @@
+//! Catalog-vs-catalog drift detection.
+//!
+//! `calibrate compare` needs more than mean deltas: two catalogs of the same fleet can
+//! keep their per-cell means while the lifetime *distribution* shifts underneath (a new
+//! reclamation schedule, a changed early-failure mode).  Because catalogs are
+//! self-contained — every cell carries its observed lifetimes — the comparison can run a
+//! proper two-sample Kolmogorov–Smirnov test per shared cell, no CSV required.
+//!
+//! The decision rule per cell: drift is flagged when the two-sample statistic exceeds a
+//! threshold that is either the asymptotic critical value at significance `alpha`
+//! (scaled for the two sample sizes) or a fixed caller-supplied distance.
+
+use crate::catalog::RegimeCatalog;
+use serde::{Deserialize, Serialize};
+use tcp_numerics::stats::{ks_two_sample, ks_two_sample_threshold};
+use tcp_numerics::{NumericsError, Result};
+
+/// Knobs of the per-cell drift test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftOptions {
+    /// Significance level of the two-sample K-S test (default 0.05).
+    pub alpha: f64,
+    /// Fixed distance threshold overriding the `alpha`-derived critical value, when
+    /// set.  Useful for "alert me on drift bigger than X" policies independent of
+    /// sample size.
+    pub fixed_threshold: Option<f64>,
+}
+
+impl Default for DriftOptions {
+    fn default() -> Self {
+        DriftOptions {
+            alpha: 0.05,
+            fixed_threshold: None,
+        }
+    }
+}
+
+impl DriftOptions {
+    fn validate(&self) -> Result<()> {
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(NumericsError::invalid("alpha must be inside (0, 1)"));
+        }
+        if let Some(t) = self.fixed_threshold {
+            if !(t > 0.0) || !t.is_finite() {
+                return Err(NumericsError::invalid(
+                    "fixed drift threshold must be positive",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The drift verdict for one cell present in both catalogs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellDrift {
+    /// Cell name (`vm-type/zone/time-of-day`, or `pooled`).
+    pub cell: String,
+    /// Records backing the cell in the first catalog.
+    pub records_a: usize,
+    /// Records backing the cell in the second catalog.
+    pub records_b: usize,
+    /// Two-sample Kolmogorov–Smirnov statistic between the cells' lifetimes.
+    pub ks_statistic: f64,
+    /// The threshold the statistic was judged against.
+    pub threshold: f64,
+    /// Whether the cell's lifetime distribution drifted (`ks_statistic > threshold`).
+    pub drifted: bool,
+}
+
+/// Runs the two-sample K-S drift test on every cell present in both catalogs — the
+/// pooled entry first, then the shared cells in the first catalog's order.  Cells
+/// present in only one catalog are not drift-testable and are skipped (the `compare`
+/// CLI reports them separately).
+pub fn drift_report(
+    a: &RegimeCatalog,
+    b: &RegimeCatalog,
+    options: &DriftOptions,
+) -> Result<Vec<CellDrift>> {
+    options.validate()?;
+    let mut report = Vec::new();
+    for fit_a in std::iter::once(&a.pooled).chain(&a.cells) {
+        let Some(fit_b) = b.find(&fit_a.cell) else {
+            continue;
+        };
+        let ks = ks_two_sample(&fit_a.model.lifetimes, &fit_b.model.lifetimes)?;
+        let threshold = match options.fixed_threshold {
+            Some(fixed) => fixed,
+            None => ks_two_sample_threshold(options.alpha, fit_a.records, fit_b.records)?,
+        };
+        report.push(CellDrift {
+            cell: fit_a.cell.clone(),
+            records_a: fit_a.records,
+            records_b: fit_b.records,
+            ks_statistic: ks,
+            threshold,
+            drifted: ks > threshold,
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Calibrator;
+    use tcp_trace::{PreemptionRecord, TraceGenerator};
+
+    fn study(seed: u64) -> Vec<PreemptionRecord> {
+        TraceGenerator::new(seed).generate_study(600, 90).unwrap()
+    }
+
+    fn catalog(name: &str, records: &[PreemptionRecord]) -> RegimeCatalog {
+        Calibrator::new(name)
+            .calibrate(records, "synthetic", 0)
+            .unwrap()
+    }
+
+    #[test]
+    fn identical_catalogs_never_drift() {
+        let records = study(5);
+        let a = catalog("a", &records);
+        let b = catalog("b", &records);
+        let report = drift_report(&a, &b, &DriftOptions::default()).unwrap();
+        assert!(!report.is_empty());
+        assert_eq!(report[0].cell, "pooled");
+        for cell in &report {
+            assert_eq!(cell.ks_statistic, 0.0, "{}", cell.cell);
+            assert!(!cell.drifted, "{}", cell.cell);
+        }
+    }
+
+    #[test]
+    fn resampling_the_same_fleet_passes_but_a_shifted_fleet_fails() {
+        let a = catalog("a", &study(5));
+        // A fresh draw from the same ground truth: the pooled cell (600 records) must
+        // pass at alpha 0.05 by a wide margin.
+        let b = catalog("b", &study(6));
+        let report = drift_report(&a, &b, &DriftOptions::default()).unwrap();
+        let pooled = &report[0];
+        assert_eq!(pooled.cell, "pooled");
+        assert!(
+            !pooled.drifted,
+            "same-fleet pooled drift: D={} threshold={}",
+            pooled.ks_statistic, pooled.threshold
+        );
+        // Halving every lifetime is a gross distribution shift the mean-delta check
+        // could also see — but the K-S test must flag it even though the *shape* of the
+        // records is otherwise identical.
+        let mut shifted = study(5);
+        for record in &mut shifted {
+            record.lifetime_hours *= 0.5;
+        }
+        let c = catalog("c", &shifted);
+        let report = drift_report(&a, &c, &DriftOptions::default()).unwrap();
+        assert!(
+            report[0].drifted,
+            "pooled must drift after halving lifetimes"
+        );
+    }
+
+    #[test]
+    fn fixed_threshold_overrides_the_critical_value() {
+        let a = catalog("a", &study(5));
+        let b = catalog("b", &study(6));
+        // An absurdly tight fixed threshold flags even sampling noise...
+        let tight = DriftOptions {
+            alpha: 0.05,
+            fixed_threshold: Some(1e-6),
+        };
+        let report = drift_report(&a, &b, &tight).unwrap();
+        assert!(report[0].drifted);
+        assert_eq!(report[0].threshold, 1e-6);
+        // ...and an impossible one never fires.
+        let loose = DriftOptions {
+            alpha: 0.05,
+            fixed_threshold: Some(1.0),
+        };
+        let report = drift_report(&a, &b, &loose).unwrap();
+        assert!(report.iter().all(|c| !c.drifted));
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let a = catalog("a", &study(5));
+        for options in [
+            DriftOptions {
+                alpha: 0.0,
+                fixed_threshold: None,
+            },
+            DriftOptions {
+                alpha: 1.5,
+                fixed_threshold: None,
+            },
+            DriftOptions {
+                alpha: 0.05,
+                fixed_threshold: Some(f64::NAN),
+            },
+        ] {
+            assert!(drift_report(&a, &a, &options).is_err(), "{options:?}");
+        }
+    }
+}

@@ -22,7 +22,10 @@
 //! * [`pipeline`] — the streaming calibration driver: records are partitioned into cells
 //!   in one pass, and per-cell fitting fans out over the workspace's work-stealing
 //!   driver ([`tcp_cloudsim::run_tasks`]) with byte-identical catalogs for every thread
-//!   count.
+//!   count;
+//! * [`drift`] — catalog-vs-catalog drift detection: a two-sample Kolmogorov–Smirnov
+//!   test per shared cell, judged against the `alpha`-level critical value or a fixed
+//!   distance, powering `calibrate compare`.
 //!
 //! The `calibrate` binary wraps it into a CLI (`fit` / `inspect` / `compare`).
 
@@ -34,10 +37,12 @@
 
 pub mod catalog;
 pub mod cell;
+pub mod drift;
 pub mod fit;
 pub mod pipeline;
 
 pub use catalog::{CellFit, RegimeCatalog, CATALOG_FORMAT_VERSION};
 pub use cell::CellKey;
+pub use drift::{drift_report, CellDrift, DriftOptions};
 pub use fit::{fit_cell, CalibratedModel, CandidateFit, FitOptions};
 pub use pipeline::{Calibrator, CellPartition};

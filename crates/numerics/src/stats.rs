@@ -197,6 +197,64 @@ impl Ecdf {
     }
 }
 
+/// Two-sample Kolmogorov–Smirnov statistic `sup_t |F_a(t) − F_b(t)|` between the
+/// empirical CDFs of two samples.
+///
+/// This is the drift statistic behind `calibrate compare`: two catalogs' recorded
+/// lifetimes for the same cell are compared distribution-to-distribution, not just by
+/// summary moments.  The inputs need not be sorted; ties within and across samples are
+/// handled by advancing both walkers past every observation at the current value before
+/// the difference is measured.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Err(NumericsError::invalid(
+            "ks_two_sample requires two non-empty samples",
+        ));
+    }
+    if a.iter().chain(b).any(|v| !v.is_finite()) {
+        return Err(NumericsError::non_finite("ks_two_sample input"));
+    }
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    a.sort_by(|x, y| x.partial_cmp(y).expect("finite samples"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("finite samples"));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < a.len() || j < b.len() {
+        let t = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => x.min(y),
+            (Some(&x), None) => x,
+            (None, Some(&y)) => y,
+            (None, None) => unreachable!("loop condition"),
+        };
+        while i < a.len() && a[i] <= t {
+            i += 1;
+        }
+        while j < b.len() && b[j] <= t {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    Ok(d)
+}
+
+/// The two-sample K-S rejection threshold at significance `alpha`:
+/// `c(α) · sqrt((n + m) / (n · m))` with `c(α) = sqrt(−ln(α/2) / 2)` (the asymptotic
+/// Kolmogorov critical value; `c(0.05) ≈ 1.358`).
+pub fn ks_two_sample_threshold(alpha: f64, n: usize, m: usize) -> Result<f64> {
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(NumericsError::invalid("alpha must be inside (0, 1)"));
+    }
+    if n == 0 || m == 0 {
+        return Err(NumericsError::invalid(
+            "ks_two_sample_threshold requires non-empty samples",
+        ));
+    }
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    Ok(c * ((n + m) as f64 / (n as f64 * m as f64)).sqrt())
+}
+
 /// Coefficient of determination R² between observations `y` and model predictions `y_hat`.
 pub fn r_squared(y: &[f64], y_hat: &[f64]) -> Result<f64> {
     if y.len() != y_hat.len() || y.is_empty() {
@@ -475,6 +533,52 @@ mod tests {
         let e = Ecdf::new(&[0.9, 0.91, 0.92, 0.95, 0.99]).unwrap();
         let d = e.ks_statistic(|x| x.clamp(0.0, 1.0));
         assert!(d > 0.5);
+    }
+
+    #[test]
+    fn two_sample_ks_basics() {
+        let a: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        // Identical samples: zero distance.
+        assert_eq!(ks_two_sample(&a, &a).unwrap(), 0.0);
+        // Disjoint supports: maximal distance.
+        let b: Vec<f64> = a.iter().map(|v| v + 10.0).collect();
+        assert_eq!(ks_two_sample(&a, &b).unwrap(), 1.0);
+        // Symmetric in its arguments.
+        let c: Vec<f64> = (1..=80).map(|i| (i as f64 / 80.0).powi(2)).collect();
+        let d1 = ks_two_sample(&a, &c).unwrap();
+        let d2 = ks_two_sample(&c, &a).unwrap();
+        assert!((d1 - d2).abs() < 1e-15);
+        assert!(d1 > 0.0 && d1 < 1.0);
+        // Unsorted input is accepted.
+        let mut shuffled = a.clone();
+        shuffled.reverse();
+        assert_eq!(ks_two_sample(&shuffled, &c).unwrap(), d1);
+        // Ties across samples do not inflate the statistic.
+        assert_eq!(
+            ks_two_sample(&[1.0, 1.0, 2.0], &[1.0, 2.0, 2.0]).unwrap(),
+            1.0 / 3.0
+        );
+        // Invalid input.
+        assert!(ks_two_sample(&[], &a).is_err());
+        assert!(ks_two_sample(&[f64::NAN], &a).is_err());
+    }
+
+    #[test]
+    fn two_sample_ks_detects_a_shift_at_the_right_scale() {
+        // Uniform[0,1] vs Uniform[0.2, 1.2]: the true sup-distance is 0.2.
+        let a: Vec<f64> = (0..500).map(|i| i as f64 / 500.0).collect();
+        let b: Vec<f64> = a.iter().map(|v| v + 0.2).collect();
+        let d = ks_two_sample(&a, &b).unwrap();
+        assert!((d - 0.2).abs() < 0.01, "d = {d}");
+        // And the alpha=0.05 threshold for these sizes is well below that shift.
+        let threshold = ks_two_sample_threshold(0.05, a.len(), b.len()).unwrap();
+        assert!(threshold < d, "threshold {threshold} vs d {d}");
+        assert!(
+            (ks_two_sample_threshold(0.05, 100, 100).unwrap() - 1.3581 * (0.02f64).sqrt()).abs()
+                < 1e-3
+        );
+        assert!(ks_two_sample_threshold(0.0, 10, 10).is_err());
+        assert!(ks_two_sample_threshold(0.05, 0, 10).is_err());
     }
 
     #[test]

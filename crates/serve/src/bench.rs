@@ -1,0 +1,98 @@
+//! Loopback throughput benchmark: concurrent client threads against a fresh server.
+//!
+//! The point of the worker pool is that throughput scales with workers while a
+//! connection's responses stay byte-identical to batch mode.  [`loopback_bench`]
+//! measures exactly that: it starts a server with a given worker count on a loopback
+//! port, fans the corpus over `clients` concurrent client threads (contiguous chunks,
+//! so every line is served exactly once), and reports wall-clock queries/second over
+//! the full connect-to-drain window.  `advise serve-bench` runs it across a list of
+//! worker counts to demonstrate the scaling.
+
+use crate::client::run_client;
+use crate::server::{ServeOptions, Server};
+use std::time::Instant;
+use tcp_advisor::MultiAdvisor;
+
+/// One loopback measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopbackBenchReport {
+    /// Worker-pool size the server ran with.
+    pub workers: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Request lines served (equals the corpus size).
+    pub requests: usize,
+    /// Wall-clock seconds from first connect to last drained response.
+    pub seconds: f64,
+    /// Requests per second over that window.
+    pub qps: f64,
+}
+
+/// Runs one loopback measurement: server with `workers` workers, corpus split across
+/// `clients` concurrent connections.  Returns an error if any response line is
+/// missing — overloads would show up as (typed) lines too, so the measurement is
+/// configured with an effectively unbounded in-flight budget.
+pub fn loopback_bench(
+    pack_json: &str,
+    corpus: &str,
+    workers: usize,
+    clients: usize,
+) -> Result<LoopbackBenchReport, String> {
+    if clients == 0 {
+        return Err("clients must be at least 1".to_string());
+    }
+    let advisor = MultiAdvisor::from_json(pack_json).map_err(|e| e.to_string())?;
+    let options = ServeOptions {
+        workers,
+        // The benchmark measures the serving path, not the shedding path.
+        max_inflight: usize::MAX / 2,
+        ..ServeOptions::default()
+    };
+    let server = Server::start(advisor, options)?;
+    let addr = server.local_addr().to_string();
+
+    let lines: Vec<&str> = corpus.lines().filter(|l| !l.trim().is_empty()).collect();
+    let chunk_len = lines.len().div_ceil(clients);
+    let chunks: Vec<String> = lines
+        .chunks(chunk_len.max(1))
+        .map(|chunk| {
+            let mut doc = chunk.join("\n");
+            doc.push('\n');
+            doc
+        })
+        .collect();
+
+    let started = Instant::now();
+    let outputs = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let addr = addr.clone();
+                scope.spawn(move || run_client(&addr, chunk))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench client thread panicked"))
+            .collect::<std::io::Result<Vec<String>>>()
+    })
+    .map_err(|e| format!("bench client failed: {e}"))?;
+    let seconds = started.elapsed().as_secs_f64();
+
+    server.shutdown();
+    let report = server.join();
+    let answered: usize = outputs.iter().map(|out| out.lines().count()).sum();
+    if answered != lines.len() {
+        return Err(format!(
+            "response lines ({answered}) do not match request lines ({}); server report: {report:?}",
+            lines.len()
+        ));
+    }
+    Ok(LoopbackBenchReport {
+        workers,
+        clients: chunks.len(),
+        requests: lines.len(),
+        seconds,
+        qps: lines.len() as f64 / seconds.max(1e-9),
+    })
+}

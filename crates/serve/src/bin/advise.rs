@@ -1,4 +1,4 @@
-//! `advise` — build and serve preemption-advisory model packs.
+//! `advise` — build, serve and network-serve preemption-advisory model packs.
 //!
 //! ```text
 //! advise build <spec.toml|spec.json> --out pack.json [resolution knobs]
@@ -6,15 +6,20 @@
 //! advise gen   --pack pack.json --count N [--seed S] [--out requests.ndjson]
 //! advise serve --pack pack.json --input requests.ndjson [--output FILE] [--threads N]
 //! advise bench --pack pack.json [--requests N] [--threads N] [--seed S]
+//! advise listen --pack pack.json [--addr HOST:PORT] [--workers N] [--max-inflight M]
+//! advise connect --addr HOST:PORT [--input FILE] [--send LINE]... [--output FILE]
+//! advise serve-bench --pack pack.json [--requests N] [--clients C] [--workers 1,2,4]
 //! ```
 //!
 //! `build` precomputes the tables offline — from a sweep spec (single pack) or, with
-//! `--per-cell`, from a `calibrate fit` regime catalog (a multi-pack: pooled fallback
-//! plus one pack per calibration cell, routed by the requests' `cell` field); `serve`
-//! answers an NDJSON request stream with byte-identical output for every `--threads`
-//! value, honouring `!reload <path>` control lines via a lock-free `Arc` swap; `gen`
-//! emits a deterministic load; `bench` reports throughput and latency percentiles of
-//! the serving path.
+//! `--per-cell`, from a `calibrate fit` regime catalog; `serve` answers an NDJSON
+//! request stream from a file with byte-identical output for every `--threads` value;
+//! `listen` serves the same protocol over TCP through a fixed worker pool with a
+//! bounded in-flight budget (overloads get typed 503-style lines, `!reload <path>`
+//! hot-swaps packs, `!stats` answers health probes, `!shutdown` drains and exits);
+//! `connect` is the matching one-connection client; `gen` emits a deterministic load;
+//! `bench` measures the in-process serving path and `serve-bench` the loopback TCP
+//! path across worker counts.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,6 +30,7 @@ use tcp_advisor::{
 };
 use tcp_calibrate::RegimeCatalog;
 use tcp_scenarios::SweepSpec;
+use tcp_serve::{loopback_bench, run_client, ServeOptions, Server};
 
 const USAGE: &str = "usage: advise <command> [options]
 
@@ -47,13 +53,37 @@ commands:
       --seed S                   generator seed (default 2020)
       --out FILE                 output path (default stdout)
 
-  serve                        answer an NDJSON request stream
+  serve                        answer an NDJSON request stream from a file
       --pack FILE                model pack (required)
       --input FILE               NDJSON requests (required)
       --output FILE              NDJSON responses (default stdout)
       --threads N                worker threads (default 0 = all CPUs)
 
-  bench                        measure serving throughput and latency
+  listen                       serve the NDJSON protocol over TCP
+      --pack FILE                model pack (required)
+      --addr HOST:PORT           bind address (default 127.0.0.1:0 = free port)
+      --workers N                connection worker pool size (default 4)
+      --max-inflight M           in-flight request budget; beyond it requests get
+                                 typed 503-style overload lines (default 4096)
+      --max-batch K              largest per-connection batch (default 256)
+      --batch-threads T          threads per request batch (default 1)
+      --max-pending P            most connections waiting for a worker (default 1024)
+      --port-file FILE           write the bound address here once listening
+
+  connect                      send request/control lines over one TCP connection
+      --addr HOST:PORT           server address (required)
+      --input FILE               NDJSON document to send (optional)
+      --send LINE                extra line to send after --input (repeatable)
+      --output FILE              response output path (default stdout)
+
+  serve-bench                  loopback TCP throughput across worker counts
+      --pack FILE                model pack (required)
+      --requests N               corpus size (default 100000)
+      --clients C                concurrent client connections (default 4)
+      --workers LIST             comma-separated worker counts (default 1,2,4)
+      --seed S                   load-generator seed (default 2020)
+
+  bench                        measure the in-process serving path
       --pack FILE                model pack (required)
       --requests N               batch size (default 100000)
       --threads N                worker threads for throughput (default 0)
@@ -127,8 +157,9 @@ fn cmd_build(argv: &[String]) -> Result<(), String> {
         let json = multi.to_json().map_err(|e| e.to_string())?;
         std::fs::write(&out, &json).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
         println!(
-            "built multi-pack `{}`: pooled + {} cell packs, {} bytes, {:.2}s -> {}",
+            "built multi-pack `{}`: pooled ({}) + {} cell packs, {} bytes, {:.2}s -> {}",
             multi.name,
+            multi.pooled.regimes[0].served_family,
             multi.cells.len(),
             json.len(),
             started.elapsed().as_secs_f64(),
@@ -243,6 +274,132 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_listen(argv: &[String]) -> Result<(), String> {
+    let mut pack: Option<PathBuf> = None;
+    let mut port_file: Option<PathBuf> = None;
+    let mut options = ServeOptions::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--pack" => pack = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--addr" => options.addr = next_value(&mut it, arg)?.clone(),
+            "--workers" => options.workers = parse(next_value(&mut it, arg)?, arg)?,
+            "--max-inflight" => options.max_inflight = parse(next_value(&mut it, arg)?, arg)?,
+            "--max-batch" => options.max_batch = parse(next_value(&mut it, arg)?, arg)?,
+            "--batch-threads" => options.batch_threads = parse(next_value(&mut it, arg)?, arg)?,
+            "--max-pending" => options.max_pending = parse(next_value(&mut it, arg)?, arg)?,
+            "--port-file" => port_file = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let advisor = load_advisor(&pack)?;
+    let pack_name = advisor.name().to_string();
+    let cells = advisor.cell_names().len();
+    let server = Server::start(advisor, options.clone())?;
+    let addr = server.local_addr();
+    eprintln!(
+        "listening on {addr}: pack `{pack_name}` ({cells} cells), {} workers, \
+         max-inflight {}, protocol NDJSON (+ !reload / !stats / !shutdown)",
+        options.workers, options.max_inflight
+    );
+    if let Some(path) = port_file {
+        std::fs::write(&path, format!("{addr}\n"))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    let report = server.join();
+    eprintln!(
+        "drained: {} connections, {} requests, {} overload responses, {} refused connections",
+        report.connections, report.requests, report.overload_responses, report.refused_connections
+    );
+    Ok(())
+}
+
+fn cmd_connect(argv: &[String]) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut input: Option<PathBuf> = None;
+    let mut output: Option<PathBuf> = None;
+    let mut sends: Vec<String> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(next_value(&mut it, arg)?.clone()),
+            "--input" => input = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--output" | "--out" => output = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--send" => sends.push(next_value(&mut it, arg)?.clone()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let addr = addr.ok_or("--addr is required")?;
+    let mut document = match &input {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?,
+        None => String::new(),
+    };
+    for line in &sends {
+        if !document.is_empty() && !document.ends_with('\n') {
+            document.push('\n');
+        }
+        document.push_str(line);
+        document.push('\n');
+    }
+    if document.is_empty() {
+        return Err("nothing to send: give --input and/or --send".to_string());
+    }
+    let response = run_client(&addr, &document).map_err(|e| e.to_string())?;
+    write_or_print(&output, &response)
+}
+
+fn cmd_serve_bench(argv: &[String]) -> Result<(), String> {
+    let mut pack: Option<PathBuf> = None;
+    let mut requests = 100_000usize;
+    let mut clients = 4usize;
+    let mut worker_counts: Vec<usize> = vec![1, 2, 4];
+    let mut seed = 2020u64;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--pack" => pack = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--requests" => requests = parse(next_value(&mut it, arg)?, arg)?,
+            "--clients" => clients = parse(next_value(&mut it, arg)?, arg)?,
+            "--seed" => seed = parse(next_value(&mut it, arg)?, arg)?,
+            "--workers" => {
+                worker_counts = next_value(&mut it, arg)?
+                    .split(',')
+                    .map(|v| parse(v.trim(), arg))
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if worker_counts.is_empty() {
+                    return Err("--workers needs at least one count".to_string());
+                }
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let path = pack.as_ref().ok_or("--pack is required")?;
+    let pack_json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let advisor = MultiAdvisor::from_json(&pack_json).map_err(|e| e.to_string())?;
+    let corpus = requests_to_ndjson(&generate_requests(advisor.pooled().pack(), requests, seed));
+    drop(advisor);
+
+    println!("loopback serve-bench: {requests} requests over {clients} client connections");
+    let mut baseline: Option<f64> = None;
+    for &workers in &worker_counts {
+        let report = loopback_bench(&pack_json, &corpus, workers, clients)?;
+        let speedup = match baseline {
+            Some(base) => report.qps / base,
+            None => {
+                baseline = Some(report.qps);
+                1.0
+            }
+        };
+        println!(
+            "  workers {:>2}: {:>9.0} q/s  ({:.3}s wall, {:.2}x vs workers {})",
+            report.workers, report.qps, report.seconds, speedup, worker_counts[0]
+        );
+    }
+    Ok(())
+}
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -294,6 +451,9 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&argv[1..]),
         Some("gen") => cmd_gen(&argv[1..]),
         Some("serve") => cmd_serve(&argv[1..]),
+        Some("listen") => cmd_listen(&argv[1..]),
+        Some("connect") => cmd_connect(&argv[1..]),
+        Some("serve-bench") => cmd_serve_bench(&argv[1..]),
         Some("bench") => cmd_bench(&argv[1..]),
         Some("--help" | "-h") | None => {
             eprintln!("{USAGE}");

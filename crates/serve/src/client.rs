@@ -1,0 +1,40 @@
+//! A minimal blocking client for the advisory protocol.
+//!
+//! One call = one connection: the input document is streamed on a writer thread while
+//! the response stream is collected concurrently (writing a large corpus without
+//! reading would deadlock once both TCP windows fill).  The write half is shut down
+//! after the last line, which tells the server the request stream is complete; the
+//! server answers everything it read and closes, which ends the read half.
+
+use std::io::{BufWriter, Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+/// Sends `input` (an NDJSON request/control-line document) over one connection to
+/// `addr` and returns the full response document.
+///
+/// Every non-blank input line produces exactly one response line, in order, so the
+/// returned text for a pure request stream is byte-identical to batch-mode
+/// `advise serve` over the same lines.
+pub fn run_client(addr: &str, input: &str) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let write_half = stream.try_clone()?;
+    let mut response = String::new();
+    let mut read_half = stream;
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let writer = scope.spawn(move || -> std::io::Result<()> {
+            let mut writer = BufWriter::with_capacity(1 << 16, write_half);
+            writer.write_all(input.as_bytes())?;
+            if !input.is_empty() && !input.ends_with('\n') {
+                writer.write_all(b"\n")?;
+            }
+            writer.flush()?;
+            writer.get_ref().shutdown(Shutdown::Write)?;
+            Ok(())
+        });
+        read_half.read_to_string(&mut response)?;
+        writer.join().expect("client writer thread panicked")?;
+        Ok(())
+    })?;
+    Ok(response)
+}

@@ -1,0 +1,41 @@
+//! `tcp-serve` — the advisor's concurrent network front end.
+//!
+//! PR 2 made the paper's model tables queryable and PR 3 calibrated them from traces,
+//! but the `advise` binary still read NDJSON from files: no real client could reach the
+//! advisor.  This crate puts the query engine behind a socket, keeping the protocol and
+//! the bytes identical to batch mode:
+//!
+//! * [`server`] — a long-lived `std::net::TcpListener` accept loop dispatching
+//!   connections to a fixed worker pool.  Each connection speaks the NDJSON advisory
+//!   protocol through the same [`tcp_advisor::Session`] engine as `advise serve`, so a
+//!   request stream produces byte-identical responses over the wire and from a file.
+//!   Malformed lines get typed error responses (never a dropped connection), a bounded
+//!   in-flight request budget sheds load with typed 503-style [`OverloadLine`]s (never
+//!   a silent drop), `!reload` hot-swaps packs without a restart, `!stats` answers
+//!   health probes, and `!shutdown` drains in-flight requests before exit;
+//! * [`client`] — a minimal loopback client (one connection, concurrent writer/reader)
+//!   used by the `advise connect` CLI, the tests and CI smoke;
+//! * [`bench`] — a loopback throughput benchmark fanning concurrent client threads at
+//!   a freshly started server, used by `advise serve-bench` to demonstrate scaling
+//!   across worker counts.
+//!
+//! The `advise` binary lives here (it needs both the advisor and the server): the
+//! offline commands (`build` / `gen` / `serve` / `bench`) are unchanged, and `listen` /
+//! `connect` / `serve-bench` add the network path.
+//!
+//! ```text
+//! pack.json ──advise listen──▶ 127.0.0.1:PORT ◀──advise connect── requests.ndjson
+//!                 │ workers × connections, shared Arc'd pack,
+//!                 │ bounded in-flight budget, !reload/!stats/!shutdown
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bench;
+pub mod client;
+pub mod server;
+
+pub use bench::{loopback_bench, LoopbackBenchReport};
+pub use client::run_client;
+pub use server::{OverloadLine, ServeOptions, Server, ServerReport, ShutdownLine};

@@ -1,0 +1,546 @@
+//! The worker-pool TCP server.
+//!
+//! Architecture: one accept thread pushes connections onto a bounded queue; a fixed
+//! pool of worker threads pops connections and serves each one to completion with a
+//! per-connection [`Session`] — the same line-level engine as the file front end, so
+//! the response bytes for a request stream are identical to batch-mode `advise serve`.
+//!
+//! Inside a connection, lines are read into adaptive batches (as many lines as the
+//! read buffer already holds, up to `max_batch`) and answered through the session,
+//! which fans request runs over the workspace's work-stealing driver when
+//! `batch_threads > 1`.  Admission control is a global in-flight request budget: a
+//! request line that cannot get a permit is answered *in place* with a typed
+//! 503-style [`OverloadLine`] — responses are never silently dropped, and output
+//! order always matches input order.
+//!
+//! Control lines: `!reload <path>` and `!stats` are handled by the shared session
+//! engine (any connection is an admin connection); `!shutdown` is handled here — it
+//! acknowledges, stops the accept loop, lets every worker drain the requests already
+//! read, and unblocks [`Server::join`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use tcp_advisor::{AdvisorHandle, MultiAdvisor, Session};
+
+/// How long a worker blocks in a read before re-checking the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Address to bind (`host:port`; port `0` picks a free port).
+    pub addr: String,
+    /// Fixed worker-pool size (each worker serves one connection at a time).
+    pub workers: usize,
+    /// Global in-flight request budget: requests admitted but not yet answered.
+    /// Requests beyond the budget get typed overload responses.
+    pub max_inflight: usize,
+    /// Largest batch of lines answered per session flush.  Keep it below
+    /// `max_inflight / workers` (the defaults are) so well-behaved connections never
+    /// shed; a burst larger than the remaining budget gets typed overload lines.
+    pub max_batch: usize,
+    /// Worker threads the session fans each request batch over (`1` keeps batches
+    /// single-threaded so scaling comes from the connection workers).
+    pub batch_threads: usize,
+    /// Most connections allowed to wait for a worker; beyond it new connections are
+    /// refused with a typed overload line instead of queueing unboundedly.
+    pub max_pending: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_inflight: 4096,
+            max_batch: 256,
+            batch_threads: 1,
+            max_pending: 1024,
+        }
+    }
+}
+
+impl ServeOptions {
+    fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("workers must be at least 1".to_string());
+        }
+        if self.max_inflight == 0 {
+            return Err("max-inflight must be at least 1".to_string());
+        }
+        if self.max_batch == 0 {
+            return Err("max-batch must be at least 1".to_string());
+        }
+        if self.max_pending == 0 {
+            return Err("max-pending must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// The typed 503-style response emitted when the in-flight budget (or the pending
+/// connection queue) is exhausted.  Emitted in place of the response the request
+/// would have received, so clients can count on one output line per input line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadLine {
+    /// What was shed and why, including the configured limit.
+    pub error: String,
+    /// HTTP-style status code (always 503).
+    pub code: u32,
+    /// Correlation id (never parsed on the overload path — always `null`; the
+    /// shedding path must stay cheaper than the serving path).
+    pub id: Option<u64>,
+}
+
+/// The acknowledgement emitted for a `!shutdown` control line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShutdownLine {
+    /// The control verb (`shutdown`).
+    pub control: String,
+    /// Connections still queued or being served that will be drained.
+    pub draining: usize,
+}
+
+/// Serving totals reported by [`Server::join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerReport {
+    /// Connections accepted and served.
+    pub connections: u64,
+    /// Request lines answered by the advisor (parse errors included; they produce
+    /// typed error lines through the same path).
+    pub requests: u64,
+    /// Request lines answered with a typed overload response.
+    pub overload_responses: u64,
+    /// Connections refused because the pending queue was full.
+    pub refused_connections: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    overloads: AtomicU64,
+    refused: AtomicU64,
+}
+
+struct Shared {
+    handle: AdvisorHandle,
+    options: ServeOptions,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    inflight: AtomicUsize,
+    counters: Counters,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Grabs one in-flight permit if the budget allows.
+    fn try_admit(&self) -> bool {
+        self.inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                if n < self.options.max_inflight {
+                    Some(n + 1)
+                } else {
+                    None
+                }
+            })
+            .is_ok()
+    }
+
+    /// Returns `count` permits to the budget.
+    fn release(&self, count: usize) {
+        if count > 0 {
+            self.inflight.fetch_sub(count, Ordering::AcqRel);
+        }
+    }
+
+    /// Initiates shutdown: stops the accept loop and wakes every idle worker.  The
+    /// accept thread may be blocked in `accept()`, so poke it with a throwaway
+    /// connection — through loopback when the server bound a wildcard address,
+    /// which is not connectable on every platform.
+    fn trigger_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut poke = self.addr;
+        if poke.ip().is_unspecified() {
+            match poke {
+                SocketAddr::V4(_) => poke.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+                SocketAddr::V6(_) => poke.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+            }
+        }
+        let _ = TcpStream::connect(poke);
+        self.queue_cv.notify_all();
+    }
+}
+
+/// One queued output slot of a connection batch, in input order.
+enum Slot {
+    /// A line for the session engine (request or control); `bool` says whether it
+    /// holds an in-flight permit (control lines do not).
+    Line(String, bool),
+    /// A request line shed by admission control.
+    Overloaded,
+}
+
+/// A running advisor server.  Dropping the handle does **not** stop the server; call
+/// [`Server::shutdown`] (or send a `!shutdown` control line) and then
+/// [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `options.addr` and starts the accept loop and the worker pool.
+    pub fn start(advisor: MultiAdvisor, options: ServeOptions) -> Result<Server, String> {
+        options.validate()?;
+        let listener = TcpListener::bind(&options.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        let shared = Arc::new(Shared {
+            handle: AdvisorHandle::new(advisor),
+            options: options.clone(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            counters: Counters::default(),
+            addr,
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, &shared))
+        };
+        let workers = (0..options.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The address the server actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The hot-reload slot behind the served packs (shared with every connection).
+    pub fn handle(&self) -> &AdvisorHandle {
+        &self.shared.handle
+    }
+
+    /// Initiates a graceful shutdown: stop accepting, drain requests already read,
+    /// then let [`Server::join`] return.  Idempotent; `!shutdown` calls this too.
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Waits for the accept loop and every worker to finish, returning the totals.
+    pub fn join(mut self) -> ServerReport {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let c = &self.shared.counters;
+        ServerReport {
+            connections: c.connections.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            overload_responses: c.overloads.load(Ordering::Relaxed),
+            refused_connections: c.refused.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // A real client racing the shutdown poke still gets a typed goodbye
+            // instead of a silent hang-up.
+            if let Ok(stream) = stream {
+                refuse(stream, "server is shutting down".to_string());
+            }
+            break;
+        }
+        let Ok(stream) = stream else {
+            // Transient accept failures (EMFILE under fd pressure, aborted
+            // handshakes) must not busy-spin a core exactly when the host is
+            // already starved.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        let mut queue = shared.queue.lock().expect("connection queue poisoned");
+        if queue.len() >= shared.options.max_pending {
+            drop(queue);
+            shared.counters.refused.fetch_add(1, Ordering::Relaxed);
+            refuse(
+                stream,
+                format!(
+                    "overloaded: connection queue is full (max {}); retry later",
+                    shared.options.max_pending
+                ),
+            );
+        } else {
+            queue.push_back(stream);
+            drop(queue);
+            shared.queue_cv.notify_one();
+        }
+    }
+    // Wake every worker so the pool can drain the queue and exit.
+    shared.queue_cv.notify_all();
+}
+
+/// Refuses a connection with one typed overload line (best effort — the client may
+/// already be gone, which is fine).
+fn refuse(stream: TcpStream, error: String) {
+    let line = serde_json::to_string(&OverloadLine {
+        error,
+        code: 503,
+        id: None,
+    })
+    .expect("overload lines serialize");
+    let mut writer = BufWriter::new(stream);
+    let _ = writer.write_all(line.as_bytes());
+    let _ = writer.write_all(b"\n");
+    let _ = writer.flush();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let connection = {
+            let mut queue = shared.queue.lock().expect("connection queue poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .queue_cv
+                    .wait(queue)
+                    .expect("connection queue poisoned");
+            }
+        };
+        match connection {
+            Some(stream) => serve_connection(stream, shared),
+            None => break,
+        }
+    }
+}
+
+/// Queues one complete request/control line (terminator already removed).  Returns
+/// `false` for the `!shutdown` control, which the connection loop handles itself.
+fn queue_line(line_bytes: Vec<u8>, pending: &mut Vec<Slot>, shared: &Shared) -> bool {
+    // Invalid UTF-8 cannot even be represented in file mode (reading the document
+    // would fail); over the socket it degrades to a replacement-character line whose
+    // parse error is still a typed in-place response — never a dropped connection.
+    let line = match String::from_utf8(line_bytes) {
+        Ok(line) => line,
+        Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
+    };
+    let text = line.trim();
+    if text == "!shutdown" {
+        return false;
+    }
+    if !text.is_empty() {
+        if text.starts_with('!') {
+            // Control lines bypass admission control: health probes and reloads
+            // must keep working while the budget is exhausted.
+            pending.push(Slot::Line(line, false));
+        } else if shared.try_admit() {
+            pending.push(Slot::Line(line, true));
+        } else {
+            pending.push(Slot::Overloaded);
+        }
+    }
+    true
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    // A finite read timeout lets the worker notice a server shutdown while a client
+    // sits idle; complete batches are always flushed before the worker blocks again.
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::with_capacity(1 << 16, read_half);
+    let mut writer = BufWriter::with_capacity(1 << 16, stream);
+    let mut session = Session::new(&shared.handle, shared.options.batch_threads);
+    let batch_cap = shared.options.max_batch;
+    let mut pending: Vec<Slot> = Vec::new();
+    // Bytes of a line whose terminator has not arrived yet.  Lines are assembled at
+    // the byte level (not via `read_line`) so a read timeout can never discard
+    // partially received multi-byte characters mid-line.
+    let mut partial: Vec<u8> = Vec::new();
+    loop {
+        let chunk_len = match reader.fill_buf() {
+            Ok([]) => {
+                // EOF: the unterminated tail is still one request, then drain.
+                if !partial.is_empty()
+                    && !queue_line(std::mem::take(&mut partial), &mut pending, shared)
+                {
+                    shutdown_connection(&mut session, &mut pending, &mut writer, shared);
+                    return;
+                }
+                let _ = flush_batch(&mut session, &mut pending, &mut writer, shared);
+                return;
+            }
+            Ok(chunk) => {
+                let mut consumed = 0usize;
+                while let Some(offset) = chunk[consumed..].iter().position(|&b| b == b'\n') {
+                    let mut line_bytes = std::mem::take(&mut partial);
+                    line_bytes.extend_from_slice(&chunk[consumed..consumed + offset]);
+                    // Strip an optional `\r` exactly like `str::lines` in batch mode —
+                    // parse-error byte offsets must match it.
+                    if line_bytes.last() == Some(&b'\r') {
+                        line_bytes.pop();
+                    }
+                    consumed += offset + 1;
+                    if !queue_line(line_bytes, &mut pending, shared) {
+                        shutdown_connection(&mut session, &mut pending, &mut writer, shared);
+                        return;
+                    }
+                    if pending.len() >= batch_cap
+                        && flush_batch(&mut session, &mut pending, &mut writer, shared).is_err()
+                    {
+                        return;
+                    }
+                }
+                partial.extend_from_slice(&chunk[consumed..]);
+                chunk.len()
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    let _ = flush_batch(&mut session, &mut pending, &mut writer, shared);
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        reader.consume(chunk_len);
+        // The whole chunk was consumed, so the internal buffer is drained and the
+        // next read may block: answer everything complete now.  A stalled partial
+        // line never withholds the responses of the requests before it.
+        if flush_batch(&mut session, &mut pending, &mut writer, shared).is_err() {
+            return;
+        }
+        // A drain was requested (by `!shutdown` on another connection): everything
+        // read so far is answered — close rather than stream forever, or the server
+        // could never exit while an active client keeps sending.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Acknowledges a `!shutdown` control line: answer everything before it, emit the
+/// ack, and trigger the server-wide drain.
+fn shutdown_connection(
+    session: &mut Session<'_>,
+    pending: &mut Vec<Slot>,
+    writer: &mut BufWriter<TcpStream>,
+    shared: &Shared,
+) {
+    let _ = flush_batch(session, pending, writer, shared);
+    let draining = shared
+        .queue
+        .lock()
+        .map(|queue| queue.len())
+        .unwrap_or_default();
+    let ack = serde_json::to_string(&ShutdownLine {
+        control: "shutdown".to_string(),
+        draining,
+    })
+    .expect("shutdown lines serialize");
+    let _ = writer.write_all(ack.as_bytes());
+    let _ = writer.write_all(b"\n");
+    let _ = writer.flush();
+    shared.trigger_shutdown();
+}
+
+/// Answers one batch of slots in input order, writes the responses, and returns the
+/// in-flight permits.  An `Err` means the client is gone; the caller closes.
+fn flush_batch(
+    session: &mut Session<'_>,
+    pending: &mut Vec<Slot>,
+    writer: &mut BufWriter<TcpStream>,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let mut out = String::new();
+    let mut run: Vec<&str> = Vec::new();
+    let mut permits = 0usize;
+    let mut served = 0u64;
+    let mut overloaded = 0u64;
+    for slot in pending.iter() {
+        match slot {
+            Slot::Line(text, holds_permit) => {
+                run.push(text);
+                if *holds_permit {
+                    permits += 1;
+                    served += 1;
+                }
+            }
+            Slot::Overloaded => {
+                session.process(&run, &mut out);
+                run.clear();
+                let line = serde_json::to_string(&OverloadLine {
+                    error: format!(
+                        "overloaded: in-flight budget exhausted (max {}); retry later",
+                        shared.options.max_inflight
+                    ),
+                    code: 503,
+                    id: None,
+                })
+                .expect("overload lines serialize");
+                out.push_str(&line);
+                out.push('\n');
+                overloaded += 1;
+            }
+        }
+    }
+    session.process(&run, &mut out);
+    pending.clear();
+    let outcome = writer
+        .write_all(out.as_bytes())
+        .and_then(|()| writer.flush());
+    // Permits are released only after the responses hit the socket: "in flight"
+    // covers the full admission-to-response window, which is what backpressure
+    // must bound.
+    shared.release(permits);
+    shared
+        .counters
+        .requests
+        .fetch_add(served, Ordering::Relaxed);
+    shared
+        .counters
+        .overloads
+        .fetch_add(overloaded, Ordering::Relaxed);
+    outcome
+}

@@ -8,5 +8,6 @@ pub use tcp_dists as dists;
 pub use tcp_numerics as numerics;
 pub use tcp_policy as policy;
 pub use tcp_scenarios as scenarios;
+pub use tcp_serve as serve;
 pub use tcp_trace as trace;
 pub use tcp_workloads as workloads;

@@ -12,7 +12,9 @@ use serde::{Deserialize, Serialize, Value};
 
 /// Serializes a value to compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    let mut out = String::new();
+    // Start with a line-sized buffer: most workspace values are NDJSON lines, and
+    // growing from empty costs several reallocations per line on the serving path.
+    let mut out = String::with_capacity(256);
     write_value(&mut out, &value.serialize(), None, 0);
     Ok(out)
 }
@@ -38,8 +40,14 @@ fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: us
     match value {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::Int(x) => out.push_str(&x.to_string()),
-        Value::UInt(x) => out.push_str(&x.to_string()),
+        Value::Int(x) => {
+            use std::fmt::Write;
+            write!(out, "{x}").expect("writing to a String cannot fail");
+        }
+        Value::UInt(x) => {
+            use std::fmt::Write;
+            write!(out, "{x}").expect("writing to a String cannot fail");
+        }
         Value::Float(x) => write_float(out, *x),
         Value::Str(s) => write_string(out, s),
         Value::Seq(items) => write_compound(
@@ -110,22 +118,37 @@ fn write_float(out: &mut String, x: f64) {
     }
     // `{:?}` is the shortest representation that round-trips, and always contains a
     // `.`, `e`, or is integral-looking — all valid JSON number syntax.
-    out.push_str(&format!("{x:?}"));
+    use std::fmt::Write;
+    write!(out, "{x:?}").expect("writing to a String cannot fail");
+}
+
+/// Whether a character must be escaped in a JSON string.
+fn needs_escape(c: char) -> bool {
+    matches!(c, '"' | '\\') || (c as u32) < 0x20
 }
 
 fn write_string(out: &mut String, s: &str) {
     out.push('"');
-    for c in s.chars() {
+    // Fast path: copy maximal escape-free spans in one `push_str` — field names and
+    // most payload strings contain no escapes at all.
+    let mut rest = s;
+    while let Some(split) = rest.find(needs_escape) {
+        out.push_str(&rest[..split]);
+        let c = rest[split..].chars().next().expect("split is a char start");
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+            c => {
+                use std::fmt::Write;
+                write!(out, "\\u{:04x}", c as u32).expect("writing to a String cannot fail");
+            }
         }
+        rest = &rest[split + c.len_utf8()..];
     }
+    out.push_str(rest);
     out.push('"');
 }
 
@@ -266,6 +289,24 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Bulk-copy the maximal span free of quotes and escapes; almost every
+            // string (field names included) is one such span.
+            let rest = &self.bytes[self.pos..];
+            let span = rest
+                .iter()
+                .position(|&b| b == b'"' || b == b'\\')
+                .unwrap_or(rest.len());
+            if span > 0 {
+                let text = std::str::from_utf8(&rest[..span])
+                    .map_err(|_| Error::custom("invalid UTF-8"))?;
+                if out.is_empty() && rest.get(span) == Some(&b'"') {
+                    // The whole string is a single clean span: size the allocation
+                    // exactly once.
+                    out.reserve_exact(span);
+                }
+                out.push_str(text);
+                self.pos += span;
+            }
             let rest = &self.bytes[self.pos..];
             let Some(&b) = rest.first() else {
                 return Err(Error::custom("unterminated string"));
@@ -309,14 +350,7 @@ impl<'a> Parser<'a> {
                         }
                     }
                 }
-                _ => {
-                    // Consume one UTF-8 character.
-                    let text =
-                        std::str::from_utf8(rest).map_err(|_| Error::custom("invalid UTF-8"))?;
-                    let c = text.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
+                _ => unreachable!("the span scan stops only at quotes and escapes"),
             }
         }
     }
