@@ -15,8 +15,7 @@ use crate::pack::{
 use std::sync::Arc;
 use tcp_calibrate::RegimeCatalog;
 use tcp_cloudsim::{run_tasks, PricingModel};
-use tcp_core::analysis::expected_makespan_from_age;
-use tcp_core::BathtubModel;
+use tcp_core::{LifetimeModel, TabulatedLifetime};
 use tcp_dists::LifetimeDistribution;
 use tcp_numerics::interp::linspace;
 use tcp_policy::{
@@ -61,65 +60,6 @@ impl Default for PackBuilder {
             reference_job_len: 6.0,
         }
     }
-}
-
-/// Which distribution's survival/W(t) curves a regime pack serves.
-///
-/// The DP checkpoint tables and the policy card always come from the bathtub fit (the
-/// policy stack is built on Equation 1); this enum only selects what the Equation 8
-/// curves — survival and the first moment `W(t)` — are tabulated from.
-enum ServedCurves<'a> {
-    /// The policy model's own bathtub curves (closed form, exact).
-    Bathtub,
-    /// A goodness-of-fit winner from another family, tabulated by quadrature.
-    Winner {
-        /// Family name recorded in the pack metadata.
-        family: &'a str,
-        /// The winner distribution.
-        dist: &'a dyn LifetimeDistribution,
-    },
-    /// A weighted mixture of per-cell winners (the pooled fallback); weights are the
-    /// catalog per-cell record shares and must sum to one.
-    Mixture {
-        /// `(weight, distribution)` components.
-        components: &'a [(f64, Arc<dyn LifetimeDistribution>)],
-    },
-}
-
-/// Tabulates survival and `W(t) = ∫_0^t u f(u) du` for an arbitrary distribution on the
-/// age grid, under the temporal constraint: survival drops to zero at the horizon, and
-/// any mass an *unconstrained* family leaves past the horizon becomes a reclamation
-/// atom at the deadline — exactly how [`tcp_dists::ConstrainedBathtub`] treats its own
-/// residual mass, so Equation 8 keeps penalising deadline-crossing jobs.
-fn tabulate_curves(
-    dist: &dyn LifetimeDistribution,
-    ages: &[f64],
-    horizon: f64,
-) -> (Vec<f64>, Vec<f64>) {
-    let survival: Vec<f64> = ages
-        .iter()
-        .map(|&s| {
-            if s >= horizon {
-                0.0
-            } else {
-                dist.survival(s).clamp(0.0, 1.0)
-            }
-        })
-        .collect();
-    // W is additive over segments, so accumulate instead of integrating from zero at
-    // every knot — O(grid) instead of O(grid²) quadrature work.
-    let mut first_moment = vec![0.0; ages.len()];
-    let mut acc = 0.0;
-    for i in 1..ages.len() {
-        acc += dist.partial_expectation(ages[i - 1], ages[i]).max(0.0);
-        first_moment[i] = acc;
-    }
-    if dist.horizon().is_none() {
-        if let Some(last) = first_moment.last_mut() {
-            *last += dist.survival(horizon).clamp(0.0, 1.0) * horizon;
-        }
-    }
-    (survival, first_moment)
 }
 
 impl PackBuilder {
@@ -172,7 +112,7 @@ impl PackBuilder {
             let model = regime_model(spec, regime_spec, i)?;
             regimes.push(self.build_regime(
                 regime_spec,
-                model,
+                &model,
                 &checkpoint_costs,
                 dp_step_minutes,
             )?);
@@ -193,18 +133,18 @@ impl PackBuilder {
     }
 
     /// Builds a per-cell pack set from a calibrated regime catalog: the pooled
-    /// all-records fit becomes the fallback pack, and every catalog cell with a
-    /// parametric bathtub fit becomes its own single-regime pack (named after the
-    /// cell), with cost tables priced for the cell's actual VM type.  Cells too small
-    /// for a parametric fit are skipped.
+    /// record-weighted winner mixture becomes the fallback pack, and *every* catalog
+    /// cell becomes its own single-regime pack (named after the cell), with cost
+    /// tables priced for the cell's actual VM type.
     ///
-    /// Each cell pack *serves* its goodness-of-fit winner: the survival and `W(t)`
-    /// curves are tabulated from the cell's selected model (empirical, phased, Weibull,
-    /// exponential or bathtub — recorded in [`RegimePack::served_family`]), while the
-    /// DP checkpoint tables and policy card stay on the cell's bathtub fit, which is
-    /// what the paper's policy stack is built on.  The pooled fallback serves the
-    /// record-count-weighted mixture of every catalog cell's winner (not the uniform
-    /// all-records fit), so heavily sampled cells carry proportionate weight.
+    /// Each cell pack is built end to end from the cell's goodness-of-fit winner
+    /// (empirical, phased, Weibull, exponential or bathtub): the survival and `W(t)`
+    /// curves, the DP checkpoint tables *and* the policy card all come from the same
+    /// [`LifetimeModel`], so `dp_family == served_family` for every cell — the
+    /// generic-hazard DP removed the old bathtub-only restriction, and cells too small
+    /// for parametric fits now ship packs driven by their empirical fallback.  The
+    /// pooled pack is driven by the record-count-weighted mixture of every cell's
+    /// winner.
     ///
     /// Table construction fans out over `threads` worker threads (`0` = all CPUs);
     /// assembly is in catalog order, so the pack set is byte-identical for every thread
@@ -228,46 +168,47 @@ impl PackBuilder {
             ));
         }
         let horizon = catalog.horizon_hours;
-        let pooled_model = catalog.pooled.bathtub_model().ok_or_else(|| {
-            AdvisorError::Pack(
-                "the catalog's pooled entry has no bathtub fit (too few records?)".to_string(),
-            )
-        })?;
         struct CellPlan {
             name: String,
-            policy_model: BathtubModel,
+            model: Arc<dyn LifetimeModel>,
+            /// The cell's bathtub candidate fit, recorded in the pack for audits.
+            reference: Option<tcp_core::BathtubModel>,
             vm_type: VmType,
-            family: String,
-            dist: Arc<dyn LifetimeDistribution>,
         }
         let mut cells: Vec<CellPlan> = Vec::new();
         for cell in &catalog.cells {
-            let (Some(policy_model), Some(vm_type)) = (cell.bathtub_model(), cell.vm_type) else {
-                continue;
+            let Some(vm_type) = cell.vm_type else {
+                continue; // only the pooled pseudo-cell lacks dimensions
             };
             cells.push(CellPlan {
                 name: cell.cell.clone(),
-                policy_model,
+                model: cell
+                    .model
+                    .to_lifetime_model(horizon, self.age_points)
+                    .map_err(|e| AdvisorError::Pack(format!("cell `{}`: {e}", cell.cell)))?,
+                reference: cell.bathtub_model(),
                 vm_type,
-                family: cell.model.family.clone(),
-                dist: cell.model.to_distribution(horizon)?,
             });
         }
         if cells.is_empty() {
             return Err(AdvisorError::Pack(
-                "no catalog cell has a parametric bathtub fit; refit with more records \
-                 per cell (or a lower --min-records)"
-                    .to_string(),
+                "the catalog has no per-cell fits to build packs from".to_string(),
             ));
         }
-        // The pooled fallback's curves: every catalog cell's winner (including cells
-        // too small for their own pack), weighted by its share of the records.
+        // The pooled fallback: every catalog cell's winner (including cells too small
+        // for parametric fits), weighted by its share of the records.
         let mut components: Vec<(f64, Arc<dyn LifetimeDistribution>)> =
             Vec::with_capacity(catalog.cells.len());
         for cell in &catalog.cells {
             let weight = cell.records as f64 / catalog.total_records as f64;
             components.push((weight, cell.model.to_distribution(horizon)?));
         }
+        let pooled_model: Arc<dyn LifetimeModel> = Arc::new(TabulatedLifetime::from_mixture(
+            &components,
+            horizon,
+            self.age_points,
+        )?);
+        let pooled_bathtub = catalog.pooled.bathtub_model();
         // Per-vCPU GCP pricing; each pack's absolute costs follow its cell's VM type.
         let pricing = PricingModel::gcp_n1_highcpu();
 
@@ -276,33 +217,23 @@ impl PackBuilder {
             run_tasks(cells.len() + 1, threads, |task| match task {
                 0 => self.build_regime_tables(
                     "pooled",
-                    pooled_model,
+                    &pooled_model,
+                    pooled_bathtub,
                     pricing,
                     self.vm_type,
                     checkpoint_costs,
                     dp_step_minutes,
-                    ServedCurves::Mixture {
-                        components: &components,
-                    },
                 ),
                 i => {
                     let cell = &cells[i - 1];
-                    let served = if cell.family == "bathtub" {
-                        ServedCurves::Bathtub
-                    } else {
-                        ServedCurves::Winner {
-                            family: &cell.family,
-                            dist: cell.dist.as_ref(),
-                        }
-                    };
                     self.build_regime_tables(
                         &cell.name,
-                        cell.policy_model,
+                        &cell.model,
+                        cell.reference,
                         pricing,
                         cell.vm_type,
                         checkpoint_costs,
                         dp_step_minutes,
-                        served,
                     )
                 }
             });
@@ -339,7 +270,7 @@ impl PackBuilder {
     fn build_regime(
         &self,
         regime_spec: &RegimeSpec,
-        model: BathtubModel,
+        model: &Arc<dyn LifetimeModel>,
         checkpoint_costs: &[f64],
         dp_step_minutes: f64,
     ) -> Result<RegimePack> {
@@ -354,84 +285,59 @@ impl PackBuilder {
             .and_then(|cell| cell.parse::<tcp_calibrate::CellKey>().ok())
             .map(|key| key.vm_type)
             .unwrap_or(self.vm_type);
+        let reference = model.as_bathtub().copied();
         self.build_regime_tables(
             &regime_spec.name,
             model,
+            reference,
             pricing,
             vm_type,
             checkpoint_costs,
             dp_step_minutes,
-            ServedCurves::Bathtub,
         )
     }
 
     /// The table-construction core shared by the spec path and the catalog path: every
-    /// grid in a [`RegimePack`] derives from the model, the pricing and the VM type.
-    /// `served` selects which distribution the Equation 8 curves are tabulated from
-    /// (the DP tables and policy card always come from the bathtub `model`).
+    /// grid in a [`RegimePack`] — the Equation 8 curves, the DP checkpoint tables and
+    /// the policy card — derives from one [`LifetimeModel`], the pricing and the VM
+    /// type.  `reference` is the bathtub candidate fit recorded for audits (the model
+    /// itself when the winner *is* the bathtub family).
     #[allow(clippy::too_many_arguments)]
     fn build_regime_tables(
         &self,
         name: &str,
-        model: BathtubModel,
+        model: &Arc<dyn LifetimeModel>,
+        reference: Option<tcp_core::BathtubModel>,
         pricing: PricingModel,
         vm_type: VmType,
         checkpoint_costs: &[f64],
         dp_step_minutes: f64,
-        served: ServedCurves<'_>,
     ) -> Result<RegimePack> {
         let horizon = model.horizon();
         let (early_end, deadline_start) = model.phase_boundaries();
 
-        let ages = linspace(0.0, horizon, self.age_points);
-        let dist = model.dist();
-
         // W(age) = ∫_0^age t f(t) dt — partial_expectation is additive, so every
         // Equation 8 makespan becomes two lookups: E[T_s] = T + W(min(s+T, L)) − W(s).
-        let (survival, first_moment, served_family) = match served {
-            ServedCurves::Bathtub => {
-                let survival: Vec<f64> = ages.iter().map(|&s| model.survival(s)).collect();
-                let first_moment: Vec<f64> = ages
-                    .iter()
-                    .map(|&s| dist.partial_expectation(0.0, s))
-                    .collect();
-                (survival, first_moment, "bathtub".to_string())
-            }
-            ServedCurves::Winner { family, dist } => {
-                let (survival, first_moment) = tabulate_curves(dist, &ages, horizon);
-                (survival, first_moment, family.to_string())
-            }
-            ServedCurves::Mixture { components } => {
-                // Survival and W are both linear in the mixture, so the pooled curves
-                // are exactly the weighted sums of the per-component tabulations.
-                let mut survival = vec![0.0; ages.len()];
-                let mut first_moment = vec![0.0; ages.len()];
-                for (weight, component) in components {
-                    let (s, w) = tabulate_curves(component.as_ref(), &ages, horizon);
-                    for i in 0..ages.len() {
-                        survival[i] += weight * s[i];
-                        first_moment[i] += weight * w[i];
-                    }
-                }
-                (survival, first_moment, "mixture".to_string())
-            }
-        };
+        let ages = linspace(0.0, horizon, self.age_points);
+        let curves = model.tabulate(&ages);
+        let family = model.family().to_string();
 
         let mut checkpoint_cells = Vec::with_capacity(checkpoint_costs.len());
         for &cost_minutes in checkpoint_costs {
             checkpoint_cells.push(self.build_checkpoint_cell(
-                &model,
+                model,
                 cost_minutes,
                 dp_step_minutes,
             )?);
         }
 
-        let policy_card = self.build_policy_card(&model, &checkpoint_cells[0])?;
+        let policy_card = self.build_policy_card(model, &checkpoint_cells[0])?;
 
         Ok(RegimePack {
             name: name.to_string(),
-            model,
-            served_family,
+            model: reference,
+            served_family: family.clone(),
+            dp_family: family,
             horizon_hours: horizon,
             phase_early_end_hours: early_end,
             phase_deadline_start_hours: deadline_start,
@@ -440,8 +346,8 @@ impl PackBuilder {
             on_demand_per_vcpu_hour: pricing.on_demand_per_vcpu_hour,
             preemptible_per_vcpu_hour: pricing.preemptible_per_vcpu_hour,
             ages,
-            survival,
-            first_moment,
+            survival: curves.survival,
+            first_moment: curves.first_moment,
             checkpoint_cells,
             policy_card,
         })
@@ -458,12 +364,12 @@ impl PackBuilder {
 
     fn build_checkpoint_cell(
         &self,
-        model: &BathtubModel,
+        model: &Arc<dyn LifetimeModel>,
         cost_minutes: f64,
         dp_step_minutes: f64,
     ) -> Result<CheckpointCell> {
         let config = Self::checkpoint_config(cost_minutes, dp_step_minutes);
-        let policy = DpCheckpointPolicy::new(*model, config)?;
+        let policy = DpCheckpointPolicy::from_model(model.clone(), config)?;
         let horizon = model.horizon();
         // `DpCheckpointPolicy::schedule` requires start ages strictly inside the horizon;
         // queries past the last knot clamp to it, which is the right answer there anyway.
@@ -509,25 +415,31 @@ impl PackBuilder {
     /// Precomputes the best-policy ranking: scheduling policies by average job-failure
     /// probability over uniformly distributed start ages (the Figure 6 metric), and
     /// checkpointing policies by expected makespan of the reference job on a fresh VM.
-    fn build_policy_card(&self, model: &BathtubModel, cell: &CheckpointCell) -> Result<PolicyCard> {
+    fn build_policy_card(
+        &self,
+        model: &Arc<dyn LifetimeModel>,
+        cell: &CheckpointCell,
+    ) -> Result<PolicyCard> {
         let job = self.reference_job_len;
-        let model_driven = ModelDrivenScheduler::new(*model);
+        let model_driven = ModelDrivenScheduler::from_model(model.clone());
         let memoryless = MemorylessScheduler;
         let mut scheduling = vec![
             PolicyScore {
                 name: "model-driven".to_string(),
-                score: average_failure_probability(&model_driven, model, job, 96)?,
+                score: average_failure_probability(&model_driven, model.as_ref(), job, 96)?,
             },
             PolicyScore {
                 name: "memoryless".to_string(),
-                score: average_failure_probability(&memoryless, model, job, 96)?,
+                score: average_failure_probability(&memoryless, model.as_ref(), job, 96)?,
             },
         ];
 
         let config = Self::checkpoint_config(cell.checkpoint_cost_minutes, cell.dp_step_minutes);
-        let dp = DpCheckpointPolicy::new(*model, config)?;
-        let young_daly =
-            YoungDalyPolicy::from_initial_failure_rate(model, config.checkpoint_cost_hours)?;
+        let dp = DpCheckpointPolicy::from_model(model.clone(), config)?;
+        let young_daly = YoungDalyPolicy::from_initial_failure_rate(
+            model.as_ref(),
+            config.checkpoint_cost_hours,
+        )?;
         let mut checkpointing = vec![
             PolicyScore {
                 name: "model-driven".to_string(),
@@ -541,7 +453,7 @@ impl PackBuilder {
                 // Without checkpointing, the single-preemption makespan of Equation 7 is
                 // the (optimistic) comparison point the paper's Figure 8 uses.
                 name: "none".to_string(),
-                score: expected_makespan_from_age(model.dist(), 0.0, job),
+                score: model.makespan_from_age(0.0, job),
             },
         ];
 
@@ -639,6 +551,9 @@ dp_step_minutes = 15.0
         let pack = tiny_builder().build_from_spec(&tiny_spec()).unwrap();
         for regime in &pack.regimes {
             assert_eq!(regime.served_family, "bathtub");
+            assert_eq!(regime.dp_family, "bathtub");
+            // Spec packs keep the bathtub reference fit for audits.
+            assert!(regime.model.is_some());
         }
     }
 
@@ -677,6 +592,8 @@ dp_step_minutes = 15.0
             let fit = catalog.find(&entry.cell).unwrap();
             assert_eq!(fit.model.family, "empirical");
             assert_eq!(regime.served_family, "empirical");
+            // Winner-family policies end to end: the DP tables follow the winner too.
+            assert_eq!(regime.dp_family, "empirical");
             let dist = fit.model.to_distribution(horizon).unwrap();
             // The tabulated survival is the winner's, not the bathtub candidate's.
             for (i, &age) in regime.ages.iter().enumerate() {
@@ -708,7 +625,7 @@ dp_step_minutes = 15.0
                 "cell {} W(L) {got} vs ∫S {expected_mean}",
                 entry.cell
             );
-            // The policy model stays on the bathtub candidate for the DP tables.
+            // The DP tables exist and were computed from the winner family.
             assert!(!regime.checkpoint_cells.is_empty());
         }
     }
@@ -753,20 +670,49 @@ dp_step_minutes = 15.0
     }
 
     #[test]
-    fn unconstrained_winners_get_a_deadline_atom() {
-        // An exponential served family leaves mass past the horizon; the tabulated W
-        // must add it back as a reclamation atom at the deadline so deadline-crossing
-        // jobs keep paying the full remaining preemption mass (Equation 8's kink).
-        let dist = tcp_dists::Exponential::new(1.0 / 8.0).unwrap();
-        let ages = tcp_numerics::interp::linspace(0.0, 24.0, 49);
-        let (survival, first_moment) = tabulate_curves(&dist, &ages, 24.0);
-        assert_eq!(*survival.last().unwrap(), 0.0);
-        let expected_tail = dist.partial_expectation(0.0, 24.0) + dist.survival(24.0) * 24.0;
-        let got = *first_moment.last().unwrap();
-        assert!(
-            (got - expected_tail).abs() < 1e-6,
-            "W(L) {got} vs {expected_tail}"
-        );
+    fn showcase_catalog_builds_winner_driven_packs_for_every_cell() {
+        // The family-showcase layout gives each cell a different ground-truth family
+        // plus a five-record runt cell; the builder must ship a pack for *every* cell
+        // (the runt included — it has no bathtub candidate at all) with the DP tables
+        // and policy card computed from the cell's own winner.
+        // Seed 8 is a verified full-spread draw: all four parametric families win
+        // their cell and the runt keeps the empirical fallback (fitting is
+        // deterministic, so this is stable, not flaky).
+        let records = tcp_trace::TraceGenerator::new(8)
+            .generate_family_showcase(300)
+            .unwrap();
+        let catalog = tcp_calibrate::Calibrator::new("showcase")
+            .calibrate(&records, "showcase", 0)
+            .unwrap();
+        let multi = small_catalog_builder()
+            .build_from_catalog(&catalog, &[5.0], 30.0, 0)
+            .unwrap();
+        assert_eq!(multi.cells.len(), catalog.cells.len());
+        let mut families = std::collections::BTreeSet::new();
+        for entry in &multi.cells {
+            let regime = &entry.pack.regimes[0];
+            let fit = catalog.find(&entry.cell).unwrap();
+            assert_eq!(regime.served_family, fit.model.family);
+            assert_eq!(regime.dp_family, regime.served_family, "{}", entry.cell);
+            assert!(!regime.checkpoint_cells.is_empty());
+            families.insert(regime.served_family.clone());
+            if fit.candidates.is_empty() {
+                // The runt cell: no parametric candidates, so no bathtub reference —
+                // and still a full pack, driven by the empirical fallback.
+                assert_eq!(regime.served_family, "empirical");
+                assert!(regime.model.is_none());
+            }
+        }
+        // The winners genuinely span every family (the layout's whole point): all four
+        // parametric families plus the empirical fallback.
+        for family in ["bathtub", "weibull", "exponential", "phased", "empirical"] {
+            assert!(families.contains(family), "missing {family}: {families:?}");
+        }
+        // The pooled fallback is the winner mixture, with the pooled bathtub fit
+        // recorded as the reference.
+        let pooled = &multi.pooled.regimes[0];
+        assert_eq!(pooled.served_family, "mixture");
+        assert_eq!(pooled.dp_family, "mixture");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::error::{require, validate_non_negative, validate_positive, AdvisorErr
 use crate::pack::{ModelPack, PackSchedule, PolicyCard, RegimePack};
 use crate::table::Table2D;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tcp_cloudsim::run_tasks;
@@ -96,7 +97,7 @@ wire_enum!(RequestKind {
 ///
 /// `kind` selects the question; the remaining fields parameterise it.  Unused fields are
 /// ignored, missing required fields produce
-/// [`AdvisorError::MissingInput`](crate::AdvisorError::MissingInput).
+/// [`crate::AdvisorError::MissingInput`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AdviceRequest {
     /// The question being asked.
@@ -324,11 +325,34 @@ struct CheckpointEngine {
 
 const STAT_SHARDS: usize = 16;
 
+/// The model families tracked by the per-family serving counters; anything new lands
+/// in the trailing `other` bucket until it gets a slot of its own.
+const FAMILIES: [&str; 7] = [
+    "bathtub",
+    "weibull",
+    "exponential",
+    "phased",
+    "empirical",
+    "mixture",
+    "other",
+];
+
+fn family_index(family: &str) -> usize {
+    FAMILIES
+        .iter()
+        .position(|f| *f == family)
+        .unwrap_or(FAMILIES.len() - 1)
+}
+
 /// One cache-line-padded shard of query counters.
 #[repr(align(64))]
 #[derive(Default)]
 struct StatShard {
     counts: [AtomicU64; 4],
+    /// Queries answered per served curve family (`served_family` of the regime).
+    served: [AtomicU64; FAMILIES.len()],
+    /// Queries answered per DP-table family (`dp_family` of the regime).
+    dp: [AtomicU64; FAMILIES.len()],
 }
 
 /// Aggregated serving statistics.
@@ -351,10 +375,38 @@ impl AdvisorStats {
     }
 }
 
+/// Per-family serving counters: how many queries each model family actually answered,
+/// keyed by the answering regime's `served_family` (the Equation 8 curves) and
+/// `dp_family` (the checkpoint tables / policy card).  Only families with non-zero
+/// counts appear, in sorted order — the `!stats` histogram operators read to see which
+/// models a pack is really serving.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FamilyStats {
+    /// Queries per served curve family.
+    pub served: BTreeMap<String, u64>,
+    /// Queries per DP-table family.
+    pub dp: BTreeMap<String, u64>,
+}
+
+impl FamilyStats {
+    /// Adds another set of counters into this one.
+    pub fn merge(&mut self, other: &FamilyStats) {
+        for (family, count) in &other.served {
+            *self.served.entry(family.clone()).or_default() += count;
+        }
+        for (family, count) in &other.dp {
+            *self.dp.entry(family.clone()).or_default() += count;
+        }
+    }
+}
+
 /// The online advisory query engine.
 pub struct Advisor {
     pack: Arc<ModelPack>,
     engines: Vec<RegimeEngine>,
+    /// Per-regime `(served_family, dp_family)` counter slots, resolved at load time so
+    /// the nanosecond record path indexes fixed arrays instead of hashing strings.
+    families: Vec<(usize, usize)>,
     stats: Box<[StatShard; STAT_SHARDS]>,
 }
 
@@ -367,9 +419,15 @@ impl Advisor {
             .iter()
             .map(RegimeEngine::new)
             .collect::<Result<Vec<_>>>()?;
+        let families = pack
+            .regimes
+            .iter()
+            .map(|r| (family_index(&r.served_family), family_index(&r.dp_family)))
+            .collect();
         Ok(Advisor {
             pack: Arc::new(pack),
             engines,
+            families,
             stats: Box::new(std::array::from_fn(|_| StatShard::default())),
         })
     }
@@ -400,7 +458,31 @@ impl Advisor {
         }
     }
 
-    fn record(&self, kind: RequestKind) {
+    /// Per-family query counters across all statistics shards (non-zero entries only).
+    pub fn family_stats(&self) -> FamilyStats {
+        let mut out = FamilyStats::default();
+        for (i, family) in FAMILIES.iter().enumerate() {
+            let served: u64 = self
+                .stats
+                .iter()
+                .map(|s| s.served[i].load(Ordering::Relaxed))
+                .sum();
+            let dp: u64 = self
+                .stats
+                .iter()
+                .map(|s| s.dp[i].load(Ordering::Relaxed))
+                .sum();
+            if served > 0 {
+                out.served.insert(family.to_string(), served);
+            }
+            if dp > 0 {
+                out.dp.insert(family.to_string(), dp);
+            }
+        }
+        out
+    }
+
+    fn record(&self, kind: RequestKind, regime_index: usize) {
         // The shard index is a pure function of the serving thread; hash the ThreadId
         // once per thread, not once per query — record() sits on the nanosecond path.
         thread_local! {
@@ -412,7 +494,11 @@ impl Advisor {
             };
         }
         let shard = SHARD.with(|s| *s);
-        self.stats[shard].counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+        let shard = &self.stats[shard];
+        shard.counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+        let (served, dp) = self.families[regime_index];
+        shard.served[served].fetch_add(1, Ordering::Relaxed);
+        shard.dp[dp].fetch_add(1, Ordering::Relaxed);
     }
 
     fn resolve_regime(&self, requested: Option<&str>) -> Result<usize> {
@@ -444,7 +530,7 @@ impl Advisor {
         // Count only successfully answered queries, after validation: every error class
         // (parse, unknown regime, invalid input) is excluded uniformly, so the serving
         // counters mean one thing.
-        self.record(request.kind);
+        self.record(request.kind, index);
         Ok(response)
     }
 

@@ -47,7 +47,8 @@ pub mod table;
 
 pub use builder::PackBuilder;
 pub use engine::{
-    AdviceRequest, AdviceResponse, Advisor, AdvisorStats, Decision, RequestKind, VmPhase,
+    AdviceRequest, AdviceResponse, Advisor, AdvisorStats, Decision, FamilyStats, RequestKind,
+    VmPhase,
 };
 pub use error::{AdvisorError, Result};
 pub use pack::{
@@ -55,7 +56,7 @@ pub use pack::{
 };
 pub use router::{AdvisorHandle, MultiAdvisor};
 pub use serve::{
-    generate_requests, requests_to_ndjson, respond_line, serve_ndjson, serve_session,
-    serve_session_with_stats, ControlLine, ErrorLine, Session, StatsLine,
+    generate_multi_requests, generate_requests, requests_to_ndjson, respond_line, serve_ndjson,
+    serve_session, serve_session_with_stats, ControlLine, ErrorLine, Session, StatsLine,
 };
 pub use table::Table2D;

@@ -13,8 +13,14 @@ use serde::{Deserialize, Serialize};
 use tcp_core::BathtubModel;
 
 /// Current pack format version. Bumped whenever the schema changes shape.
-/// Version 2 added [`RegimePack::served_family`].
-pub const PACK_FORMAT_VERSION: u32 = 2;
+/// Version 2 added [`RegimePack::served_family`]; version 3 added
+/// [`RegimePack::dp_family`] (the DP checkpoint tables and policy card now come from
+/// the same winner family as the served curves) and made the bathtub reference fit
+/// optional.  Version 2 documents still load: see [`ModelPack::from_json`].
+pub const PACK_FORMAT_VERSION: u32 = 3;
+
+/// Oldest pack format version the loader still accepts (upgraded in place on load).
+pub const MIN_PACK_FORMAT_VERSION: u32 = 2;
 
 /// A complete serialized advisory model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,15 +42,21 @@ pub struct ModelPack {
 pub struct RegimePack {
     /// Regime name (the request routing key).
     pub name: String,
-    /// The fitted bathtub model behind the DP checkpoint tables and the policy card
-    /// (the policy stack is built on Equation 1, so it always consumes the bathtub
-    /// candidate — even when another family carried the survival/W(t) curves).
-    pub model: BathtubModel,
+    /// The cell's bathtub candidate fit (Equation 1), kept as a reference point for
+    /// audits and drift comparisons.  `None` when the cell had no bathtub candidate
+    /// (e.g. too few records for parametric fits) — since format v3 the policy tables
+    /// no longer need one.
+    pub model: Option<BathtubModel>,
     /// Which distribution family the `survival`/`first_moment` curves were tabulated
     /// from: `bathtub` for spec-built packs, the cell's goodness-of-fit winner
     /// (`empirical`, `phased`, `weibull`, `exponential`, `bathtub`) for catalog-built
     /// cell packs, and `mixture` for the record-weighted pooled fallback.
     pub served_family: String,
+    /// Which family the DP checkpoint tables and the policy card were computed from.
+    /// Equal to [`RegimePack::served_family`] for every pack built at format v3 (the
+    /// generic-hazard DP runs on the winner); `bathtub` for upgraded v2 packs, whose
+    /// DP tables were always bathtub-driven.
+    pub dp_family: String,
     /// Temporal constraint `L` in hours (24 for GCP preemptible VMs).
     pub horizon_hours: f64,
     /// End of the early high-hazard phase (hours), from the fitted parameters.
@@ -134,6 +146,46 @@ pub struct PolicyCard {
     pub recommended_checkpointing: String,
 }
 
+/// Upgrades a format-v2 pack document in place: v2 packs always computed their DP
+/// checkpoint tables and policy cards from the bathtub fit, so each regime gains an
+/// explicit `dp_family = "bathtub"` and the version advances to the current one.
+/// Documents at any other version pass through untouched (and fail version validation
+/// later if unsupported).
+fn upgrade_pack_value(value: &mut serde::Value) -> Result<()> {
+    let is_v2 = value
+        .get("format_version")
+        .and_then(|v| v.as_u64())
+        .map(|v| v == 2)
+        .unwrap_or(false);
+    if !is_v2 {
+        return Ok(());
+    }
+    let serde::Value::Map(entries) = value else {
+        return Ok(());
+    };
+    for (key, entry) in entries.iter_mut() {
+        match key.as_str() {
+            "format_version" => *entry = serde::Value::Int(PACK_FORMAT_VERSION as i64),
+            "regimes" => {
+                if let serde::Value::Seq(regimes) = entry {
+                    for regime in regimes.iter_mut() {
+                        if let serde::Value::Map(fields) = regime {
+                            if !fields.iter().any(|(k, _)| k == "dp_family") {
+                                fields.push((
+                                    "dp_family".to_string(),
+                                    serde::Value::Str("bathtub".to_string()),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
 impl ModelPack {
     /// Serializes the pack to compact JSON.
     pub fn to_json(&self) -> Result<String> {
@@ -141,13 +193,21 @@ impl ModelPack {
     }
 
     /// Parses a pack from JSON, rejecting format-version mismatches.
+    ///
+    /// Format v2 packs (whose DP tables were always computed from the bathtub fit)
+    /// are upgraded in place: each regime gains `dp_family = "bathtub"` and the
+    /// document re-serializes at the current version.
     pub fn from_json(text: &str) -> Result<Self> {
-        let pack: ModelPack =
+        let mut value: serde::Value =
             serde_json::from_str(text).map_err(|e| AdvisorError::Pack(e.to_string()))?;
+        upgrade_pack_value(&mut value)?;
+        let pack: ModelPack = serde::Deserialize::deserialize(&value)
+            .map_err(|e| AdvisorError::Pack(e.to_string()))?;
         if pack.format_version != PACK_FORMAT_VERSION {
             return Err(AdvisorError::Pack(format!(
-                "pack format version {} is not supported (this build reads version {})",
-                pack.format_version, PACK_FORMAT_VERSION
+                "pack format version {} is not supported (this build reads versions \
+                 {MIN_PACK_FORMAT_VERSION}-{PACK_FORMAT_VERSION})",
+                pack.format_version
             )));
         }
         pack.validate()?;
@@ -199,6 +259,12 @@ impl RegimePack {
         if self.served_family.is_empty() {
             return Err(AdvisorError::Pack(format!(
                 "regime `{}` does not record its served family",
+                self.name
+            )));
+        }
+        if self.dp_family.is_empty() {
+            return Err(AdvisorError::Pack(format!(
+                "regime `{}` does not record its DP family",
                 self.name
             )));
         }
@@ -269,10 +335,34 @@ impl MultiPack {
         serde_json::to_string(self).map_err(|e| AdvisorError::Pack(e.to_string()))
     }
 
-    /// Parses a pack set from JSON, rejecting format-version mismatches.
+    /// Parses a pack set from JSON, rejecting format-version mismatches.  Inner packs
+    /// written at format v2 are upgraded exactly like [`ModelPack::from_json`] does.
     pub fn from_json(text: &str) -> Result<Self> {
-        let multi: MultiPack =
+        let mut value: serde::Value =
             serde_json::from_str(text).map_err(|e| AdvisorError::Pack(e.to_string()))?;
+        if let serde::Value::Map(entries) = &mut value {
+            for (key, entry) in entries.iter_mut() {
+                match key.as_str() {
+                    "pooled" => upgrade_pack_value(entry)?,
+                    "cells" => {
+                        if let serde::Value::Seq(cells) = entry {
+                            for cell in cells.iter_mut() {
+                                if let serde::Value::Map(cell_fields) = cell {
+                                    for (field, pack) in cell_fields.iter_mut() {
+                                        if field == "pack" {
+                                            upgrade_pack_value(pack)?;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let multi: MultiPack = serde::Deserialize::deserialize(&value)
+            .map_err(|e| AdvisorError::Pack(e.to_string()))?;
         if multi.format_version != MULTI_PACK_FORMAT_VERSION {
             return Err(AdvisorError::Pack(format!(
                 "multi-pack format version {} is not supported (this build reads version {})",
@@ -315,6 +405,50 @@ impl MultiPack {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::tests::{tiny_builder, tiny_spec};
+
+    /// Rewrites a current-format pack JSON into the exact shape a v2 build produced:
+    /// version 2, no `dp_family` field (v2 DP tables were always bathtub-driven).
+    pub(crate) fn downgrade_to_v2(json: &str) -> String {
+        json.replace(
+            &format!("\"format_version\":{PACK_FORMAT_VERSION}"),
+            "\"format_version\":2",
+        )
+        .replace("\"dp_family\":\"bathtub\",", "")
+    }
+
+    #[test]
+    fn v2_packs_load_with_a_bathtub_dp_family() {
+        let pack = tiny_builder().build_from_spec(&tiny_spec()).unwrap();
+        let v2 = downgrade_to_v2(&pack.to_json().unwrap());
+        assert!(v2.contains("\"format_version\":2"));
+        assert!(!v2.contains("dp_family"));
+        let upgraded = ModelPack::from_json(&v2).unwrap();
+        assert_eq!(upgraded.format_version, PACK_FORMAT_VERSION);
+        for regime in &upgraded.regimes {
+            assert_eq!(regime.dp_family, "bathtub");
+        }
+        // Round trip: the upgraded pack re-serializes at the current version and
+        // reloads to the same document.
+        let rewritten = upgraded.to_json().unwrap();
+        assert_eq!(ModelPack::from_json(&rewritten).unwrap(), upgraded);
+        // And it answers queries identically to the original (same tables).
+        let a = crate::Advisor::new(pack.clone()).unwrap();
+        let b = crate::Advisor::new(upgraded).unwrap();
+        let requests = crate::serve::generate_requests(&pack, 200, 4);
+        assert_eq!(a.advise_batch(&requests, 1), b.advise_batch(&requests, 1));
+    }
+
+    #[test]
+    fn unsupported_versions_are_still_rejected() {
+        let pack = tiny_builder().build_from_spec(&tiny_spec()).unwrap();
+        let v1 = pack.to_json().unwrap().replace(
+            &format!("\"format_version\":{PACK_FORMAT_VERSION}"),
+            "\"format_version\":1",
+        );
+        let err = ModelPack::from_json(&v1).unwrap_err();
+        assert!(err.to_string().contains("format version"), "{err}");
+    }
 
     #[test]
     fn version_mismatch_is_rejected() {

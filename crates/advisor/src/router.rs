@@ -11,7 +11,7 @@
 //! reload swaps the `Arc` — in-flight batches keep answering from the snapshot they
 //! took, untouched by the swap.
 
-use crate::engine::{AdviceRequest, AdviceResponse, Advisor, AdvisorStats};
+use crate::engine::{AdviceRequest, AdviceResponse, Advisor, AdvisorStats, FamilyStats};
 use crate::error::{AdvisorError, Result};
 use crate::pack::{ModelPack, MultiPack};
 use std::sync::{Arc, RwLock};
@@ -117,6 +117,15 @@ impl MultiAdvisor {
         threads: usize,
     ) -> Vec<Result<AdviceResponse>> {
         run_tasks(requests.len(), threads, |i| self.advise(&requests[i]))
+    }
+
+    /// Aggregated per-family counters across the pooled pack and every cell pack.
+    pub fn family_stats(&self) -> FamilyStats {
+        let mut total = self.pooled.family_stats();
+        for (_, advisor) in &self.cells {
+            total.merge(&advisor.family_stats());
+        }
+        total
     }
 
     /// Aggregated serving statistics across the pooled pack and every cell pack.
@@ -333,6 +342,87 @@ dp_step_minutes = 30.0
             handle.current().advise(&requests[0]).is_err(),
             "gcp-day is gone"
         );
+    }
+
+    #[test]
+    fn v2_multi_packs_load_with_bathtub_dp_families() {
+        // A multi-pack written by a v2 build: inner packs at format 2, no dp_family.
+        let builder = crate::builder::PackBuilder {
+            age_points: 121,
+            checkpoint_age_points: 3,
+            checkpoint_job_points: 4,
+            max_checkpoint_job_hours: 4.0,
+            ..Default::default()
+        };
+        let multi_pack = builder
+            .build_from_catalog(&catalog(), &[5.0], 30.0, 0)
+            .unwrap();
+        let mut v2 = multi_pack.to_json().unwrap().replace(
+            &format!("\"format_version\":{}", crate::pack::PACK_FORMAT_VERSION),
+            "\"format_version\":2",
+        );
+        for family in [
+            "bathtub",
+            "weibull",
+            "exponential",
+            "phased",
+            "empirical",
+            "mixture",
+        ] {
+            v2 = v2.replace(&format!("\"dp_family\":\"{family}\","), "");
+        }
+        assert!(!v2.contains("dp_family"));
+        let upgraded = MultiPack::from_json(&v2).unwrap();
+        assert_eq!(upgraded.pooled.regimes[0].dp_family, "bathtub");
+        for entry in &upgraded.cells {
+            assert_eq!(entry.pack.regimes[0].dp_family, "bathtub");
+            // The served family survives the upgrade untouched.
+            assert_eq!(
+                entry.pack.regimes[0].served_family,
+                multi_pack
+                    .cells
+                    .iter()
+                    .find(|c| c.cell == entry.cell)
+                    .unwrap()
+                    .pack
+                    .regimes[0]
+                    .served_family
+            );
+        }
+        // The upgraded set routes and answers.
+        let m = MultiAdvisor::from_multi(upgraded).unwrap();
+        let mut req = AdviceRequest::should_reuse("pooled", 6.0, 3.0);
+        req.regime = None;
+        assert!(m.advise(&req).is_ok());
+    }
+
+    #[test]
+    fn family_stats_follow_the_answering_regime() {
+        let m = multi();
+        assert_eq!(m.family_stats(), tcp_advisor_family_default());
+        let cells = m.cell_names();
+        let mut req = AdviceRequest::expected_cost_makespan("x", 5.0, 2.0);
+        req.regime = None;
+        // Two pooled answers (mixture curves) and one per-cell answer.
+        m.advise(&req).unwrap();
+        m.advise(&req).unwrap();
+        m.advise(&req.clone().with_cell(cells[0].clone())).unwrap();
+        let stats = m.family_stats();
+        assert_eq!(stats.served.get("mixture"), Some(&2));
+        assert_eq!(stats.dp.get("mixture"), Some(&2));
+        let per_cell_total: u64 = stats
+            .served
+            .iter()
+            .filter(|(family, _)| family.as_str() != "mixture")
+            .map(|(_, n)| n)
+            .sum();
+        assert_eq!(per_cell_total, 1);
+        // dp histograms mirror served histograms for v3 packs.
+        assert_eq!(stats.served, stats.dp);
+    }
+
+    fn tcp_advisor_family_default() -> crate::engine::FamilyStats {
+        crate::engine::FamilyStats::default()
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! NDJSON serving: request streams in, response streams out.
 //!
 //! Each input line is one [`AdviceRequest`] in JSON; each output line is either the
-//! matching [`AdviceResponse`] or an `{"error": ..., "id": ...}` line.  Lines are parsed,
+//! matching [`crate::AdviceResponse`] or an `{"error": ..., "id": ...}` line.  Lines are parsed,
 //! answered, and serialized inside the worker tasks and emitted in input order, so the
 //! byte output is identical for every thread count — a malformed line never stalls or
 //! reorders the stream.
@@ -19,8 +19,8 @@
 //! byte-identical output for the same line sequence because a [`Session`] only depends
 //! on the lines themselves and the packs they load.
 
-use crate::engine::{AdviceRequest, AdvisorStats};
-use crate::pack::ModelPack;
+use crate::engine::{AdviceRequest, AdvisorStats, FamilyStats};
+use crate::pack::{ModelPack, MultiPack};
 use crate::router::{AdvisorHandle, MultiAdvisor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -67,6 +67,15 @@ pub struct StatsLine {
     /// Counters of the pack currently being served — under TCP, the server-wide
     /// figure since the reload (every connection shares the pack).
     pub current: AdvisorStats,
+    /// Queries per *served curve* family (`served_family` of the answering regime)
+    /// for the pack currently being served — like `current`, the server-wide figure
+    /// since the last reload, so a fresh health-probe connection sees real traffic.
+    /// This is the histogram that shows which models a pack is actually serving.
+    pub served_families: std::collections::BTreeMap<String, u64>,
+    /// Queries per *DP table* family (`dp_family` of the answering regime), same
+    /// scope as `served_families`; equals it for packs built at format v3, and pins
+    /// `bathtub` for upgraded v2 packs.
+    pub dp_families: std::collections::BTreeMap<String, u64>,
 }
 
 /// Answers one NDJSON request line, returning the response (or error) line without a
@@ -197,12 +206,18 @@ impl<'a> Session<'a> {
             }
             None if control == "stats" => {
                 let advisor = self.handle.current();
+                // Family histograms answer "what is this pack serving?", so they take
+                // the live pack's (server-wide) scope, like `current` — a session that
+                // has answered nothing itself still reports real traffic.
+                let families = advisor.family_stats();
                 serde_json::to_string(&StatsLine {
                     control: "stats".to_string(),
                     pack: advisor.name().to_string(),
                     cells: advisor.cell_names().len(),
                     served: self.stats(),
                     current: advisor.stats(),
+                    served_families: families.served,
+                    dp_families: families.dp,
                 })
                 .expect("stats lines serialize")
             }
@@ -233,6 +248,16 @@ impl<'a> Session<'a> {
         }
         stats
     }
+
+    /// Per-family counters aggregated across every advisor that served part of this
+    /// session (same reload-surviving semantics as [`Session::stats`]).
+    pub fn family_stats(&self) -> FamilyStats {
+        let mut families = FamilyStats::default();
+        for advisor in &self.used {
+            families.merge(&advisor.family_stats());
+        }
+        families
+    }
 }
 
 /// Serves an NDJSON stream with `!reload <path>` / `!stats` control-line support.
@@ -260,35 +285,64 @@ pub fn serve_session_with_stats(
     (out, stats)
 }
 
+/// One draw of the standard request mix against `regime`: 40 % reuse decisions, 25 %
+/// cost estimates, 25 % checkpoint plans and 10 % best-policy lookups, with ages
+/// across the whole horizon and job lengths up to half the horizon.  Shared by the
+/// single-pack and multi-pack load generators so their workloads stay comparable.
+fn mixed_request(rng: &mut StdRng, regime: &crate::pack::RegimePack, id: u64) -> AdviceRequest {
+    let horizon = regime.horizon_hours;
+    let vm_age = rng.gen_range(0.0..horizon);
+    let job_len = rng.gen_range(0.1..0.5 * horizon);
+    let roll: f64 = rng.gen();
+    let mut request = if roll < 0.40 {
+        AdviceRequest::should_reuse(regime.name.clone(), vm_age, job_len)
+    } else if roll < 0.65 {
+        AdviceRequest::expected_cost_makespan(regime.name.clone(), vm_age, job_len)
+    } else if roll < 0.90 {
+        let mut req = AdviceRequest::checkpoint_plan(regime.name.clone(), vm_age, job_len);
+        let cells = &regime.checkpoint_cells;
+        req.overhead_minutes = Some(cells[rng.gen_range(0..cells.len())].checkpoint_cost_minutes);
+        req
+    } else {
+        AdviceRequest::best_policy(regime.name.clone())
+    };
+    request.id = Some(id);
+    request
+}
+
 /// Deterministically generates a mixed request workload against `pack` — the load
-/// generator behind `advise gen` and the throughput benchmarks.
-///
-/// The mix is 40 % reuse decisions, 25 % cost estimates, 25 % checkpoint plans and 10 %
-/// best-policy lookups, spread across every regime in the pack, with ages across the
-/// whole horizon and job lengths up to half the horizon.
+/// generator behind `advise gen` and the throughput benchmarks (see `mixed_request`
+/// for the mix), spread across every regime in the pack.
 pub fn generate_requests(pack: &ModelPack, count: usize, seed: u64) -> Vec<AdviceRequest> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut requests = Vec::with_capacity(count);
     for i in 0..count {
         let regime = &pack.regimes[rng.gen_range(0..pack.regimes.len())];
-        let horizon = regime.horizon_hours;
-        let vm_age = rng.gen_range(0.0..horizon);
-        let job_len = rng.gen_range(0.1..0.5 * horizon);
-        let roll: f64 = rng.gen();
-        let mut request = if roll < 0.40 {
-            AdviceRequest::should_reuse(regime.name.clone(), vm_age, job_len)
-        } else if roll < 0.65 {
-            AdviceRequest::expected_cost_makespan(regime.name.clone(), vm_age, job_len)
-        } else if roll < 0.90 {
-            let mut req = AdviceRequest::checkpoint_plan(regime.name.clone(), vm_age, job_len);
-            let cells = &regime.checkpoint_cells;
-            req.overhead_minutes =
-                Some(cells[rng.gen_range(0..cells.len())].checkpoint_cost_minutes);
-            req
-        } else {
-            AdviceRequest::best_policy(regime.name.clone())
+        requests.push(mixed_request(&mut rng, regime, i as u64));
+    }
+    requests
+}
+
+/// Deterministically generates a mixed workload against a per-cell pack set: the same
+/// request mix as [`generate_requests`], spread across the pooled pack *and* every
+/// routable cell pack (requests carry the `cell` field the router dispatches on), so
+/// serving it exercises each cell's own winner-family tables — including the
+/// generic-hazard DP of non-bathtub cells.
+pub fn generate_multi_requests(multi: &MultiPack, count: usize, seed: u64) -> Vec<AdviceRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut requests = Vec::with_capacity(count);
+    for i in 0..count {
+        // Target 0 is the pooled pack; 1.. are the cell packs in routing order.
+        let target = rng.gen_range(0..multi.cells.len() + 1);
+        let (cell_name, pack) = match target {
+            0 => (None, &multi.pooled),
+            t => {
+                let entry = &multi.cells[t - 1];
+                (Some(entry.cell.clone()), &entry.pack)
+            }
         };
-        request.id = Some(i as u64);
+        let mut request = mixed_request(&mut rng, &pack.regimes[0], i as u64);
+        request.cell = cell_name;
         requests.push(request);
     }
     requests
@@ -501,6 +555,44 @@ dp_step_minutes = 30.0
         let second: StatsLine = serde_json::from_str(lines[4]).unwrap();
         assert_eq!(second.served.best_policy, 3);
         assert_eq!(second.served.total(), 3);
+        // The per-family histograms ride along: the tiny pack serves bathtub curves
+        // and bathtub DP tables, so all three queries land there.
+        assert_eq!(second.served_families.get("bathtub"), Some(&3));
+        assert_eq!(second.dp_families.get("bathtub"), Some(&3));
+    }
+
+    #[test]
+    fn multi_request_generator_spreads_over_cells_deterministically() {
+        let records = tcp_trace::TraceGenerator::new(11)
+            .generate_study(600, 90)
+            .unwrap();
+        let catalog = tcp_calibrate::Calibrator::new("gen-test")
+            .calibrate(&records, "synthetic", 0)
+            .unwrap();
+        let multi = crate::builder::PackBuilder {
+            age_points: 121,
+            checkpoint_age_points: 3,
+            checkpoint_job_points: 4,
+            max_checkpoint_job_hours: 4.0,
+            ..Default::default()
+        }
+        .build_from_catalog(&catalog, &[5.0], 30.0, 0)
+        .unwrap();
+        let requests = generate_multi_requests(&multi, 400, 7);
+        assert_eq!(requests, generate_multi_requests(&multi, 400, 7));
+        // The load touches the pooled pack and at least one real cell.
+        assert!(requests.iter().any(|r| r.cell.is_none()));
+        assert!(requests.iter().any(|r| r.cell.is_some()));
+        // Every generated request is answerable by the router, and serving them is
+        // byte-identical across thread counts (the determinism smoke's contract).
+        let router = MultiAdvisor::from_multi(multi).unwrap();
+        let input = requests_to_ndjson(&requests);
+        let one = serve_ndjson(&router, &input, 1);
+        let four = serve_ndjson(&router, &input, 4);
+        assert_eq!(one, four);
+        assert!(!one.contains("\"error\""), "all requests answerable");
+        // Per-family counters cover more than one family (per-cell winners differ).
+        assert!(router.family_stats().served.len() > 1);
     }
 
     #[test]

@@ -189,7 +189,8 @@ fn checkpoint_tables_are_exact_at_grid_points() {
         step_hours: cell.dp_step_minutes / 60.0,
         restart_overhead_hours: cell.restart_overhead_minutes / 60.0,
     };
-    let policy = DpCheckpointPolicy::new(regime.model, config).unwrap();
+    let policy =
+        DpCheckpointPolicy::new(regime.model.expect("bathtub reference fit"), config).unwrap();
     for (i, &age) in cell.ages.iter().enumerate() {
         for (j, &job) in cell.job_lens.iter().enumerate() {
             let tabled = cell.expected_makespan[i * cell.job_lens.len() + j];
@@ -217,7 +218,8 @@ fn checkpoint_plan_interpolates_between_grid_points() {
         step_hours: cell.dp_step_minutes / 60.0,
         restart_overhead_hours: cell.restart_overhead_minutes / 60.0,
     };
-    let policy = DpCheckpointPolicy::new(regime.model, config).unwrap();
+    let policy =
+        DpCheckpointPolicy::new(regime.model.expect("bathtub reference fit"), config).unwrap();
     for &(job, age) in &[(2.2, 0.0), (3.7, 5.0), (5.1, 10.0)] {
         let response = a
             .advise(&AdviceRequest::checkpoint_plan("paper", age, job))
@@ -258,6 +260,37 @@ fn pack_round_trips_through_json_with_identical_answers() {
     let a = original.advise_batch(&requests, 1);
     let b = rehydrated.advise_batch(&requests, 1);
     assert_eq!(a, b);
+}
+
+#[test]
+fn shipped_v2_example_pack_round_trips() {
+    // `examples/advisor/pack_v2.json` is a format-2 pack (built from
+    // `advisor_pack.toml` by the pre-redesign schema: bathtub-driven DP, no
+    // `dp_family`).  The loader must upgrade it, record `dp_family = "bathtub"`, and
+    // round-trip it through the current format with identical answers.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/advisor/pack_v2.json"
+    );
+    let json = std::fs::read_to_string(path).expect("shipped v2 example pack");
+    assert!(json.contains("\"format_version\":2"));
+    assert!(!json.contains("dp_family"));
+    let upgraded = ModelPack::from_json(&json).unwrap();
+    assert_eq!(upgraded.name, "advisor-smoke");
+    for regime in &upgraded.regimes {
+        assert_eq!(regime.dp_family, "bathtub");
+        assert!(regime.model.is_some(), "v2 packs always carried the fit");
+    }
+    // Round trip at the current version.
+    let rewritten = upgraded.to_json().unwrap();
+    assert!(rewritten.contains("\"dp_family\":\"bathtub\""));
+    let reloaded = ModelPack::from_json(&rewritten).unwrap();
+    assert_eq!(reloaded, upgraded);
+    // The upgraded pack serves: same answers before and after the round trip.
+    let a = Advisor::new(upgraded.clone()).unwrap();
+    let b = Advisor::new(reloaded).unwrap();
+    let requests = generate_requests(&upgraded, 200, 17);
+    assert_eq!(a.advise_batch(&requests, 1), b.advise_batch(&requests, 1));
 }
 
 #[test]

@@ -8,8 +8,9 @@
 use crate::config::{CheckpointingMode, SchedulingMode, ServiceConfig};
 use crate::report::RunReport;
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 use tcp_cloudsim::{BillingClass, EventQueue, ProviderTemplate, VmId};
-use tcp_core::BathtubModel;
+use tcp_core::LifetimeModel;
 use tcp_numerics::{NumericsError, Result};
 use tcp_policy::{
     CheckpointPlanner, DpCheckpointPolicy, MemorylessScheduler, ModelDrivenScheduler,
@@ -85,28 +86,33 @@ struct JobState {
 /// The batch computing service.
 pub struct BatchService {
     config: ServiceConfig,
-    model: BathtubModel,
+    model: Arc<dyn LifetimeModel>,
     scheduler: Box<dyn SchedulerPolicy>,
     planner: Option<Box<dyn CheckpointPlanner>>,
 }
 
 impl BatchService {
-    /// Creates a service driven by a fitted preemption model.
-    pub fn new(config: ServiceConfig, model: BathtubModel) -> Result<Self> {
+    /// Creates a service driven by a fitted preemption model — any lifetime family
+    /// carried by the model-generic [`LifetimeModel`] surface (the bathtub fit is the
+    /// closed-form fast path, tabulated winners plan identically through the same
+    /// trait).
+    pub fn new(config: ServiceConfig, model: Arc<dyn LifetimeModel>) -> Result<Self> {
         config.validate()?;
         let scheduler: Box<dyn SchedulerPolicy> = match config.scheduling {
-            SchedulingMode::ModelDriven => Box::new(ModelDrivenScheduler::new(model)),
+            SchedulingMode::ModelDriven => {
+                Box::new(ModelDrivenScheduler::from_model(model.clone()))
+            }
             SchedulingMode::Memoryless => Box::new(MemorylessScheduler),
         };
         let planner: Option<Box<dyn CheckpointPlanner>> = match config.checkpointing {
             CheckpointingMode::None => None,
-            CheckpointingMode::ModelDriven => Some(Box::new(DpCheckpointPolicy::new(
-                model,
+            CheckpointingMode::ModelDriven => Some(Box::new(DpCheckpointPolicy::from_model(
+                model.clone(),
                 config.checkpoint_config,
             )?)),
             CheckpointingMode::YoungDaly => {
                 Some(Box::new(YoungDalyPolicy::from_initial_failure_rate(
-                    &model,
+                    model.as_ref(),
                     config.checkpoint_config.checkpoint_cost_hours,
                 )?))
             }
@@ -125,8 +131,8 @@ impl BatchService {
     }
 
     /// The preemption model the policies use.
-    pub fn model(&self) -> &BathtubModel {
-        &self.model
+    pub fn model(&self) -> &dyn LifetimeModel {
+        self.model.as_ref()
     }
 
     fn plan_intervals(&self, remaining: f64, vm_age: f64) -> Result<(Vec<f64>, f64)> {
@@ -417,8 +423,8 @@ mod tests {
     use super::*;
     use tcp_workloads::profiles::profile_by_name;
 
-    fn model() -> BathtubModel {
-        BathtubModel::paper_representative()
+    fn model() -> Arc<dyn LifetimeModel> {
+        Arc::new(tcp_core::BathtubModel::paper_representative())
     }
 
     fn small_bag(count: usize) -> BagOfJobs {

@@ -25,7 +25,7 @@ fn bench_service(c: &mut Criterion) {
                             cluster_size: 16,
                             ..ServiceConfig::paper_cost_experiment(1)
                         },
-                        model,
+                        std::sync::Arc::new(model),
                     )
                     .unwrap();
                     service.run_bag(bag).unwrap()

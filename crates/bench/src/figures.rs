@@ -323,7 +323,7 @@ pub fn figure9a(
                 cluster_size,
                 ..ServiceConfig::paper_cost_experiment(100 + i as u64)
             },
-            *model,
+            std::sync::Arc::new(*model),
         )?
         .run_bag(&bag)?;
         let on_demand = BatchService::new(
@@ -331,7 +331,7 @@ pub fn figure9a(
                 cluster_size,
                 ..ServiceConfig::on_demand_comparator(100 + i as u64)
             },
-            *model,
+            std::sync::Arc::new(*model),
         )?
         .run_bag(&bag)?;
         fig.push(
@@ -365,7 +365,7 @@ pub fn figure9b(
                 cluster_size,
                 ..ServiceConfig::paper_cost_experiment(600 + rep as u64)
             },
-            *model,
+            std::sync::Arc::new(*model),
         )?
         .run_bag(&bag)?;
         fig.push(

@@ -25,6 +25,8 @@ commands:
       --threads T            worker threads (default 0 = all CPUs)
       --min-records K        cells below K records keep the empirical fallback (default 15)
       --ks-threshold X       parametric winners above this K-S keep the fallback (default 0.15)
+      --tod-hours N          launch-hour cells of N hours (divides 24) instead of the
+                             day/night split; needs a CSV with a launch_hour column
 
   inspect <catalog.json>   print the per-cell selection table
       --cell KEY             print one cell's full candidate scores instead
@@ -66,6 +68,7 @@ fn cmd_fit(argv: &[String]) -> Result<(), String> {
             "--threads" => threads = parse(next_value(&mut it, arg)?, arg)?,
             "--min-records" => options.min_records = parse(next_value(&mut it, arg)?, arg)?,
             "--ks-threshold" => options.ks_threshold = parse(next_value(&mut it, arg)?, arg)?,
+            "--tod-hours" => options.tod_hours = Some(parse(next_value(&mut it, arg)?, arg)?),
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other => positional(&mut csv_path, other)?,
         }

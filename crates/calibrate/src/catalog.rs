@@ -7,14 +7,14 @@
 //! never go back to the CSV.  Serialization is deterministic — the same records and
 //! options produce byte-identical JSON for every thread count.
 
-use crate::cell::CellKey;
+use crate::cell::{CellKey, TodSlot};
 use crate::fit::{CalibratedModel, CandidateFit, FitOptions};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use tcp_core::BathtubModel;
 use tcp_dists::ConstrainedBathtub;
 use tcp_numerics::{NumericsError, Result};
-use tcp_trace::{TimeOfDay, VmType, Zone};
+use tcp_trace::{VmType, Zone};
 
 /// Current catalog format version; bumped whenever the schema changes shape.
 pub const CATALOG_FORMAT_VERSION: u32 = 1;
@@ -31,8 +31,9 @@ pub struct CellFit {
     pub vm_type: Option<VmType>,
     /// Zone (absent for the pooled entry).
     pub zone: Option<Zone>,
-    /// Time of day (absent for the pooled entry).
-    pub time_of_day: Option<TimeOfDay>,
+    /// Time-of-day slot — `day`/`night`, or a launch-hour bucket like `h08-12` when the
+    /// catalog was fitted with `--tod-hours` (absent for the pooled entry).
+    pub time_of_day: Option<TodSlot>,
     /// Number of observed records in the cell.
     pub records: usize,
     /// How many of them survived to the deadline (right-censored observations).

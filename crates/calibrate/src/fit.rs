@@ -21,7 +21,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use tcp_core::BathtubModel;
+use tcp_core::{BathtubModel, LifetimeModel, TabulatedLifetime};
 use tcp_dists::bathtub::BathtubParams;
 use tcp_dists::fit::{fit_distribution, DistributionFamily};
 use tcp_dists::phased::PhasedHazardParams;
@@ -52,6 +52,11 @@ pub struct FitOptions {
     pub ks_threshold: f64,
     /// Grid resolution of the empirical CDF the least-squares fits run against.
     pub grid_points: usize,
+    /// Launch-hour cell width in hours (`calibrate fit --tod-hours N`): `None` keeps
+    /// the paper's day/night split; `Some(n)` partitions the day into `24/n` launch-hour
+    /// buckets (`h00-06`, `h06-12`, …) instead, which requires records carrying a
+    /// `launch_hour`.  Must divide 24.
+    pub tod_hours: Option<u32>,
 }
 
 impl Default for FitOptions {
@@ -61,6 +66,7 @@ impl Default for FitOptions {
             min_records: 15,
             ks_threshold: 0.15,
             grid_points: 200,
+            tod_hours: None,
         }
     }
 }
@@ -76,6 +82,13 @@ impl FitOptions {
         }
         if self.grid_points < 20 {
             return Err(NumericsError::invalid("grid_points must be at least 20"));
+        }
+        if let Some(n) = self.tod_hours {
+            if n == 0 || n >= 24 || 24 % n != 0 {
+                return Err(NumericsError::invalid(format!(
+                    "tod_hours must divide 24 and lie in [1, 23], got {n}"
+                )));
+            }
         }
         Ok(())
     }
@@ -158,6 +171,24 @@ impl CalibratedModel {
                 )))
             }
         })
+    }
+
+    /// Materialises the calibrated winner as a policy-ready [`LifetimeModel`]: the
+    /// bathtub family keeps its closed forms (the DP fast path), every other family —
+    /// Weibull, exponential, phased, empirical — is tabulated by quadrature on a dense
+    /// `points`-knot age grid ([`TabulatedLifetime`]), so the generic-hazard DP and
+    /// Equation 8 run at table speed regardless of which family won the cell.
+    pub fn to_lifetime_model(&self, horizon: f64, points: usize) -> Result<Arc<dyn LifetimeModel>> {
+        if let Some(model) = self.bathtub() {
+            return Ok(Arc::new(model));
+        }
+        let dist = self.to_distribution(horizon)?;
+        Ok(Arc::new(TabulatedLifetime::from_distribution(
+            self.family.clone(),
+            dist.as_ref(),
+            horizon,
+            points,
+        )?))
     }
 
     /// The winning model as a [`BathtubModel`], when the winner is the bathtub family.
@@ -531,6 +562,38 @@ mod tests {
             lifetimes: vec![1.0],
         };
         assert!(short.to_distribution(24.0).is_err());
+    }
+
+    #[test]
+    fn every_winner_materialises_as_a_lifetime_model() {
+        // The bathtub winner keeps its closed forms; every other family tabulates.
+        for (family, params, lifetimes, expect_bathtub) in [
+            ("bathtub", vec![0.4, 1.0, 0.8, 24.0], vec![1.0, 2.0], true),
+            ("exponential", vec![0.2], vec![1.0], false),
+            ("weibull", vec![0.1, 1.5], vec![1.0], false),
+            (
+                "phased",
+                vec![0.17, 3.0, 0.015, 22.0, 0.2, 2.2, 24.0],
+                vec![1.0],
+                false,
+            ),
+            ("empirical", vec![], vec![1.0, 3.0, 24.0], false),
+        ] {
+            let model = CalibratedModel {
+                family: family.to_string(),
+                params,
+                lifetimes,
+            };
+            let lifetime = model.to_lifetime_model(24.0, 241).unwrap();
+            assert_eq!(lifetime.family(), family);
+            assert_eq!(lifetime.horizon(), 24.0);
+            assert_eq!(lifetime.as_bathtub().is_some(), expect_bathtub, "{family}");
+            // Survival is a proper constrained curve for every family.
+            assert!((lifetime.survival(0.0) - 1.0).abs() < 0.05, "{family}");
+            assert_eq!(lifetime.survival(24.0), 0.0, "{family}");
+            let w = lifetime.first_moment(24.0);
+            assert!(w > 0.0 && w <= 24.0, "{family}: W(L) = {w}");
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod fit;
 pub mod pipeline;
 
 pub use catalog::{CellFit, RegimeCatalog, CATALOG_FORMAT_VERSION};
-pub use cell::CellKey;
+pub use cell::{CellKey, TodSlot};
 pub use drift::{drift_report, CellDrift, DriftOptions};
 pub use fit::{fit_cell, CalibratedModel, CandidateFit, FitOptions};
 pub use pipeline::{Calibrator, CellPartition};

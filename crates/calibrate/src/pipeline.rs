@@ -22,17 +22,34 @@ pub struct CellPartition {
     cells: BTreeMap<CellKey, Vec<f64>>,
     censored: BTreeMap<CellKey, usize>,
     total: usize,
+    /// Launch-hour cell width (`None` = the paper's day/night split).
+    tod_hours: Option<u32>,
 }
 
 impl CellPartition {
-    /// Creates an empty partition.
+    /// Creates an empty partition over the day/night split.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Ingests one record.
-    pub fn push(&mut self, record: &PreemptionRecord) {
-        let key = CellKey::of(record);
+    /// Creates an empty partition over launch-hour cells of `width` hours
+    /// (`calibrate fit --tod-hours N`); `width` must divide 24.
+    pub fn with_tod_hours(width: u32) -> Result<Self> {
+        if width == 0 || width >= 24 || 24 % width != 0 {
+            return Err(NumericsError::invalid(format!(
+                "tod_hours must divide 24 and lie in [1, 23], got {width}"
+            )));
+        }
+        Ok(CellPartition {
+            tod_hours: Some(width),
+            ..Self::default()
+        })
+    }
+
+    /// Ingests one record.  Fails only in launch-hour mode, when a record carries no
+    /// launch hour.
+    pub fn push(&mut self, record: &PreemptionRecord) -> Result<()> {
+        let key = CellKey::of_with(record, self.tod_hours).map_err(NumericsError::invalid)?;
         self.cells
             .entry(key)
             .or_default()
@@ -41,15 +58,30 @@ impl CellPartition {
             *self.censored.entry(key).or_default() += 1;
         }
         self.total += 1;
+        Ok(())
     }
 
-    /// Builds a partition from a whole dataset in one pass.
+    /// Builds a day/night partition from a whole dataset in one pass.
     pub fn from_records(records: &[PreemptionRecord]) -> Self {
         let mut partition = Self::new();
         for record in records {
-            partition.push(record);
+            partition
+                .push(record)
+                .expect("day/night bucketing is total");
         }
         partition
+    }
+
+    /// Builds a partition honouring an optional launch-hour split.
+    pub fn from_records_with(records: &[PreemptionRecord], tod_hours: Option<u32>) -> Result<Self> {
+        let mut partition = match tod_hours {
+            None => Self::new(),
+            Some(width) => Self::with_tod_hours(width)?,
+        };
+        for record in records {
+            partition.push(record)?;
+        }
+        Ok(partition)
     }
 
     /// Total records ingested.
@@ -182,14 +214,16 @@ impl Calibrator {
         Ok(catalog)
     }
 
-    /// Calibrates a dataset of records (partitioning in one pass first).
+    /// Calibrates a dataset of records (partitioning in one pass first), honouring the
+    /// options' launch-hour split.
     pub fn calibrate(
         &self,
         records: &[PreemptionRecord],
         source: &str,
         threads: usize,
     ) -> Result<RegimeCatalog> {
-        self.calibrate_partition(&CellPartition::from_records(records), source, threads)
+        let partition = CellPartition::from_records_with(records, self.options.tod_hours)?;
+        self.calibrate_partition(&partition, source, threads)
     }
 
     /// Calibrates a preemption CSV (the [`tcp_trace`] schema).
@@ -222,6 +256,62 @@ mod tests {
         // Keys come out sorted.
         let keys = partition.keys();
         assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn launch_hour_cells_partition_finer_than_day_night() {
+        let records: Vec<_> = TraceGenerator::new(9)
+            .with_launch_hours(true)
+            .generate_study(600, 60)
+            .unwrap();
+        // Day/night keys are untouched by the finer mode existing.
+        let coarse = CellPartition::from_records(&records);
+        assert!(coarse
+            .keys()
+            .iter()
+            .all(|k| matches!(k.time_of_day, crate::TodSlot::Named(_))));
+        // Hour cells: every key is an aligned 6-hour bucket, totals preserved.
+        let fine = CellPartition::from_records_with(&records, Some(6)).unwrap();
+        assert_eq!(fine.total(), coarse.total());
+        for key in fine.keys() {
+            let crate::TodSlot::Hours { start, width } = key.time_of_day else {
+                panic!("expected hour cells, got {key}");
+            };
+            assert_eq!(width, 6);
+            assert_eq!(start % 6, 0);
+        }
+        assert!(fine.cell_count() >= coarse.cell_count());
+        // Hour mode on an hour-free dataset is a descriptive error.
+        let plain = TraceGenerator::new(9).generate_study(50, 10).unwrap();
+        let err = CellPartition::from_records_with(&plain, Some(6)).unwrap_err();
+        assert!(err.to_string().contains("launch_hour"), "{err}");
+        // Invalid widths are rejected.
+        assert!(CellPartition::with_tod_hours(0).is_err());
+        assert!(CellPartition::with_tod_hours(5).is_err());
+        assert!(CellPartition::with_tod_hours(24).is_err());
+    }
+
+    #[test]
+    fn launch_hour_catalog_calibrates_end_to_end() {
+        let records: Vec<_> = TraceGenerator::new(21)
+            .with_launch_hours(true)
+            .generate_study(900, 80)
+            .unwrap();
+        let mut calibrator = Calibrator::new("hours");
+        calibrator.options.tod_hours = Some(8);
+        let catalog = calibrator.calibrate(&records, "synthetic", 0).unwrap();
+        assert_eq!(catalog.total_records, 900);
+        assert!(catalog
+            .cells
+            .iter()
+            .all(|c| c.cell.contains("/h") && c.cell.len() > 3));
+        // Round-trips through JSON (hour slots serialize as h08-16 style strings).
+        let json = catalog.to_json().unwrap();
+        let reparsed = crate::RegimeCatalog::from_json(&json).unwrap();
+        assert_eq!(reparsed, catalog);
+        // Thread-count invariance holds for hour cells too.
+        let four = calibrator.calibrate(&records, "synthetic", 4).unwrap();
+        assert_eq!(four.to_json().unwrap(), json);
     }
 
     #[test]

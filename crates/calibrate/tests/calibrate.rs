@@ -7,7 +7,7 @@
 //! JSON form byte-identically, independent of the thread count that produced it.
 
 use proptest::prelude::*;
-use tcp_calibrate::{Calibrator, CellKey, FitOptions, RegimeCatalog};
+use tcp_calibrate::{Calibrator, CellKey, FitOptions, RegimeCatalog, TodSlot};
 use tcp_trace::{
     ConfigKey, PreemptionRecord, TimeOfDay, TraceGenerator, VmType, WorkloadKind, Zone,
 };
@@ -62,7 +62,7 @@ proptest! {
         let cell = |vm_type| CellKey {
             vm_type,
             zone: Zone::UsEast1B,
-            time_of_day: TimeOfDay::Day,
+            time_of_day: TodSlot::Named(TimeOfDay::Day),
         };
         let small = calibrated_mean(&catalog, &cell(VmType::N1HighCpu2));
         let large = calibrated_mean(&catalog, &cell(VmType::N1HighCpu32));
@@ -112,7 +112,7 @@ proptest! {
         let cell = |time_of_day| CellKey {
             vm_type: VmType::N1HighCpu16,
             zone: Zone::UsEast1B,
-            time_of_day,
+            time_of_day: TodSlot::Named(time_of_day),
         };
         let day = calibrated_mean(&catalog, &cell(TimeOfDay::Day));
         let night = calibrated_mean(&catalog, &cell(TimeOfDay::Night));

@@ -1,7 +1,7 @@
 //! The paper's primary contribution: the constrained-preemption probability model and the
 //! analyses built on top of it.
 //!
-//! * [`model`] — [`BathtubModel`](model::BathtubModel): the fitted Equation (1) model with
+//! * [`model`] — [`model::BathtubModel`]: the fitted Equation (1) model with
 //!   its CDF/PDF, expected lifetime (Equation 3) and phase structure.
 //! * [`fit`] — fitting the model (and the classical baselines) to observed lifetimes, as in
 //!   Figure 1; returns goodness-of-fit diagnostics for every family.
@@ -13,6 +13,11 @@
 //!   (Section 8, "What if preemption characteristics change?").
 //! * [`registry`] — a model registry keyed by VM type / zone / time-of-day / workload, the
 //!   component the batch service uses to parameterise its policies.
+//! * [`lifetime`] — the model-generic API: the [`lifetime::LifetimeModel`]
+//!   trait that carries *every* lifetime family (bathtub, Weibull, exponential, phased,
+//!   empirical, mixtures) through the policy stack, and
+//!   [`lifetime::TabulatedLifetime`], the quadrature-table adapter
+//!   behind the generic-hazard DP.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -22,6 +27,7 @@
 
 pub mod analysis;
 pub mod fit;
+pub mod lifetime;
 pub mod model;
 pub mod phases;
 pub mod registry;
@@ -32,6 +38,7 @@ pub use analysis::{
     RunningTimeAnalysis,
 };
 pub use fit::{fit_bathtub_model, fit_model_comparison, ModelComparison, ModelFit};
+pub use lifetime::{LifetimeCurves, LifetimeModel, SharedLifetimeModel, TabulatedLifetime};
 pub use model::BathtubModel;
 pub use phases::{detect_phases, ChangePointDetector, PhaseBreakdown};
 pub use registry::ModelRegistry;

@@ -1,0 +1,671 @@
+//! The model-generic lifetime API: [`LifetimeModel`] and [`TabulatedLifetime`].
+//!
+//! The paper's checkpointing DP (Equations 9–13) and policy selection are defined over
+//! an *arbitrary* lifetime distribution; only the bathtub fit (Equation 1) happens to
+//! have closed forms.  `LifetimeModel` is the trait that carries every family — bathtub,
+//! Weibull, exponential, phased, empirical, and mixtures — through the whole policy
+//! stack: it exposes exactly the quantities the policies consume,
+//!
+//! * survival `S(t)` and the CDF,
+//! * the first-moment curve `W(t) = ∫_0^t u f(u) du` (with the deadline reclamation
+//!   atom included once `t` reaches the temporal constraint `L`),
+//! * the hazard rate `h(t)`, density and quantile where a family has them,
+//! * Equation 8's age-dependent makespan and the conditional job-failure probability,
+//! * a tabulation hook ([`LifetimeModel::tabulate`]) for consumers that want dense
+//!   grids, and for families that only *exist* as quadrature tables.
+//!
+//! [`BathtubModel`](crate::BathtubModel) implements the trait with its closed forms —
+//! the fast path — while [`TabulatedLifetime`] adapts any
+//! [`tcp_dists::LifetimeDistribution`] (Weibull, exponential,
+//! phased, empirical) or weighted mixture to the constrained setting by quadrature:
+//! survival and `W` are precomputed once on a dense age grid and every subsequent query
+//! is an interpolated lookup, so the generic-hazard DP runs at table speed for every
+//! family.
+
+use std::sync::Arc;
+use tcp_dists::LifetimeDistribution;
+use tcp_numerics::interp::{linspace, LinearInterp};
+use tcp_numerics::{NumericsError, Result};
+
+/// Default number of knots a [`TabulatedLifetime`] places on its age grid (one-minute
+/// spacing over a 24 h horizon).
+pub const DEFAULT_TABLE_POINTS: usize = 1441;
+
+/// A lifetime (time-to-preemption) model under a temporal constraint `L`, exposing the
+/// quantities the paper's policies are built on.
+///
+/// Implementations must provide [`family`](LifetimeModel::family),
+/// [`horizon`](LifetimeModel::horizon), [`survival`](LifetimeModel::survival),
+/// [`first_moment`](LifetimeModel::first_moment) and
+/// [`deadline_atom`](LifetimeModel::deadline_atom); everything else has a default
+/// derived from those five.  Closed-form families should override
+/// [`partial_expectation`](LifetimeModel::partial_expectation) (and
+/// [`hazard`](LifetimeModel::hazard)/[`density`](LifetimeModel::density)) so the DP and
+/// Equation 8 evaluate with their exact arithmetic.
+pub trait LifetimeModel: Send + Sync {
+    /// Family name (`bathtub`, `weibull`, `exponential`, `phased`, `empirical`,
+    /// `mixture`, …) — recorded in packs and reports.
+    fn family(&self) -> &str;
+
+    /// The temporal constraint `L` in hours (24 for GCP Preemptible VMs).  Every model
+    /// is constrained: unconstrained distributions are adapted by
+    /// [`TabulatedLifetime`], which moves their residual mass into a deadline atom.
+    fn horizon(&self) -> f64;
+
+    /// Survival `S(t) = P(lifetime > t)`; zero at (and past) the horizon.
+    fn survival(&self, t: f64) -> f64;
+
+    /// First-moment curve `W(t) = ∫_0^t u f(u) du`, *including* the deadline
+    /// reclamation atom once `t` reaches the horizon — so `W(L)` is the full expected
+    /// lifetime and Equation 8's makespan decomposes as
+    /// `E[T_s] = T + W(min(s+T, L)) − W(s)`.
+    fn first_moment(&self, t: f64) -> f64;
+
+    /// Probability mass reclaimed exactly at the deadline (survivors killed at `L`).
+    fn deadline_atom(&self) -> f64;
+
+    /// CDF `F(t) = 1 − S(t)`.
+    fn cdf(&self, t: f64) -> f64 {
+        (1.0 - self.survival(t)).clamp(0.0, 1.0)
+    }
+
+    /// Truncated expectation `∫_a^b t f(t) dt` (atom included when `b` reaches the
+    /// horizon).  Default: a difference of [`first_moment`](LifetimeModel::first_moment)
+    /// lookups; closed-form families override with their exact antiderivative.
+    fn partial_expectation(&self, a: f64, b: f64) -> f64 {
+        let a = a.max(0.0).min(self.horizon());
+        let b = b.max(0.0).min(self.horizon());
+        if b <= a {
+            return 0.0;
+        }
+        (self.first_moment(b) - self.first_moment(a)).max(0.0)
+    }
+
+    /// Hazard rate `h(t) = f(t)/S(t)`.  Default: a centred finite difference of the
+    /// survival curve, which is exact enough for phase detection and reports; families
+    /// with a density should override.
+    fn hazard(&self, t: f64) -> f64 {
+        let s = self.survival(t);
+        if s <= 1e-12 {
+            return f64::INFINITY;
+        }
+        let h = 1e-4 * self.horizon().max(1.0);
+        let lo = (t - h).max(0.0);
+        let hi = (t + h).min(self.horizon());
+        if hi <= lo {
+            return f64::INFINITY;
+        }
+        let density = ((self.survival(lo) - self.survival(hi)) / (hi - lo)).max(0.0);
+        density / s
+    }
+
+    /// Probability density `f(t)`, where the family has one (`None` for empirical and
+    /// other purely tabulated curves).
+    fn density(&self, t: f64) -> Option<f64> {
+        let _ = t;
+        None
+    }
+
+    /// Quantile (inverse CDF), where the family has one.
+    fn quantile(&self, u: f64) -> Option<f64> {
+        let _ = u;
+        None
+    }
+
+    /// Expected lifetime including the deadline atom — the paper's MTTF substitute.
+    fn expected_lifetime(&self) -> f64 {
+        self.first_moment(self.horizon())
+    }
+
+    /// Equation 8: expected makespan of a job of length `job_len` starting at VM age
+    /// `vm_age`, `E[T_s] = T + W(min(s+T, L)) − W(s)` (single-preemption form).
+    fn makespan_from_age(&self, vm_age: f64, job_len: f64) -> f64 {
+        let s = vm_age.max(0.0);
+        job_len + self.partial_expectation(s, s + job_len.max(0.0))
+    }
+
+    /// Probability that a job of length `job_len` starting at VM age `start` is
+    /// preempted before finishing, conditioned on the VM being alive at `start`.  Jobs
+    /// that would cross the deadline fail with certainty.
+    fn conditional_failure_probability(&self, start: f64, job_len: f64) -> f64 {
+        if start + job_len >= self.horizon() {
+            return 1.0;
+        }
+        let alive = self.survival(start);
+        if alive <= 1e-12 {
+            return 1.0;
+        }
+        ((alive - self.survival(start + job_len)) / alive).clamp(0.0, 1.0)
+    }
+
+    /// Approximate phase boundaries `(early_end, deadline_start)` — the "walls of the
+    /// bathtub".  Default: scan the hazard curve for where it first drops to (and last
+    /// rises from) twice its mid-life minimum.  Families with fitted phase structure
+    /// override with their closed form.
+    fn phase_boundaries(&self) -> (f64, f64) {
+        let horizon = self.horizon();
+        let steps = 480usize;
+        let hazards: Vec<f64> = (0..=steps)
+            .map(|i| {
+                let t = i as f64 * horizon / steps as f64;
+                self.hazard(t.min(horizon - 1e-9).max(0.0))
+            })
+            .collect();
+        // Mid-life floor: the minimum finite hazard over the middle 80 % of life.
+        let lo = steps / 10;
+        let hi = steps - steps / 10;
+        let floor = hazards[lo..=hi]
+            .iter()
+            .copied()
+            .filter(|h| h.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        let threshold = if floor.is_finite() {
+            (2.0 * floor).max(1e-9)
+        } else {
+            return (0.125 * horizon, 11.0 / 12.0 * horizon);
+        };
+        let mut early_end = 0.0;
+        for (i, &h) in hazards[..=hi].iter().enumerate() {
+            if h.is_finite() && h <= threshold {
+                early_end = i as f64 * horizon / steps as f64;
+                break;
+            }
+        }
+        let mut deadline_start = horizon;
+        for (i, &h) in hazards.iter().enumerate().rev() {
+            if h.is_finite() && h <= threshold {
+                deadline_start = i as f64 * horizon / steps as f64;
+                break;
+            }
+        }
+        let early_end = early_end.clamp(0.0, 0.5 * horizon);
+        let deadline_start = deadline_start.clamp(early_end, horizon);
+        (early_end, deadline_start)
+    }
+
+    /// The closed-form bathtub fit behind this model, when that is what the model is —
+    /// lets pack builders record the Equation 1 parameters next to generic tables
+    /// without downcasting.  `None` for every other family.
+    fn as_bathtub(&self) -> Option<&crate::BathtubModel> {
+        None
+    }
+
+    /// Tabulates survival and `W` on an age grid — the serving-layer hook.
+    ///
+    /// Survival is forced to zero at (and past) the horizon; `W` carries the deadline
+    /// atom once the grid reaches it (both already hold for any correct
+    /// [`survival`](LifetimeModel::survival)/[`first_moment`](LifetimeModel::first_moment)
+    /// pair — the clamp makes the contract explicit at the table boundary).
+    fn tabulate(&self, ages: &[f64]) -> LifetimeCurves {
+        let horizon = self.horizon();
+        LifetimeCurves {
+            survival: ages
+                .iter()
+                .map(|&t| {
+                    if t >= horizon {
+                        0.0
+                    } else {
+                        self.survival(t).clamp(0.0, 1.0)
+                    }
+                })
+                .collect(),
+            first_moment: ages
+                .iter()
+                .map(|&t| self.first_moment(t).max(0.0))
+                .collect(),
+        }
+    }
+}
+
+/// Dense survival and first-moment curves on an age grid, as produced by
+/// [`LifetimeModel::tabulate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifetimeCurves {
+    /// `S(age)` per grid knot.
+    pub survival: Vec<f64>,
+    /// `W(age)` per grid knot.
+    pub first_moment: Vec<f64>,
+}
+
+/// A shared, dynamically typed lifetime model — the form the policy stack passes around.
+pub type SharedLifetimeModel = Arc<dyn LifetimeModel>;
+
+impl LifetimeModel for Arc<dyn LifetimeModel> {
+    fn family(&self) -> &str {
+        (**self).family()
+    }
+    fn horizon(&self) -> f64 {
+        (**self).horizon()
+    }
+    fn survival(&self, t: f64) -> f64 {
+        (**self).survival(t)
+    }
+    fn first_moment(&self, t: f64) -> f64 {
+        (**self).first_moment(t)
+    }
+    fn deadline_atom(&self) -> f64 {
+        (**self).deadline_atom()
+    }
+    fn cdf(&self, t: f64) -> f64 {
+        (**self).cdf(t)
+    }
+    fn partial_expectation(&self, a: f64, b: f64) -> f64 {
+        (**self).partial_expectation(a, b)
+    }
+    fn hazard(&self, t: f64) -> f64 {
+        (**self).hazard(t)
+    }
+    fn density(&self, t: f64) -> Option<f64> {
+        (**self).density(t)
+    }
+    fn quantile(&self, u: f64) -> Option<f64> {
+        (**self).quantile(u)
+    }
+    fn phase_boundaries(&self) -> (f64, f64) {
+        (**self).phase_boundaries()
+    }
+    fn as_bathtub(&self) -> Option<&crate::BathtubModel> {
+        (**self).as_bathtub()
+    }
+    fn tabulate(&self, ages: &[f64]) -> LifetimeCurves {
+        (**self).tabulate(ages)
+    }
+}
+
+/// A lifetime model materialised as quadrature tables on a dense age grid.
+///
+/// This is how every non-bathtub family enters the policy stack: the source
+/// distribution's survival and first moment are tabulated once under the temporal
+/// constraint (survival drops to zero at the horizon; any mass an *unconstrained*
+/// family leaves past the horizon becomes a reclamation atom at the deadline), and all
+/// [`LifetimeModel`] queries are interpolated lookups from then on.
+pub struct TabulatedLifetime {
+    family: String,
+    horizon: f64,
+    atom: f64,
+    survival: LinearInterp,
+    first_moment: LinearInterp,
+}
+
+impl std::fmt::Debug for TabulatedLifetime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TabulatedLifetime")
+            .field("family", &self.family)
+            .field("horizon", &self.horizon)
+            .field("atom", &self.atom)
+            .field("knots", &self.survival.len())
+            .finish()
+    }
+}
+
+/// Tabulates survival and `W(t) = ∫_0^t u f(u) du` for an arbitrary distribution on an
+/// age grid, under the temporal constraint — shared by the single-family and mixture
+/// constructors.
+fn tabulate_distribution(
+    dist: &dyn LifetimeDistribution,
+    ages: &[f64],
+    horizon: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let survival: Vec<f64> = ages
+        .iter()
+        .map(|&s| {
+            if s >= horizon {
+                0.0
+            } else {
+                dist.survival(s).clamp(0.0, 1.0)
+            }
+        })
+        .collect();
+    // W is additive over segments, so accumulate instead of integrating from zero at
+    // every knot — O(grid) instead of O(grid²) quadrature work.  The last segment
+    // stops just short of the horizon so no family's own deadline handling sneaks its
+    // atom in; the reclamation atom is then added exactly once, uniformly: everything
+    // not preempted strictly before `L` — an unconstrained family's residual tail, a
+    // constrained family's deadline spike — is reclaimed *at* `L`, which is what keeps
+    // Equation 8 penalising deadline-crossing jobs for every family alike.
+    let mut first_moment = vec![0.0; ages.len()];
+    let mut acc = 0.0;
+    for i in 1..ages.len() {
+        let b = if i + 1 == ages.len() {
+            ages[i].min(horizon - 1e-9)
+        } else {
+            ages[i]
+        };
+        acc += dist.partial_expectation(ages[i - 1], b).max(0.0);
+        first_moment[i] = acc;
+    }
+    if let Some(last) = first_moment.last_mut() {
+        *last += deadline_mass(dist, horizon) * horizon;
+    }
+    (survival, first_moment)
+}
+
+/// The probability mass sitting at the deadline once `dist` is constrained to
+/// `horizon`: everything not preempted strictly before `L`.
+fn deadline_mass(dist: &dyn LifetimeDistribution, horizon: f64) -> f64 {
+    (1.0 - dist.cdf(horizon - 1e-9)).clamp(0.0, 1.0)
+}
+
+impl TabulatedLifetime {
+    /// Tabulates `dist` under the temporal constraint `horizon` on a uniform grid of
+    /// `points` knots, recording `family` as the model's family name.
+    pub fn from_distribution(
+        family: impl Into<String>,
+        dist: &dyn LifetimeDistribution,
+        horizon: f64,
+        points: usize,
+    ) -> Result<Self> {
+        if !(horizon > 0.0) || !horizon.is_finite() {
+            return Err(NumericsError::invalid("horizon must be positive"));
+        }
+        let ages = linspace(0.0, horizon, points.max(8));
+        let (mut survival, first_moment) = tabulate_distribution(dist, &ages, horizon);
+        let atom = deadline_mass(dist, horizon);
+        // The internal table stores the *continuous* survival limit S(L⁻) at the
+        // horizon knot, so interpolated lookups just below the deadline see the atom
+        // instead of a linear ramp to zero across the last cell — that crispness is
+        // what keeps the generic-hazard DP within tolerance of the closed form on
+        // deadline-crossing windows.  `survival()` itself still returns 0 at (and
+        // past) the horizon, and `tabulate` clamps the serving-layer curves to 0 there.
+        if let Some(last) = survival.last_mut() {
+            *last = atom;
+        }
+        Self::from_curves(family, &ages, survival, first_moment, horizon, atom)
+    }
+
+    /// Tabulates a weighted mixture of distributions (the pooled-fallback model);
+    /// weights must be non-negative and sum to one.  Survival and `W` are both linear
+    /// in the mixture, so the tables are exactly the weighted sums of the per-component
+    /// tabulations.
+    pub fn from_mixture(
+        components: &[(f64, Arc<dyn LifetimeDistribution>)],
+        horizon: f64,
+        points: usize,
+    ) -> Result<Self> {
+        if components.is_empty() {
+            return Err(NumericsError::invalid(
+                "mixture needs at least one component",
+            ));
+        }
+        let total: f64 = components.iter().map(|(w, _)| *w).sum();
+        if components.iter().any(|(w, _)| !(*w >= 0.0)) || (total - 1.0).abs() > 1e-6 {
+            return Err(NumericsError::invalid(format!(
+                "mixture weights must be non-negative and sum to one (sum = {total})"
+            )));
+        }
+        let ages = linspace(0.0, horizon, points.max(8));
+        let mut survival = vec![0.0; ages.len()];
+        let mut first_moment = vec![0.0; ages.len()];
+        let mut atom = 0.0;
+        for (weight, component) in components {
+            let (s, w) = tabulate_distribution(component.as_ref(), &ages, horizon);
+            for i in 0..ages.len() {
+                survival[i] += weight * s[i];
+                first_moment[i] += weight * w[i];
+            }
+            atom += weight * deadline_mass(component.as_ref(), horizon);
+        }
+        // Same continuous-limit convention at the horizon knot as `from_distribution`.
+        if let Some(last) = survival.last_mut() {
+            *last = atom;
+        }
+        Self::from_curves("mixture", &ages, survival, first_moment, horizon, atom)
+    }
+
+    /// Builds a tabulated model from precomputed curves (e.g. a serialized pack's
+    /// grids).  The age grid must be strictly increasing and reach the horizon;
+    /// survival must end at zero and `W` must be non-decreasing.
+    pub fn from_curves(
+        family: impl Into<String>,
+        ages: &[f64],
+        survival: Vec<f64>,
+        first_moment: Vec<f64>,
+        horizon: f64,
+        deadline_atom: f64,
+    ) -> Result<Self> {
+        let family = family.into();
+        if family.is_empty() {
+            return Err(NumericsError::invalid("family name must not be empty"));
+        }
+        if ages.len() < 2 || survival.len() != ages.len() || first_moment.len() != ages.len() {
+            return Err(NumericsError::invalid(
+                "tabulated lifetime needs matching grids of at least two knots",
+            ));
+        }
+        if !(horizon > 0.0) || !horizon.is_finite() {
+            return Err(NumericsError::invalid("horizon must be positive"));
+        }
+        if !(0.0..=1.0 + 1e-9).contains(&deadline_atom) {
+            return Err(NumericsError::invalid("deadline atom must lie in [0, 1]"));
+        }
+        if first_moment.windows(2).any(|w| w[1] < w[0] - 1e-9) {
+            return Err(NumericsError::invalid(
+                "first-moment curve must be non-decreasing",
+            ));
+        }
+        Ok(TabulatedLifetime {
+            family,
+            horizon,
+            atom: deadline_atom.clamp(0.0, 1.0),
+            survival: LinearInterp::new(ages.to_vec(), survival)?,
+            first_moment: LinearInterp::new(ages.to_vec(), first_moment)?,
+        })
+    }
+
+    /// The age grid the curves were tabulated on.
+    pub fn ages(&self) -> &[f64] {
+        self.survival.knots()
+    }
+}
+
+impl LifetimeModel for TabulatedLifetime {
+    fn family(&self) -> &str {
+        &self.family
+    }
+
+    fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    fn survival(&self, t: f64) -> f64 {
+        if t >= self.horizon {
+            0.0
+        } else {
+            self.survival.eval(t.max(0.0)).clamp(0.0, 1.0)
+        }
+    }
+
+    fn first_moment(&self, t: f64) -> f64 {
+        self.first_moment.eval(t.clamp(0.0, self.horizon)).max(0.0)
+    }
+
+    fn deadline_atom(&self) -> f64 {
+        self.atom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BathtubModel;
+    use tcp_dists::{Exponential, PhasedHazard, Weibull};
+
+    #[test]
+    fn bathtub_closed_forms_drive_the_trait() {
+        let m = BathtubModel::paper_representative();
+        let model: &dyn LifetimeModel = &m;
+        assert_eq!(model.family(), "bathtub");
+        assert_eq!(model.horizon(), 24.0);
+        // Trait-level quantities match the closed-form accessors exactly.
+        for &t in &[0.0, 1.0, 8.0, 20.0, 23.9] {
+            assert_eq!(model.survival(t), m.survival(t));
+            assert_eq!(model.cdf(t), m.cdf(t));
+            assert_eq!(
+                model.partial_expectation(0.0, t),
+                m.dist().partial_expectation(0.0, t)
+            );
+        }
+        assert_eq!(model.deadline_atom(), m.dist().deadline_atom());
+        assert_eq!(model.phase_boundaries(), m.phase_boundaries());
+        assert!((model.expected_lifetime() - m.expected_lifetime()).abs() < 1e-9);
+        // Equation 8 through the trait equals the analysis-module form.
+        let direct = crate::analysis::expected_makespan_from_age(m.dist(), 3.0, 5.0);
+        assert!((model.makespan_from_age(3.0, 5.0) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tabulated_bathtub_tracks_the_closed_form() {
+        let m = BathtubModel::paper_representative();
+        let tab = TabulatedLifetime::from_distribution("bathtub", m.dist(), 24.0, 1441).unwrap();
+        for i in 0..=96 {
+            let t = i as f64 * 0.25;
+            assert!(
+                (tab.survival(t) - m.survival(t.min(23.999))).abs() < 2e-3 || t >= 24.0 - 0.25,
+                "S({t}) {} vs {}",
+                tab.survival(t),
+                m.survival(t)
+            );
+            assert!(
+                (tab.first_moment(t) - m.dist().partial_expectation(0.0, t)).abs() < 5e-3,
+                "W({t})"
+            );
+        }
+        assert!((tab.deadline_atom() - m.dist().deadline_atom()).abs() < 1e-6);
+        assert!((tab.expected_lifetime() - m.expected_lifetime()).abs() < 5e-3);
+    }
+
+    #[test]
+    fn unconstrained_families_gain_a_deadline_atom() {
+        let exp = Exponential::new(1.0 / 8.0).unwrap();
+        let tab = TabulatedLifetime::from_distribution("exponential", &exp, 24.0, 241).unwrap();
+        assert_eq!(tab.survival(24.0), 0.0);
+        assert_eq!(tab.survival(30.0), 0.0);
+        // The atom is the mass the exponential leaves past 24 h.
+        assert!((tab.deadline_atom() - exp.survival(24.0)).abs() < 1e-6);
+        // W(L) = E[min(T, L)] for the constrained version.
+        let expected = exp.partial_expectation(0.0, 24.0) + exp.survival(24.0) * 24.0;
+        assert!((tab.first_moment(24.0) - expected).abs() < 1e-6);
+        // Deadline-crossing jobs fail with certainty.
+        assert_eq!(tab.conditional_failure_probability(20.0, 6.0), 1.0);
+    }
+
+    #[test]
+    fn tabulate_hook_round_trips() {
+        let w = Weibull::new(0.1, 1.5).unwrap();
+        let tab = TabulatedLifetime::from_distribution("weibull", &w, 24.0, 481).unwrap();
+        let ages = linspace(0.0, 24.0, 49);
+        let curves = tab.tabulate(&ages);
+        assert_eq!(curves.survival.len(), 49);
+        assert_eq!(*curves.survival.last().unwrap(), 0.0);
+        assert!(curves.first_moment.windows(2).all(|p| p[1] >= p[0] - 1e-9));
+        // Resampled tables agree with direct lookups.
+        for (i, &age) in ages.iter().enumerate() {
+            assert!((curves.survival[i] - tab.survival(age)).abs() < 1e-12);
+            assert!((curves.first_moment[i] - tab.first_moment(age)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixture_is_the_weighted_sum() {
+        let a: Arc<dyn LifetimeDistribution> = Arc::new(Exponential::new(0.2).unwrap());
+        let b: Arc<dyn LifetimeDistribution> = Arc::new(PhasedHazard::representative());
+        let mix =
+            TabulatedLifetime::from_mixture(&[(0.25, a.clone()), (0.75, b.clone())], 24.0, 241)
+                .unwrap();
+        assert_eq!(mix.family(), "mixture");
+        for &t in &[0.5, 4.0, 12.0, 20.0] {
+            let expected = 0.25 * a.survival(t) + 0.75 * b.survival(t);
+            assert!((mix.survival(t) - expected).abs() < 1e-9, "S({t})");
+        }
+        // Bad weights are rejected.
+        assert!(TabulatedLifetime::from_mixture(&[(0.5, a.clone())], 24.0, 64).is_err());
+        assert!(TabulatedLifetime::from_mixture(&[], 24.0, 64).is_err());
+    }
+
+    #[test]
+    fn phased_phase_boundaries_recovered_from_hazard() {
+        let tab = TabulatedLifetime::from_distribution(
+            "phased",
+            &PhasedHazard::representative(),
+            24.0,
+            1441,
+        )
+        .unwrap();
+        let (early_end, deadline_start) = tab.phase_boundaries();
+        // Ground truth: early phase ends at 3 h, deadline phase starts at 22 h.
+        assert!(
+            early_end > 1.0 && early_end < 6.0,
+            "early_end = {early_end}"
+        );
+        assert!(
+            deadline_start > 18.0 && deadline_start <= 24.0,
+            "deadline_start = {deadline_start}"
+        );
+        assert!(early_end < deadline_start);
+    }
+
+    #[test]
+    fn from_curves_validation() {
+        let ages = [0.0, 12.0, 24.0];
+        let ok = TabulatedLifetime::from_curves(
+            "empirical",
+            &ages,
+            vec![1.0, 0.5, 0.0],
+            vec![0.0, 3.0, 8.0],
+            24.0,
+            0.1,
+        );
+        assert!(ok.is_ok());
+        // Mismatched grids, empty family, decreasing W, bad atom.
+        assert!(TabulatedLifetime::from_curves(
+            "x",
+            &ages,
+            vec![1.0, 0.0],
+            vec![0.0, 1.0, 2.0],
+            24.0,
+            0.0
+        )
+        .is_err());
+        assert!(TabulatedLifetime::from_curves(
+            "",
+            &ages,
+            vec![1.0, 0.5, 0.0],
+            vec![0.0, 1.0, 2.0],
+            24.0,
+            0.0
+        )
+        .is_err());
+        assert!(TabulatedLifetime::from_curves(
+            "x",
+            &ages,
+            vec![1.0, 0.5, 0.0],
+            vec![0.0, 2.0, 1.0],
+            24.0,
+            0.0
+        )
+        .is_err());
+        assert!(TabulatedLifetime::from_curves(
+            "x",
+            &ages,
+            vec![1.0, 0.5, 0.0],
+            vec![0.0, 1.0, 2.0],
+            24.0,
+            1.5
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn default_hazard_matches_closed_form_roughly() {
+        let m = BathtubModel::paper_representative();
+        let tab = TabulatedLifetime::from_distribution("bathtub", m.dist(), 24.0, 2881).unwrap();
+        for &t in &[0.5, 4.0, 12.0, 20.0] {
+            let approx = tab.hazard(t);
+            let exact = m.hazard(t);
+            assert!(
+                (approx - exact).abs() < 0.15 * exact.max(0.05),
+                "h({t}): {approx} vs {exact}"
+            );
+        }
+    }
+}

@@ -147,6 +147,68 @@ impl BathtubModel {
     }
 }
 
+/// The closed-form fast path of the model-generic API: every
+/// [`crate::lifetime::LifetimeModel`] quantity
+/// evaluates through Equation 1's antiderivatives, so the generic-hazard DP and
+/// Equation 8 reproduce the bathtub-only code paths bit for bit.
+impl crate::lifetime::LifetimeModel for BathtubModel {
+    fn family(&self) -> &str {
+        "bathtub"
+    }
+
+    fn horizon(&self) -> f64 {
+        BathtubModel::horizon(self)
+    }
+
+    fn survival(&self, t: f64) -> f64 {
+        BathtubModel::survival(self, t)
+    }
+
+    fn first_moment(&self, t: f64) -> f64 {
+        self.dist.partial_expectation(0.0, t)
+    }
+
+    fn deadline_atom(&self) -> f64 {
+        self.dist.deadline_atom()
+    }
+
+    fn cdf(&self, t: f64) -> f64 {
+        BathtubModel::cdf(self, t)
+    }
+
+    fn partial_expectation(&self, a: f64, b: f64) -> f64 {
+        self.dist.partial_expectation(a, b)
+    }
+
+    fn hazard(&self, t: f64) -> f64 {
+        BathtubModel::hazard(self, t)
+    }
+
+    fn density(&self, t: f64) -> Option<f64> {
+        Some(self.pdf(t))
+    }
+
+    fn quantile(&self, u: f64) -> Option<f64> {
+        Some(self.dist.quantile(u))
+    }
+
+    fn expected_lifetime(&self) -> f64 {
+        BathtubModel::expected_lifetime(self)
+    }
+
+    fn conditional_failure_probability(&self, start: f64, job_len: f64) -> f64 {
+        BathtubModel::conditional_failure_probability(self, start, job_len)
+    }
+
+    fn phase_boundaries(&self) -> (f64, f64) {
+        BathtubModel::phase_boundaries(self)
+    }
+
+    fn as_bathtub(&self) -> Option<&BathtubModel> {
+        Some(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,18 +3,18 @@
 //! The paper compares its constrained-preemption ("bathtub") model against the classical
 //! failure distributions used in prior transient-computing work:
 //!
-//! * memoryless [`Exponential`](exponential::Exponential) — the default assumption behind
+//! * memoryless [`exponential::Exponential`] — the default assumption behind
 //!   Young–Daly checkpointing and spot-instance MTTF modelling;
-//! * [`Weibull`](weibull::Weibull) — the classic ageing distribution;
-//! * [`GompertzMakeham`](gompertz_makeham::GompertzMakeham) — exponential-ageing (actuarial)
+//! * [`weibull::Weibull`] — the classic ageing distribution;
+//! * [`gompertz_makeham::GompertzMakeham`] — exponential-ageing (actuarial)
 //!   bathtub model;
-//! * [`UniformLifetime`](uniform::UniformLifetime) — the "uniformly distributed over
+//! * [`uniform::UniformLifetime`] — the "uniformly distributed over
 //!   `[0, 24]` hours" strawman used in Section 6.1;
-//! * [`ConstrainedBathtub`](bathtub::ConstrainedBathtub) — the paper's model, Equation (1);
-//! * [`PhasedHazard`](phased::PhasedHazard) — an explicit three-phase hazard process used as
+//! * [`bathtub::ConstrainedBathtub`] — the paper's model, Equation (1);
+//! * [`phased::PhasedHazard`] — an explicit three-phase hazard process used as
 //!   the synthetic ground truth for trace generation (and as the "phase-wise model"
 //!   sketched in Section 8);
-//! * [`EmpiricalLifetime`](empirical::EmpiricalLifetime) — a distribution backed directly by
+//! * [`empirical::EmpiricalLifetime`] — a distribution backed directly by
 //!   observed lifetimes.
 //!
 //! All of them implement the [`LifetimeDistribution`] trait, which exposes the CDF, PDF,

@@ -4,10 +4,10 @@
 //! the *dogbox* trust-region method (bounded nonlinear least squares).  This module
 //! provides the equivalent machinery:
 //!
-//! * [`least_squares`] — bounded Levenberg–Marquardt with finite-difference Jacobians and
+//! * [`mod@least_squares`] — bounded Levenberg–Marquardt with finite-difference Jacobians and
 //!   projection onto box constraints (a pragmatic dogbox stand-in that handles the 4-parameter
 //!   bathtub fit robustly).
-//! * [`nelder_mead`] — a derivative-free simplex fallback used to polish fits whose
+//! * [`mod@nelder_mead`] — a derivative-free simplex fallback used to polish fits whose
 //!   Jacobians become ill-conditioned (e.g. when `τ2` collapses towards zero).
 //! * [`curve_fit`] — a `scipy.curve_fit`-style convenience wrapper that fits a parametric
 //!   model `y = f(x, θ)` to data.

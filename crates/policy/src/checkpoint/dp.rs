@@ -17,10 +17,20 @@
 //! The self-reference through `V(j, 0)` (a failure sends the job back to a fresh VM with
 //! the same remaining work) is resolved by a fixed-point iteration per `j`; the map is a
 //! contraction because the failure probability of the chosen action is strictly below one.
+//!
+//! The DP is **generic in the hazard**: it consumes any [`LifetimeModel`] — the
+//! closed-form bathtub fit (the fast path, via [`DpCheckpointPolicy::new`]), or any
+//! other family materialised as quadrature tables
+//! ([`tcp_core::TabulatedLifetime`], via [`DpCheckpointPolicy::from_model`]).  Every
+//! probability and expectation below is expressed through survival `S(t)`, the
+//! first-moment curve `W(t)` and the deadline atom, which is exactly the interface the
+//! trait carries; for the bathtub model those calls resolve to Equation 1's
+//! antiderivatives, so the generic recursion reproduces the historical bathtub-only DP
+//! bit for bit.
 
 use serde::{Deserialize, Serialize};
-use tcp_core::BathtubModel;
-use tcp_dists::LifetimeDistribution;
+use std::sync::Arc;
+use tcp_core::{BathtubModel, LifetimeModel};
 use tcp_numerics::{NumericsError, Result};
 
 /// Configuration of the checkpointing policies.
@@ -99,10 +109,9 @@ impl CheckpointSchedule {
     }
 }
 
-/// The model-driven DP checkpointing policy.
-#[derive(Debug)]
+/// The model-driven DP checkpointing policy, generic over the lifetime model.
 pub struct DpCheckpointPolicy {
-    model: BathtubModel,
+    model: Arc<dyn LifetimeModel>,
     config: CheckpointConfig,
     age_step: f64,
     age_bins: usize,
@@ -128,7 +137,7 @@ struct SolvedTables {
 impl Clone for DpCheckpointPolicy {
     fn clone(&self) -> Self {
         DpCheckpointPolicy {
-            model: self.model,
+            model: self.model.clone(),
             config: self.config,
             age_step: self.age_step,
             age_bins: self.age_bins,
@@ -137,11 +146,33 @@ impl Clone for DpCheckpointPolicy {
     }
 }
 
+impl std::fmt::Debug for DpCheckpointPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DpCheckpointPolicy")
+            .field("family", &self.model.family())
+            .field("config", &self.config)
+            .field("age_bins", &self.age_bins)
+            .finish()
+    }
+}
+
 impl DpCheckpointPolicy {
-    /// Creates a policy for a fitted preemption model.
+    /// Creates a policy for a fitted bathtub model — the closed-form fast path.
     pub fn new(model: BathtubModel, config: CheckpointConfig) -> Result<Self> {
+        Self::from_model(Arc::new(model), config)
+    }
+
+    /// Creates a policy for *any* lifetime model — the generic-hazard DP.  The model's
+    /// survival, first-moment curve and deadline atom fully determine the recursion, so
+    /// Weibull/exponential/phased/empirical winners (tabulated by
+    /// [`tcp_core::TabulatedLifetime`]) plan checkpoints exactly like the bathtub fit
+    /// plans its own.
+    pub fn from_model(model: Arc<dyn LifetimeModel>, config: CheckpointConfig) -> Result<Self> {
         config.validate()?;
         let horizon = model.horizon();
+        if !(horizon > 0.0) || !horizon.is_finite() {
+            return Err(NumericsError::invalid("model horizon must be positive"));
+        }
         // Age grid resolution: half a work step is plenty (ages only influence the DP
         // through the slowly varying CDF), capped to at most ~2000 bins.
         let age_step = (0.5 * config.step_hours).clamp(horizon / 2000.0, 0.25);
@@ -161,8 +192,8 @@ impl DpCheckpointPolicy {
     }
 
     /// The preemption model driving the policy.
-    pub fn model(&self) -> &BathtubModel {
-        &self.model
+    pub fn model(&self) -> &dyn LifetimeModel {
+        self.model.as_ref()
     }
 
     fn age_of_bin(&self, bin: usize) -> f64 {
@@ -187,19 +218,28 @@ impl DpCheckpointPolicy {
     }
 
     /// Expected time lost (hours since the window start) given a preemption occurs inside
-    /// the window `(t, t+w]` — Equation 13 adapted to the conditional setting.
+    /// the window `(t, t+w]` — Equation 13 adapted to the conditional setting, expressed
+    /// entirely through the model-generic surface (CDF, `W`, deadline atom).
+    ///
+    /// The target is `E[(X − t)·1{fail}] = ∫_t^{L⁻} (x − t) f(x) dx + atom·(L − t)` for
+    /// deadline-crossing windows.  `partial_expectation(t, L)` already carries the
+    /// atom's `atom·L` term (the [`LifetimeModel`] first-moment contract), so the
+    /// crossing branch only subtracts the `atom·t` shift — adding `atom·(L − t)` on
+    /// top, as an earlier revision did, double-counts the atom by `atom·L`.
     fn expected_lost_given_failure(&self, t: f64, w: f64) -> f64 {
-        let horizon = self.model.horizon();
+        let model = self.model.as_ref();
+        let horizon = model.horizon();
         let u = (t + w).min(horizon);
-        let dist = self.model.dist();
-        let mut mass = self.model.cdf(u) - self.model.cdf(t);
+        let mut mass = model.cdf(u) - model.cdf(t);
+        // `cdf(L − ε)` excludes the atom, so the `t`-shift below only covers the
+        // continuous mass; the atom's shift is handled in the crossing branch.
         let mut first_moment =
-            dist.partial_expectation(t, u) - t * (dist.cdf(u.min(horizon - 1e-9)) - dist.cdf(t));
+            model.partial_expectation(t, u) - t * (model.cdf(u.min(horizon - 1e-9)) - model.cdf(t));
         if t + w >= horizon {
-            // window crosses the deadline: include the reclamation atom at the horizon
-            let atom = dist.deadline_atom();
-            mass = (1.0 - self.model.cdf(t)).max(mass);
-            first_moment += atom * (horizon - t);
+            // Window crosses the deadline: every survivor is reclaimed at the horizon.
+            let atom = model.deadline_atom();
+            mass = (1.0 - model.cdf(t)).max(mass);
+            first_moment -= atom * t;
         }
         if mass <= 1e-12 {
             return 0.5 * w;
@@ -435,6 +475,121 @@ mod tests {
             for &w in &[0.25, 1.0, 3.0] {
                 let lost = p.expected_lost_given_failure(t, w);
                 assert!(lost >= 0.0 && lost <= w + 1e-9, "t={t} w={w} lost={lost}");
+            }
+        }
+    }
+
+    #[test]
+    fn generic_hazard_dp_matches_the_bathtub_closed_form() {
+        // The acceptance bar of the model-generic redesign: running the DP against the
+        // bathtub fit *tabulated by quadrature* (the exact path every non-bathtub
+        // winner takes) reproduces the closed-form DP within 5e-3 across the grid,
+        // including start ages whose windows cross the deadline.
+        let model = BathtubModel::paper_representative();
+        let closed = DpCheckpointPolicy::new(model, CheckpointConfig::coarse()).unwrap();
+        let tabulated = tcp_core::TabulatedLifetime::from_distribution(
+            "bathtub",
+            model.dist(),
+            model.horizon(),
+            1441,
+        )
+        .unwrap();
+        let generic =
+            DpCheckpointPolicy::from_model(Arc::new(tabulated), CheckpointConfig::coarse())
+                .unwrap();
+        for &job in &[1.0, 3.0, 6.0] {
+            for &age in &[0.0, 2.0, 8.0, 16.0, 21.5, 23.0] {
+                let a = closed.expected_makespan(job, age).unwrap();
+                let b = generic.expected_makespan(job, age).unwrap();
+                assert!(
+                    (a - b).abs() <= 5e-3 * a.max(1.0),
+                    "job {job} age {age}: closed {a} vs generic {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bathtub_fast_path_is_bitwise_identical_through_the_trait() {
+        // `new` wraps the same model the generic entry point receives; because every
+        // bathtub trait method resolves to the Equation 1 antiderivatives, both paths
+        // produce the *same* value table, not merely a close one.
+        let model = BathtubModel::paper_representative();
+        let a = DpCheckpointPolicy::new(model, CheckpointConfig::coarse()).unwrap();
+        let b =
+            DpCheckpointPolicy::from_model(Arc::new(model), CheckpointConfig::coarse()).unwrap();
+        for &(job, age) in &[(2.0, 0.0), (4.0, 7.0), (5.0, 20.0)] {
+            assert_eq!(
+                a.expected_makespan(job, age).unwrap(),
+                b.expected_makespan(job, age).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn value_function_monotone_in_checkpoint_cost_for_every_family() {
+        // A more expensive checkpoint can never make the optimal plan cheaper.
+        let horizon = 24.0;
+        let models: Vec<Arc<dyn tcp_core::LifetimeModel>> = vec![
+            Arc::new(BathtubModel::paper_representative()),
+            Arc::new(
+                tcp_core::TabulatedLifetime::from_distribution(
+                    "exponential",
+                    &tcp_dists::Exponential::new(1.0 / 8.0).unwrap(),
+                    horizon,
+                    241,
+                )
+                .unwrap(),
+            ),
+            Arc::new(
+                tcp_core::TabulatedLifetime::from_distribution(
+                    "weibull",
+                    &tcp_dists::Weibull::new(0.12, 1.4).unwrap(),
+                    horizon,
+                    241,
+                )
+                .unwrap(),
+            ),
+            Arc::new(
+                tcp_core::TabulatedLifetime::from_distribution(
+                    "phased",
+                    &tcp_dists::PhasedHazard::representative(),
+                    horizon,
+                    241,
+                )
+                .unwrap(),
+            ),
+            Arc::new(
+                tcp_core::TabulatedLifetime::from_distribution(
+                    "empirical",
+                    &tcp_dists::EmpiricalLifetime::new(
+                        &[0.4, 1.1, 2.0, 3.5, 5.0, 7.5, 11.0, 16.0, 21.0, 24.0],
+                        Some(horizon),
+                    )
+                    .unwrap(),
+                    horizon,
+                    241,
+                )
+                .unwrap(),
+            ),
+        ];
+        for model in models {
+            let family = model.family().to_string();
+            let mut prev = 0.0f64;
+            for &cost_minutes in &[0.5, 2.0, 8.0] {
+                let config = CheckpointConfig {
+                    checkpoint_cost_hours: cost_minutes / 60.0,
+                    step_hours: 0.25,
+                    restart_overhead_hours: 1.0 / 60.0,
+                };
+                let policy = DpCheckpointPolicy::from_model(model.clone(), config).unwrap();
+                let v = policy.expected_makespan(4.0, 0.0).unwrap();
+                assert!(
+                    v >= prev - 1e-9,
+                    "{family}: cost {cost_minutes}min gave {v} < previous {prev}"
+                );
+                assert!(v >= 4.0, "{family}: makespan below job length");
+                prev = v;
             }
         }
     }

@@ -9,7 +9,7 @@
 
 use super::dp::CheckpointSchedule;
 use serde::{Deserialize, Serialize};
-use tcp_core::BathtubModel;
+use tcp_core::LifetimeModel;
 use tcp_numerics::{NumericsError, Result};
 
 /// The Young–Daly periodic checkpointing policy.
@@ -45,11 +45,12 @@ impl YoungDalyPolicy {
         }
     }
 
-    /// Derives the MTTF from a fitted bathtub model's initial failure rate, which is how
-    /// the paper parameterises the baseline ("we use the initial failure rate of the VM to
-    /// determine the MTTF").
+    /// Derives the MTTF from a fitted model's initial failure rate, which is how the
+    /// paper parameterises the baseline ("we use the initial failure rate of the VM to
+    /// determine the MTTF").  Generic over the lifetime model: only the first-hour CDF
+    /// is consulted.
     pub fn from_initial_failure_rate(
-        model: &BathtubModel,
+        model: &dyn LifetimeModel,
         checkpoint_cost_hours: f64,
     ) -> Result<Self> {
         // initial rate ≈ hazard averaged over the first hour
@@ -100,6 +101,7 @@ impl YoungDalyPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tcp_core::BathtubModel;
 
     #[test]
     fn construction_validation() {

@@ -13,8 +13,8 @@
 //! carries no information.
 
 use serde::{Deserialize, Serialize};
-use tcp_core::analysis::expected_makespan_from_age;
-use tcp_core::BathtubModel;
+use std::sync::Arc;
+use tcp_core::{BathtubModel, LifetimeModel};
 use tcp_numerics::{NumericsError, Result};
 
 /// The decision produced by a scheduler for a ready job.
@@ -36,21 +36,35 @@ pub trait SchedulerPolicy: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
-/// The paper's model-driven scheduler.
-#[derive(Debug, Clone, Copy)]
+/// The paper's model-driven scheduler, generic over the lifetime model: the reuse rule
+/// `E[T_s] <= E[T_0]` only needs Equation 8, which every [`LifetimeModel`] carries.
+#[derive(Clone)]
 pub struct ModelDrivenScheduler {
-    model: BathtubModel,
+    model: Arc<dyn LifetimeModel>,
+}
+
+impl std::fmt::Debug for ModelDrivenScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelDrivenScheduler")
+            .field("family", &self.model.family())
+            .finish()
+    }
 }
 
 impl ModelDrivenScheduler {
-    /// Creates a scheduler driven by a fitted preemption model.
+    /// Creates a scheduler driven by a fitted bathtub model (the closed-form fast path).
     pub fn new(model: BathtubModel) -> Self {
+        Self::from_model(Arc::new(model))
+    }
+
+    /// Creates a scheduler driven by *any* lifetime model — the winner-family path.
+    pub fn from_model(model: Arc<dyn LifetimeModel>) -> Self {
         ModelDrivenScheduler { model }
     }
 
     /// The model backing the scheduler.
-    pub fn model(&self) -> &BathtubModel {
-        &self.model
+    pub fn model(&self) -> &dyn LifetimeModel {
+        self.model.as_ref()
     }
 
     /// Expected makespan of a job of length `job_len` starting at VM age `vm_age`
@@ -60,7 +74,7 @@ impl ModelDrivenScheduler {
         if vm_age >= self.model.horizon() {
             return f64::INFINITY;
         }
-        expected_makespan_from_age(self.model.dist(), vm_age, job_len)
+        self.model.makespan_from_age(vm_age, job_len)
     }
 
     /// The oldest VM age at which the policy still chooses to reuse the VM for a job of
@@ -122,7 +136,7 @@ impl SchedulerPolicy for MemorylessScheduler {
 /// from the evaluation model (`truth`) is what enables the Figure 7 sensitivity study.
 pub fn job_failure_probability(
     policy: &dyn SchedulerPolicy,
-    truth: &BathtubModel,
+    truth: &dyn LifetimeModel,
     vm_age: f64,
     job_len: f64,
 ) -> f64 {
@@ -136,7 +150,7 @@ pub fn job_failure_probability(
 /// `[0, horizon]` — the y-axis of Figure 6.
 pub fn average_failure_probability(
     policy: &dyn SchedulerPolicy,
-    truth: &BathtubModel,
+    truth: &dyn LifetimeModel,
     job_len: f64,
     start_time_steps: usize,
 ) -> Result<f64> {
@@ -278,9 +292,10 @@ mod tests {
     #[test]
     fn expected_makespan_accessor_consistent_with_core() {
         let sched = ModelDrivenScheduler::new(model());
-        let direct = expected_makespan_from_age(model().dist(), 3.0, 5.0);
+        let direct = tcp_core::analysis::expected_makespan_from_age(model().dist(), 3.0, 5.0);
         assert!((sched.expected_makespan(3.0, 5.0) - direct).abs() < 1e-12);
         assert_eq!(sched.model().horizon(), 24.0);
+        assert_eq!(sched.model().family(), "bathtub");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!   [`ServiceConfig`](tcp_batch::ServiceConfig)s, with a stable documented ordering;
 //! * [`runner`] — the parallel sweep runner: `scenario × trial` tasks work-stolen across
 //!   threads, one deterministic RNG stream per task, aggregated by [`report`] into a
-//!   [`SweepReport`](report::SweepReport) with Welford summaries, policy-vs-policy
+//!   [`report::SweepReport`] with Welford summaries, policy-vs-policy
 //!   deltas, and a best-policy-per-regime table.
 //!
 //! The `sweep` binary wraps it all into a CLI:

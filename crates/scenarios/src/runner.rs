@@ -16,9 +16,10 @@ use crate::report::{ScenarioMetrics, ScenarioResult, SweepReport};
 use crate::spec::{Regime, RegimeSpec, SweepSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use tcp_batch::{BatchService, RunReport};
 use tcp_cloudsim::run_tasks;
-use tcp_core::{fit_bathtub_model, BathtubModel};
+use tcp_core::{fit_bathtub_model, BathtubModel, LifetimeModel};
 use tcp_numerics::{NumericsError, Result};
 use tcp_workloads::profiles::profile_by_name;
 use tcp_workloads::BagOfJobs;
@@ -52,22 +53,26 @@ pub fn bag_seed(base_seed: u64, application: &str, jobs: usize) -> u64 {
 
 /// Builds the policy model for one regime according to the sweep's `model` setting
 /// (`paper-representative` uses the Section 3.2.2 parameters, `fitted` samples the
-/// regime's ground truth and refits, `calibrated` reads the per-cell bathtub fit from a
-/// calibrated regime's catalog).  Public so other subsystems — the advisor's pack
-/// builder in particular — derive byte-identical models from the same spec.
+/// regime's ground truth and refits, `calibrated` serves the cell's goodness-of-fit
+/// *winner* — bathtub, Weibull, exponential, phased or the empirical fallback — through
+/// the model-generic [`LifetimeModel`] surface).  Public so other subsystems — the
+/// advisor's pack builder in particular — derive byte-identical models from the same
+/// spec.
 pub fn regime_model(
     spec: &SweepSpec,
     regime: &RegimeSpec,
     regime_index: usize,
-) -> Result<BathtubModel> {
+) -> Result<Arc<dyn LifetimeModel>> {
     match spec.sweep.model.as_deref() {
-        None | Some("paper-representative") => Ok(BathtubModel::paper_representative()),
+        None | Some("paper-representative") => Ok(Arc::new(BathtubModel::paper_representative())),
         Some("calibrated") => {
-            // Non-calibrated regimes (and cells too small for a parametric fit) keep
-            // the documented default, the paper's representative parameters.
-            Ok(regime
-                .calibrated_bathtub()?
-                .unwrap_or_else(BathtubModel::paper_representative))
+            // Non-calibrated regimes keep the documented default, the paper's
+            // representative parameters; calibrated regimes drive their policies from
+            // the cell's own winner family.
+            match regime.calibrated_model()? {
+                Some(model) => Ok(model),
+                None => Ok(Arc::new(BathtubModel::paper_representative())),
+            }
         }
         Some("fitted") => {
             let samples = spec.sweep.fit_samples.unwrap_or(DEFAULT_FIT_SAMPLES);
@@ -80,7 +85,7 @@ pub fn regime_model(
             let mut rng =
                 StdRng::seed_from_u64(mix(spec.base_seed() ^ 0xF17 ^ regime_index as u64));
             let lifetimes = truth.sample_n(&mut rng, samples);
-            Ok(fit_bathtub_model(&lifetimes, 24.0)?.model)
+            Ok(Arc::new(fit_bathtub_model(&lifetimes, 24.0)?.model))
         }
         Some(other) => Err(NumericsError::invalid(format!(
             "unknown sweep.model `{other}`"
@@ -114,7 +119,7 @@ fn prepare(
     let mut prepared = Vec::with_capacity(grid.scenarios.len());
     for scenario in grid.scenarios.iter().filter(|s| keep(s.meta.id)) {
         let regime = regimes[scenario.regime_index].clone();
-        let service = BatchService::new(scenario.config, regime.model).map_err(|e| {
+        let service = BatchService::new(scenario.config, regime.model.clone()).map_err(|e| {
             NumericsError::invalid(format!("scenario `{}`: {e}", scenario.meta.label))
         })?;
         let profile =

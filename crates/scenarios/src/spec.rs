@@ -39,7 +39,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use tcp_calibrate::{CellFit, RegimeCatalog};
 use tcp_cloudsim::{PricingModel, ProviderTemplate};
-use tcp_core::BathtubModel;
+use tcp_core::{BathtubModel, LifetimeModel};
 use tcp_dists::{
     ConstrainedBathtub, EmpiricalLifetime, Exponential, LifetimeDistribution, LogNormal,
     PhasedHazard, UniformLifetime, Weibull,
@@ -94,7 +94,8 @@ pub struct SweepSettings {
 /// One preemption regime: the provider-side ground truth the scenario runs against.
 ///
 /// `kind` selects the family; the remaining fields parameterise it (unused fields are
-/// rejected only when they would be ambiguous — validation happens in [`RegimeSpec::build`]).
+/// rejected only when they would be ambiguous — validation happens in
+/// [`RegimeSpec::build_template`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
 pub struct RegimeSpec {
@@ -261,8 +262,9 @@ pub struct Regime {
     pub name: String,
     /// Provider recipe (ground truth, pricing, provisioning).
     pub template: ProviderTemplate,
-    /// The preemption model driving the scheduling/checkpointing policies.
-    pub model: BathtubModel,
+    /// The preemption model driving the scheduling/checkpointing policies — any
+    /// lifetime family, carried through the model-generic [`LifetimeModel`] surface.
+    pub model: Arc<dyn LifetimeModel>,
 }
 
 impl std::fmt::Debug for Regime {
@@ -435,6 +437,25 @@ impl RegimeSpec {
         }
         let catalog = self.load_catalog()?;
         Ok(self.calibrated_cell_fit(&catalog)?.bathtub_model())
+    }
+
+    /// The cell's goodness-of-fit *winner* as a policy-ready [`LifetimeModel`] —
+    /// closed-form for a bathtub winner, tabulated by quadrature for every other
+    /// family.  `Ok(None)` when this is not a calibrated regime.
+    pub fn calibrated_model(&self) -> Result<Option<Arc<dyn LifetimeModel>>> {
+        if self.kind != "calibrated" {
+            return Ok(None);
+        }
+        let catalog = self.load_catalog()?;
+        let fit = self.calibrated_cell_fit(&catalog)?;
+        let model = fit
+            .model
+            .to_lifetime_model(
+                catalog.horizon_hours,
+                tcp_core::lifetime::DEFAULT_TABLE_POINTS,
+            )
+            .map_err(|e| NumericsError::invalid(format!("regime `{}`: {e}", self.name)))?;
+        Ok(Some(model))
     }
 
     /// Expands a `calibrated` regime without a pinned cell into one pinned regime per

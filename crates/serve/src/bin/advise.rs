@@ -25,8 +25,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 use tcp_advisor::{
-    generate_requests, requests_to_ndjson, serve_session_with_stats, AdvisorHandle, ModelPack,
-    MultiAdvisor, MultiPack, PackBuilder,
+    generate_multi_requests, generate_requests, requests_to_ndjson, serve_session_with_stats,
+    AdvisorHandle, ModelPack, MultiAdvisor, MultiPack, PackBuilder,
 };
 use tcp_calibrate::RegimeCatalog;
 use tcp_scenarios::SweepSpec;
@@ -51,6 +51,9 @@ commands:
       --pack FILE                model pack (required)
       --count N                  number of requests (default 10000)
       --seed S                   generator seed (default 2020)
+      --cells                    spread requests over a multi-pack's cells (each
+                                 request carries the `cell` routing field), so the
+                                 load exercises every cell's winner-family tables
       --out FILE                 output path (default stdout)
 
   serve                        answer an NDJSON request stream from a file
@@ -194,6 +197,7 @@ struct IoArgs {
     requests: usize,
     threads: usize,
     seed: u64,
+    cells: bool,
 }
 
 fn parse_io_args(argv: &[String]) -> Result<IoArgs, String> {
@@ -205,6 +209,7 @@ fn parse_io_args(argv: &[String]) -> Result<IoArgs, String> {
         requests: 100_000,
         threads: 0,
         seed: 2020,
+        cells: false,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -216,6 +221,7 @@ fn parse_io_args(argv: &[String]) -> Result<IoArgs, String> {
             "--requests" => args.requests = parse(next_value(&mut it, arg)?, arg)?,
             "--threads" => args.threads = parse(next_value(&mut it, arg)?, arg)?,
             "--seed" => args.seed = parse(next_value(&mut it, arg)?, arg)?,
+            "--cells" => args.cells = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -236,17 +242,24 @@ fn write_or_print(output: &Option<PathBuf>, text: &str) -> Result<(), String> {
 
 fn cmd_gen(argv: &[String]) -> Result<(), String> {
     let args = parse_io_args(argv)?;
-    // Multi-packs generate against their pooled pack (cell routing is opt-in per
-    // request via the `cell` field).  Only the pack metadata is needed here, so no
+    // Multi-packs generate against their pooled pack by default (cell routing is
+    // opt-in per request via the `cell` field); `--cells` spreads the load over every
+    // routable cell pack instead.  Only pack metadata is needed here, so no
     // interpolation engines are built.
     let path = args.pack.as_ref().ok_or("--pack is required")?;
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let pooled = match MultiPack::from_json(&text) {
-        Ok(multi) => multi.pooled,
-        Err(_) => ModelPack::from_json(&text).map_err(|e| e.to_string())?,
+    let requests = match MultiPack::from_json(&text) {
+        Ok(multi) if args.cells => generate_multi_requests(&multi, args.count, args.seed),
+        Ok(multi) => generate_requests(&multi.pooled, args.count, args.seed),
+        Err(_) if args.cells => {
+            return Err("--cells needs a per-cell multi-pack (advise build --per-cell)".into())
+        }
+        Err(_) => {
+            let pack = ModelPack::from_json(&text).map_err(|e| e.to_string())?;
+            generate_requests(&pack, args.count, args.seed)
+        }
     };
-    let requests = generate_requests(&pooled, args.count, args.seed);
     write_or_print(&args.output, &requests_to_ndjson(&requests))
 }
 

@@ -15,7 +15,7 @@
 //!   health probes, and `!shutdown` drains in-flight requests before exit;
 //! * [`client`] — a minimal loopback client (one connection, concurrent writer/reader)
 //!   used by the `advise connect` CLI, the tests and CI smoke;
-//! * [`bench`] — a loopback throughput benchmark fanning concurrent client threads at
+//! * [`mod@bench`] — a loopback throughput benchmark fanning concurrent client threads at
 //!   a freshly started server, used by `advise serve-bench` to demonstrate scaling
 //!   across worker counts.
 //!

@@ -1,7 +1,8 @@
 //! `trace` — generate and summarise synthetic preemption datasets.
 //!
 //! ```text
-//! trace gen [--out records.csv] [--seed S] [--total N] [--figure1-min M | --per-cell K]
+//! trace gen [--out records.csv] [--seed S] [--total N] [--figure1-min M | --per-cell K
+//!            | --showcase K] [--launch-hours]
 //! trace stats <records.csv> [--by vm-type|zone|time-of-day|workload]
 //! ```
 //!
@@ -27,6 +28,11 @@ commands:
       --total N              total records, paper-style uneven layout (default 870)
       --figure1-min M        minimum records in the Figure 1 cell (default 120)
       --per-cell K           balanced layout instead: K records in every cell
+      --showcase K           family-showcase layout: one cell per ground-truth family
+                             (exponential/weibull/phased/bathtub) with K records each,
+                             plus a 5-record runt cell (empirical fallback)
+      --launch-hours         record a local launch hour per VM (enables
+                             `calibrate fit --tod-hours`)
 
   stats <records.csv>      summarise a dataset
       --by DIM               group by vm-type, zone, time-of-day or workload
@@ -46,6 +52,8 @@ fn cmd_gen(argv: &[String]) -> Result<(), String> {
     let mut total = 870usize;
     let mut figure1_min = 120usize;
     let mut per_cell: Option<usize> = None;
+    let mut showcase: Option<usize> = None;
+    let mut launch_hours = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -54,12 +62,17 @@ fn cmd_gen(argv: &[String]) -> Result<(), String> {
             "--total" => total = parse(next_value(&mut it, arg)?, arg)?,
             "--figure1-min" => figure1_min = parse(next_value(&mut it, arg)?, arg)?,
             "--per-cell" => per_cell = Some(parse(next_value(&mut it, arg)?, arg)?),
+            "--showcase" => showcase = Some(parse(next_value(&mut it, arg)?, arg)?),
+            "--launch-hours" => launch_hours = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    let mut generator = TraceGenerator::new(seed);
-    let records: Vec<PreemptionRecord> = match per_cell {
-        Some(k) => {
+    if per_cell.is_some() && showcase.is_some() {
+        return Err("--per-cell and --showcase are mutually exclusive".to_string());
+    }
+    let mut generator = TraceGenerator::new(seed).with_launch_hours(launch_hours);
+    let records: Vec<PreemptionRecord> = match (per_cell, showcase) {
+        (Some(k), None) => {
             if k == 0 {
                 return Err("--per-cell must be positive".to_string());
             }
@@ -69,7 +82,10 @@ fn cmd_gen(argv: &[String]) -> Result<(), String> {
             }
             records
         }
-        None => generator
+        (None, Some(k)) => generator
+            .generate_family_showcase(k)
+            .map_err(|e| e.to_string())?,
+        _ => generator
             .generate_study(total, figure1_min)
             .map_err(|e| e.to_string())?,
     };

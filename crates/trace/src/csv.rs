@@ -13,18 +13,30 @@ use std::fs;
 use std::path::Path;
 use tcp_numerics::{NumericsError, Result};
 
-/// Header row written and expected by the CSV routines.
+/// Header row written and expected by the CSV routines (datasets without launch hours).
 pub const CSV_HEADER: &str =
     "vm_type,zone,time_of_day,workload,lifetime_hours,preempted_before_deadline";
 
-/// Serialises records to a CSV string (with header).
+/// Header row of datasets carrying a launch-hour column (written whenever any record
+/// has one; the column is blank for records without).
+pub const CSV_HEADER_HOURS: &str =
+    "vm_type,zone,time_of_day,workload,lifetime_hours,preempted_before_deadline,launch_hour";
+
+/// Serialises records to a CSV string (with header).  The launch-hour column appears
+/// only when at least one record carries a launch hour, so hour-free datasets keep the
+/// original six-column layout byte for byte.
 pub fn records_to_csv_string(records: &[PreemptionRecord]) -> String {
+    let with_hours = records.iter().any(|r| r.launch_hour.is_some());
     let mut out = String::with_capacity(64 * (records.len() + 1));
-    out.push_str(CSV_HEADER);
+    out.push_str(if with_hours {
+        CSV_HEADER_HOURS
+    } else {
+        CSV_HEADER
+    });
     out.push('\n');
     for r in records {
         out.push_str(&format!(
-            "{},{},{},{},{:.6},{}\n",
+            "{},{},{},{},{:.6},{}",
             r.vm_type,
             r.zone,
             r.time_of_day,
@@ -32,27 +44,40 @@ pub fn records_to_csv_string(records: &[PreemptionRecord]) -> String {
             r.lifetime_hours,
             r.preempted_before_deadline
         ));
+        if with_hours {
+            out.push(',');
+            if let Some(hour) = r.launch_hour {
+                out.push_str(&hour.to_string());
+            }
+        }
+        out.push('\n');
     }
     out
 }
 
-/// Parses records from CSV text (header required, blank lines ignored).
+/// Parses records from CSV text (header required, blank lines ignored).  Both the
+/// six-column layout and the launch-hour layout are accepted.
 pub fn records_from_csv_str(text: &str) -> Result<Vec<PreemptionRecord>> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
     let header = lines
         .next()
         .ok_or_else(|| NumericsError::invalid("empty CSV input"))?;
-    if header.trim() != CSV_HEADER {
-        return Err(NumericsError::invalid(format!(
-            "unexpected CSV header: {header:?} (expected {CSV_HEADER:?})"
-        )));
-    }
+    let expected_fields = match header.trim() {
+        h if h == CSV_HEADER => 6,
+        h if h == CSV_HEADER_HOURS => 7,
+        _ => {
+            return Err(NumericsError::invalid(format!(
+                "unexpected CSV header: {header:?} (expected {CSV_HEADER:?} or \
+                 {CSV_HEADER_HOURS:?})"
+            )))
+        }
+    };
     let mut records = Vec::new();
     for (line_no, line) in lines.enumerate() {
         let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 6 {
+        if fields.len() != expected_fields {
             return Err(NumericsError::invalid(format!(
-                "line {}: expected 6 fields, found {}",
+                "line {}: expected {expected_fields} fields, found {}",
                 line_no + 2,
                 fields.len()
             )));
@@ -93,6 +118,17 @@ pub fn records_from_csv_str(text: &str) -> Result<Vec<PreemptionRecord>> {
                 format!("inconsistent with lifetime {lifetime}"),
             ));
         }
+        let record = if expected_fields == 7 && !fields[6].trim().is_empty() {
+            let hour: u32 = fields[6]
+                .trim()
+                .parse()
+                .map_err(|e: std::num::ParseIntError| parse_err("launch_hour", e.to_string()))?;
+            record
+                .with_launch_hour(hour)
+                .map_err(|e| parse_err("launch_hour", e))?
+        } else {
+            record
+        };
         records.push(record);
     }
     Ok(records)
@@ -170,6 +206,39 @@ mod tests {
         let loaded = load_records_csv(&path).unwrap();
         assert_eq!(loaded.len(), 40);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn launch_hour_column_round_trips() {
+        let records: Vec<PreemptionRecord> = sample_records()
+            .into_iter()
+            .map(|r| {
+                let hour = match r.time_of_day {
+                    TimeOfDay::Day => 9,
+                    TimeOfDay::Night => 22,
+                };
+                r.with_launch_hour(hour).unwrap()
+            })
+            .collect();
+        let csv = records_to_csv_string(&records);
+        assert!(csv.starts_with(CSV_HEADER_HOURS), "{csv}");
+        let parsed = records_from_csv_str(&csv).unwrap();
+        assert_eq!(parsed.len(), records.len());
+        for (a, b) in parsed.iter().zip(&records) {
+            assert_eq!(a.launch_hour, b.launch_hour);
+        }
+        // Hour-free datasets keep the six-column layout byte for byte.
+        let plain = records_to_csv_string(&sample_records());
+        assert!(plain.starts_with(CSV_HEADER));
+        assert!(!plain.contains("launch_hour"));
+        // Inconsistent hours are rejected on load.
+        let bad =
+            format!("{CSV_HEADER_HOURS}\nn1-highcpu-16,us-east1-b,day,non-idle,3.2,true,23\n");
+        assert!(records_from_csv_str(&bad).is_err());
+        // A blank hour field parses as "no hour".
+        let blank =
+            format!("{CSV_HEADER_HOURS}\nn1-highcpu-16,us-east1-b,day,non-idle,3.2,true,\n");
+        assert_eq!(records_from_csv_str(&blank).unwrap()[0].launch_hour, None);
     }
 
     #[test]

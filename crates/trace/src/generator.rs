@@ -18,6 +18,7 @@ use tcp_numerics::{NumericsError, Result};
 pub struct TraceGenerator {
     catalog: TraceCatalog,
     rng: StdRng,
+    launch_hours: bool,
 }
 
 impl TraceGenerator {
@@ -26,6 +27,7 @@ impl TraceGenerator {
         TraceGenerator {
             catalog: TraceCatalog::new(),
             rng: StdRng::seed_from_u64(seed),
+            launch_hours: false,
         }
     }
 
@@ -34,12 +36,32 @@ impl TraceGenerator {
         TraceGenerator {
             catalog,
             rng: StdRng::seed_from_u64(seed),
+            launch_hours: false,
         }
+    }
+
+    /// Makes generated records carry a local launch hour sampled uniformly inside
+    /// their day/night bucket, enabling launch-hour calibration cells.  Off by default
+    /// so hour-free datasets (and their RNG streams) are byte-identical to earlier
+    /// releases.
+    pub fn with_launch_hours(mut self, enabled: bool) -> Self {
+        self.launch_hours = enabled;
+        self
     }
 
     /// The catalog backing this generator.
     pub fn catalog(&self) -> &TraceCatalog {
         &self.catalog
+    }
+
+    /// A launch hour uniform over the bucket: day is 8 AM – 8 PM, night wraps around
+    /// midnight (8 PM – 8 AM).
+    fn sample_launch_hour(&mut self, time_of_day: TimeOfDay) -> u32 {
+        let offset = self.rng.gen_range(0..12u32);
+        match time_of_day {
+            TimeOfDay::Day => 8 + offset,
+            TimeOfDay::Night => (20 + offset) % 24,
+        }
     }
 
     /// Generates `count` records for a single configuration cell.
@@ -51,16 +73,108 @@ impl TraceGenerator {
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
             let lifetime = truth.sample(&mut self.rng).clamp(0.0, 24.0);
-            out.push(
-                PreemptionRecord::new(
-                    key.vm_type,
-                    key.zone,
-                    key.time_of_day,
-                    key.workload,
+            let mut record = PreemptionRecord::new(
+                key.vm_type,
+                key.zone,
+                key.time_of_day,
+                key.workload,
+                lifetime,
+            )
+            .map_err(NumericsError::invalid)?;
+            if self.launch_hours {
+                let hour = self.sample_launch_hour(key.time_of_day);
+                record = record
+                    .with_launch_hour(hour)
+                    .map_err(NumericsError::invalid)?;
+            }
+            out.push(record);
+        }
+        Ok(out)
+    }
+
+    /// Generates a dataset whose calibration-cell winners deliberately span the model
+    /// families: one cell per ground-truth family (exponential, Weibull, phased,
+    /// bathtub) with `per_cell` records each, plus a five-record runt cell that falls
+    /// back to the empirical model.  Used by the CI smoke that exercises the
+    /// generic-hazard DP on every family.
+    pub fn generate_family_showcase(&mut self, per_cell: usize) -> Result<Vec<PreemptionRecord>> {
+        use tcp_dists::phased::PhasedHazardParams;
+        use tcp_dists::{ConstrainedBathtub, Exponential, PhasedHazard, Weibull};
+        if per_cell < 10 {
+            return Err(NumericsError::invalid(
+                "family showcase needs at least 10 records per cell",
+            ));
+        }
+        // A hazard with a hard drop at 3 h that the smooth bathtub form cannot track —
+        // the phased candidate (which assumes exactly these boundaries) wins its cell
+        // decisively instead of by luck.
+        let sharp_phased = PhasedHazard::new(PhasedHazardParams {
+            early_rate: 0.6,
+            early_end: 3.0,
+            stable_rate: 0.004,
+            deadline_start: 22.0,
+            deadline_base_rate: 0.6,
+            deadline_acceleration: 2.2,
+            horizon: 24.0,
+        })?;
+        let cells: Vec<(
+            VmType,
+            Zone,
+            Box<dyn tcp_dists::LifetimeDistribution>,
+            usize,
+        )> = vec![
+            (
+                VmType::N1HighCpu2,
+                Zone::UsCentral1C,
+                Box::new(Exponential::new(1.0 / 6.0)?),
+                per_cell,
+            ),
+            (
+                VmType::N1HighCpu4,
+                Zone::UsCentral1F,
+                Box::new(Weibull::new(0.08, 1.7)?),
+                per_cell,
+            ),
+            (
+                VmType::N1HighCpu8,
+                Zone::UsWest1A,
+                Box::new(sharp_phased),
+                per_cell,
+            ),
+            (
+                VmType::N1HighCpu16,
+                Zone::UsEast1B,
+                Box::new(ConstrainedBathtub::from_parts(0.45, 1.0, 0.8, 24.0)?),
+                per_cell,
+            ),
+            // Runt cell: too small for parametric fits, keeps the empirical fallback.
+            (
+                VmType::N1HighCpu32,
+                Zone::UsEast1B,
+                Box::new(PhasedHazard::representative()),
+                5,
+            ),
+        ];
+        let mut out = Vec::with_capacity(cells.iter().map(|c| c.3).sum());
+        for (vm_type, zone, truth, count) in cells {
+            for _ in 0..count {
+                let lifetime = truth.sample(&mut self.rng).clamp(0.0, 24.0);
+                let mut record = PreemptionRecord::new(
+                    vm_type,
+                    zone,
+                    TimeOfDay::Day,
+                    WorkloadKind::NonIdle,
                     lifetime,
                 )
-                .map_err(NumericsError::invalid)?,
-            );
+                .map_err(NumericsError::invalid)?;
+                if self.launch_hours {
+                    let hour = self.sample_launch_hour(TimeOfDay::Day);
+                    record = record
+                        .with_launch_hour(hour)
+                        .map_err(NumericsError::invalid)?;
+                }
+                out.push(record);
+            }
         }
         Ok(out)
     }
@@ -213,6 +327,45 @@ mod tests {
                 "{vm_type} missing"
             );
         }
+    }
+
+    #[test]
+    fn launch_hours_are_opt_in_and_consistent() {
+        // Default: no hours, and the RNG stream matches earlier releases exactly.
+        let mut plain = TraceGenerator::new(77);
+        let without = plain.generate_for(ConfigKey::figure1(), 40).unwrap();
+        assert!(without.iter().all(|r| r.launch_hour.is_none()));
+        // Opt-in: every record carries an hour consistent with its day/night bucket.
+        let mut hours = TraceGenerator::new(77).with_launch_hours(true);
+        let with = hours.generate_for(ConfigKey::figure1(), 40).unwrap();
+        for r in &with {
+            let hour = r.launch_hour.expect("hour requested");
+            assert_eq!(crate::TimeOfDay::from_hour(hour), r.time_of_day);
+        }
+        let mut night = TraceGenerator::new(3).with_launch_hours(true);
+        let night_key = ConfigKey {
+            time_of_day: TimeOfDay::Night,
+            ..ConfigKey::figure1()
+        };
+        for r in night.generate_for(night_key, 40).unwrap() {
+            let hour = r.launch_hour.unwrap();
+            assert!(!(8..20).contains(&hour), "night hour {hour}");
+        }
+    }
+
+    #[test]
+    fn family_showcase_layout() {
+        let mut gen = TraceGenerator::new(5);
+        let records = gen.generate_family_showcase(80).unwrap();
+        assert_eq!(records.len(), 4 * 80 + 5);
+        // Four well-sampled cells plus the five-record runt.
+        let count = |vm: VmType| records.iter().filter(|r| r.vm_type == vm).count();
+        assert_eq!(count(VmType::N1HighCpu2), 80);
+        assert_eq!(count(VmType::N1HighCpu32), 5);
+        assert!(records
+            .iter()
+            .all(|r| (0.0..=24.0).contains(&r.lifetime_hours)));
+        assert!(gen.generate_family_showcase(5).is_err());
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! workload (Figures 1 and 2).  That dataset (and the cloud that produced it) is not
 //! available here, so this crate provides the closest synthetic equivalent:
 //!
-//! * [`record`] — the dataset schema ([`PreemptionRecord`](record::PreemptionRecord)) and the
-//!   categorical dimensions of the study ([`VmType`](record::VmType), [`Zone`](record::Zone),
-//!   [`TimeOfDay`](record::TimeOfDay), [`WorkloadKind`](record::WorkloadKind)).
+//! * [`record`] — the dataset schema ([`record::PreemptionRecord`]) and the
+//!   categorical dimensions of the study ([`record::VmType`], [`record::Zone`],
+//!   [`record::TimeOfDay`], [`record::WorkloadKind`]).
 //! * [`catalog`] — the ground-truth preemption processes: a three-phase hazard per
 //!   configuration, scaled according to the paper's Observations 4 and 5 (larger VMs and
 //!   busier hours preempt more; idle VMs and nights preempt less).

@@ -236,6 +236,10 @@ pub struct PreemptionRecord {
     /// `false` when it survived to the deadline and was reclaimed by the maximum-lifetime
     /// constraint itself.
     pub preempted_before_deadline: bool,
+    /// Local hour-of-day at launch (0–23), when the dataset records it.  Must be
+    /// consistent with [`PreemptionRecord::time_of_day`]; enables launch-hour
+    /// calibration cells finer than the day/night split.
+    pub launch_hour: Option<u32>,
 }
 
 impl PreemptionRecord {
@@ -264,7 +268,24 @@ impl PreemptionRecord {
             workload,
             lifetime_hours: lifetime_hours.min(24.0),
             preempted_before_deadline: lifetime_hours < 24.0 - 1e-9,
+            launch_hour: None,
         })
+    }
+
+    /// Attaches the local launch hour (0–23), validating it against the record's
+    /// day/night bucket.
+    pub fn with_launch_hour(mut self, hour: u32) -> Result<Self, String> {
+        if hour >= 24 {
+            return Err(format!("launch hour must lie in 0..24, got {hour}"));
+        }
+        if TimeOfDay::from_hour(hour) != self.time_of_day {
+            return Err(format!(
+                "launch hour {hour} is inconsistent with time of day `{}`",
+                self.time_of_day
+            ));
+        }
+        self.launch_hour = Some(hour);
+        Ok(self)
     }
 }
 

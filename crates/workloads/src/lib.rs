@@ -8,7 +8,7 @@
 //! time-stepped simulations whose full state can be checkpointed and restored — plus the
 //! declarative job profiles (running time, cluster shape) used for the cost experiments.
 //!
-//! * [`job`] — the [`CheckpointableJob`](job::CheckpointableJob) trait: run N steps,
+//! * [`job`] — the [`job::CheckpointableJob`] trait: run N steps,
 //!   serialize state, restore.
 //! * [`md`] — the nanoconfinement molecular-dynamics kernel (velocity-Verlet, Lennard-Jones
 //!   plus confining walls).

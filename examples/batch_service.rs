@@ -27,7 +27,7 @@ fn main() {
                 cluster_size,
                 ..ServiceConfig::paper_cost_experiment(10 + i as u64)
             },
-            model,
+            std::sync::Arc::new(model),
         )
         .expect("service")
         .run_bag(&bag)
@@ -38,7 +38,7 @@ fn main() {
                 cluster_size,
                 ..ServiceConfig::on_demand_comparator(10 + i as u64)
             },
-            model,
+            std::sync::Arc::new(model),
         )
         .expect("service")
         .run_bag(&bag)

@@ -106,7 +106,7 @@ fn figure9_service_cost_advantage_with_fitted_model() {
             cluster_size: 8,
             ..ServiceConfig::paper_cost_experiment(21)
         },
-        model,
+        std::sync::Arc::new(model),
     )
     .unwrap()
     .run_bag(&bag)
@@ -116,7 +116,7 @@ fn figure9_service_cost_advantage_with_fitted_model() {
             cluster_size: 8,
             ..ServiceConfig::on_demand_comparator(21)
         },
-        model,
+        std::sync::Arc::new(model),
     )
     .unwrap()
     .run_bag(&bag)

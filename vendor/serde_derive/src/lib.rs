@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so these derives are implemented
 //! directly on `proc_macro::TokenStream` (no `syn`/`quote`).  They target the
-//! workspace's `serde` stand-in, whose data model is a self-describing [`Value`] tree:
+//! workspace's `serde` stand-in, whose data model is a self-describing `Value` tree:
 //!
 //! * named structs    -> `Value::Map` keyed by field name;
 //! * tuple structs    -> `Value::Seq` in field order;
