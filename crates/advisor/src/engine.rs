@@ -3,21 +3,23 @@
 //! An [`Advisor`] wraps an immutable, `Arc`-shared [`ModelPack`] with per-regime
 //! interpolants rebuilt at load time.  The read path is lock-free: every query touches
 //! only shared immutable tables, so any number of threads can serve concurrently; the
-//! only mutable state is a set of cache-line-padded statistics shards
-//! ([`Advisor::stats`]) that threads scatter across to avoid contention.  Batches fan
-//! out over the workspace's work-stealing driver ([`tcp_cloudsim::run_tasks`]) and are
-//! returned in request order, which makes batch output bit-identical for every thread
-//! count.
+//! only mutable state is a set of sharded [`tcp_obs::Counter`]s (pack-scoped query
+//! stats behind [`Advisor::stats`]) plus global `advisor.latency.*` histograms in the
+//! [`tcp_obs::Registry`], so `!stats` and `!metrics` read the same recording machinery.
+//! Batches fan out over the workspace's work-stealing driver
+//! ([`tcp_cloudsim::run_tasks`]) and are returned in request order, which makes batch
+//! output bit-identical for every thread count.
 
 use crate::error::{require, validate_non_negative, validate_positive, AdvisorError, Result};
 use crate::pack::{ModelPack, PackSchedule, PolicyCard, RegimePack};
 use crate::table::Table2D;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use tcp_cloudsim::run_tasks;
 use tcp_numerics::interp::LinearInterp;
+use tcp_obs::{Counter, Histogram};
 
 /// The kinds of questions the advisor answers.
 ///
@@ -323,8 +325,6 @@ struct CheckpointEngine {
     schedules: Vec<PackSchedule>,
 }
 
-const STAT_SHARDS: usize = 16;
-
 /// The model families tracked by the per-family serving counters; anything new lands
 /// in the trailing `other` bucket until it gets a slot of its own.
 const FAMILIES: [&str; 7] = [
@@ -344,28 +344,45 @@ fn family_index(family: &str) -> usize {
         .unwrap_or(FAMILIES.len() - 1)
 }
 
-/// One cache-line-padded shard of query counters.
-#[repr(align(64))]
-#[derive(Default)]
-struct StatShard {
-    counts: [AtomicU64; 4],
+/// Pack-scoped query counters, one sharded [`Counter`] per request kind and family.
+///
+/// These belong to the [`Advisor`] instance (they reset when a `!reload` swaps the
+/// pack in), while the latency histograms live in the global [`tcp_obs::Registry`]
+/// (process lifetime): the two surfaces share the same sharded recording machinery
+/// from `tcp-obs`, so `!stats` and `!metrics` cannot drift apart.
+struct AdvisorCounters {
+    kinds: [Counter; 4],
     /// Queries answered per served curve family (`served_family` of the regime).
-    served: [AtomicU64; FAMILIES.len()],
+    served: [Counter; FAMILIES.len()],
     /// Queries answered per DP-table family (`dp_family` of the regime).
-    dp: [AtomicU64; FAMILIES.len()],
+    dp: [Counter; FAMILIES.len()],
+}
+
+impl AdvisorCounters {
+    fn new() -> Self {
+        AdvisorCounters {
+            kinds: std::array::from_fn(|_| Counter::new()),
+            served: std::array::from_fn(|_| Counter::new()),
+            dp: std::array::from_fn(|_| Counter::new()),
+        }
+    }
 }
 
 /// Aggregated serving statistics.
+///
+/// Field order is alphabetical on purpose: derived serialization emits fields in
+/// declaration order, and the `!stats` wire contract promises deterministically
+/// sorted JSON keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AdvisorStats {
-    /// `should-reuse` queries answered.
-    pub should_reuse: u64,
+    /// `best-policy` queries answered.
+    pub best_policy: u64,
     /// `checkpoint-plan` queries answered.
     pub checkpoint_plan: u64,
     /// `expected-cost-makespan` queries answered.
     pub expected_cost_makespan: u64,
-    /// `best-policy` queries answered.
-    pub best_policy: u64,
+    /// `should-reuse` queries answered.
+    pub should_reuse: u64,
 }
 
 impl AdvisorStats {
@@ -382,10 +399,11 @@ impl AdvisorStats {
 /// models a pack is really serving.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct FamilyStats {
+    /// Queries per DP-table family.  (Fields are declared alphabetically so derived
+    /// serialization emits sorted keys, matching the `!stats` contract.)
+    pub dp: BTreeMap<String, u64>,
     /// Queries per served curve family.
     pub served: BTreeMap<String, u64>,
-    /// Queries per DP-table family.
-    pub dp: BTreeMap<String, u64>,
 }
 
 impl FamilyStats {
@@ -407,7 +425,10 @@ pub struct Advisor {
     /// Per-regime `(served_family, dp_family)` counter slots, resolved at load time so
     /// the nanosecond record path indexes fixed arrays instead of hashing strings.
     families: Vec<(usize, usize)>,
-    stats: Box<[StatShard; STAT_SHARDS]>,
+    counters: AdvisorCounters,
+    /// Global per-kind latency histograms (`advisor.latency.*`), resolved from the
+    /// registry once at load time.
+    latency: [&'static Histogram; 4],
 }
 
 impl Advisor {
@@ -428,7 +449,13 @@ impl Advisor {
             pack: Arc::new(pack),
             engines,
             families,
-            stats: Box::new(std::array::from_fn(|_| StatShard::default())),
+            counters: AdvisorCounters::new(),
+            latency: [
+                tcp_obs::histogram("advisor.latency.should_reuse"),
+                tcp_obs::histogram("advisor.latency.checkpoint_plan"),
+                tcp_obs::histogram("advisor.latency.expected_cost_makespan"),
+                tcp_obs::histogram("advisor.latency.best_policy"),
+            ],
         })
     }
 
@@ -444,17 +471,12 @@ impl Advisor {
 
     /// Aggregated query counters across all statistics shards.
     pub fn stats(&self) -> AdvisorStats {
-        let sum = |k: usize| -> u64 {
-            self.stats
-                .iter()
-                .map(|s| s.counts[k].load(Ordering::Relaxed))
-                .sum()
-        };
         AdvisorStats {
-            should_reuse: sum(0),
-            checkpoint_plan: sum(1),
-            expected_cost_makespan: sum(2),
-            best_policy: sum(3),
+            best_policy: self.counters.kinds[RequestKind::BestPolicy.index()].get(),
+            checkpoint_plan: self.counters.kinds[RequestKind::CheckpointPlan.index()].get(),
+            expected_cost_makespan: self.counters.kinds[RequestKind::ExpectedCostMakespan.index()]
+                .get(),
+            should_reuse: self.counters.kinds[RequestKind::ShouldReuse.index()].get(),
         }
     }
 
@@ -462,16 +484,8 @@ impl Advisor {
     pub fn family_stats(&self) -> FamilyStats {
         let mut out = FamilyStats::default();
         for (i, family) in FAMILIES.iter().enumerate() {
-            let served: u64 = self
-                .stats
-                .iter()
-                .map(|s| s.served[i].load(Ordering::Relaxed))
-                .sum();
-            let dp: u64 = self
-                .stats
-                .iter()
-                .map(|s| s.dp[i].load(Ordering::Relaxed))
-                .sum();
+            let served = self.counters.served[i].get();
+            let dp = self.counters.dp[i].get();
             if served > 0 {
                 out.served.insert(family.to_string(), served);
             }
@@ -482,23 +496,17 @@ impl Advisor {
         out
     }
 
-    fn record(&self, kind: RequestKind, regime_index: usize) {
-        // The shard index is a pure function of the serving thread; hash the ThreadId
-        // once per thread, not once per query — record() sits on the nanosecond path.
-        thread_local! {
-            static SHARD: usize = {
-                use std::hash::{Hash, Hasher};
-                let mut hasher = std::collections::hash_map::DefaultHasher::new();
-                std::thread::current().id().hash(&mut hasher);
-                (hasher.finish() as usize) % STAT_SHARDS
-            };
-        }
-        let shard = SHARD.with(|s| *s);
-        let shard = &self.stats[shard];
-        shard.counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+    fn record(&self, kind: RequestKind, regime_index: usize, started: Instant) {
+        // Counters scatter across cache-line-padded shards inside `tcp_obs::Counter`
+        // (the shard is a pure per-thread function) — record() sits on the nanosecond
+        // path and must never contend.
+        self.counters.kinds[kind.index()].incr();
         let (served, dp) = self.families[regime_index];
-        shard.served[served].fetch_add(1, Ordering::Relaxed);
-        shard.dp[dp].fetch_add(1, Ordering::Relaxed);
+        self.counters.served[served].incr();
+        self.counters.dp[dp].incr();
+        // Latency lands in the global registry, subject to the process-wide
+        // `tcp_obs::set_enabled` gate.
+        self.latency[kind.index()].record_duration(started.elapsed());
     }
 
     fn resolve_regime(&self, requested: Option<&str>) -> Result<usize> {
@@ -518,6 +526,7 @@ impl Advisor {
 
     /// Answers one request.
     pub fn advise(&self, request: &AdviceRequest) -> Result<AdviceResponse> {
+        let started = Instant::now();
         let index = self.resolve_regime(request.regime.as_deref())?;
         let regime = &self.pack.regimes[index];
         let engine = &self.engines[index];
@@ -527,10 +536,10 @@ impl Advisor {
             RequestKind::ExpectedCostMakespan => Self::cost_makespan(regime, engine, request),
             RequestKind::BestPolicy => Ok(Self::best_policy(regime, request)),
         }?;
-        // Count only successfully answered queries, after validation: every error class
-        // (parse, unknown regime, invalid input) is excluded uniformly, so the serving
-        // counters mean one thing.
-        self.record(request.kind, index);
+        // Count (and time) only successfully answered queries, after validation: every
+        // error class (parse, unknown regime, invalid input) is excluded uniformly, so
+        // the serving counters and latency histograms mean one thing.
+        self.record(request.kind, index, started);
         Ok(response)
     }
 

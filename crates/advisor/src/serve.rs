@@ -11,7 +11,9 @@
 //! answered by the old pack, lines after it by the new one, and any batch already
 //! holding a snapshot keeps answering from it unaffected.  The control line itself
 //! produces one `{"control": "reload", ...}` (or `{"error": ...}`) line in place.
-//! `!stats` emits the sharded query counters as a one-line JSON health report.
+//! `!stats` emits the sharded query counters as a one-line JSON health report with
+//! deterministically sorted keys, and `!metrics` dumps the process-global
+//! [`tcp_obs::Registry`] (latency histograms included) as one line of sorted-key JSON.
 //!
 //! The line-level state machine lives in [`Session`], which is front-end agnostic: the
 //! file/stdin path below feeds it a whole document at once, while the TCP server in
@@ -48,34 +50,38 @@ pub struct ControlLine {
     pub cells: usize,
 }
 
-/// The health line emitted for a `!stats` control line: the cache-line-padded sharded
-/// query counters, aggregated and rendered as JSON.
+/// The health line emitted for a `!stats` control line: the sharded query counters,
+/// aggregated and rendered as JSON.
+///
+/// Fields are declared in alphabetical order on purpose: derived serialization emits
+/// fields in declaration order (and nested maps are `BTreeMap`s), so the `!stats`
+/// line's JSON keys are deterministically sorted at every nesting level.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsLine {
-    /// The control verb (`stats`).
-    pub control: String,
-    /// Name of the pack (set) currently being served.
-    pub pack: String,
     /// Number of routable cell packs currently loaded.
     pub cells: usize,
+    /// The control verb (`stats`).
+    pub control: String,
+    /// Counters of the pack currently being served — under TCP, the server-wide
+    /// figure since the reload (every connection shares the pack).
+    pub current: AdvisorStats,
+    /// Queries per *DP table* family (`dp_family` of the answering regime), same
+    /// scope as `served_families`; equals it for packs built at format v3, and pins
+    /// `bathtub` for upgraded v2 packs.
+    pub dp_families: std::collections::BTreeMap<String, u64>,
+    /// Name of the pack (set) currently being served.
+    pub pack: String,
     /// Counters summed over every pack this session has served from — the figure that
     /// survives a `!reload` (which swaps the live counters).  Pack counters are shared
     /// by every session serving the same packs, so under a multi-connection server
     /// this equals the session's own counts only for the sole connection; otherwise it
     /// covers all traffic on the packs this session touched.
     pub served: AdvisorStats,
-    /// Counters of the pack currently being served — under TCP, the server-wide
-    /// figure since the reload (every connection shares the pack).
-    pub current: AdvisorStats,
     /// Queries per *served curve* family (`served_family` of the answering regime)
     /// for the pack currently being served — like `current`, the server-wide figure
     /// since the last reload, so a fresh health-probe connection sees real traffic.
     /// This is the histogram that shows which models a pack is actually serving.
     pub served_families: std::collections::BTreeMap<String, u64>,
-    /// Queries per *DP table* family (`dp_family` of the answering regime), same
-    /// scope as `served_families`; equals it for packs built at format v3, and pins
-    /// `bathtub` for upgraded v2 packs.
-    pub dp_families: std::collections::BTreeMap<String, u64>,
 }
 
 /// Answers one NDJSON request line, returning the response (or error) line without a
@@ -113,7 +119,8 @@ pub fn serve_ndjson(advisor: &MultiAdvisor, input: &str, threads: usize) -> Stri
 /// A session wraps an [`AdvisorHandle`] and answers any mix of request lines and `!`
 /// control lines, preserving input order.  Request runs are answered in parallel over
 /// `threads` workers (`0` = all CPUs) by a snapshot of the current advisor; `!reload`
-/// swaps the pack between runs; `!stats` reports the sharded counters.  The output for
+/// swaps the pack between runs; `!stats` reports the sharded counters; `!metrics`
+/// dumps the process-global metric registry.  The output for
 /// a given line sequence does not depend on how the lines are sliced across
 /// [`Session::process`] calls, which is what makes the file front end
 /// ([`serve_session`]) and the TCP front end (`tcp-serve`) byte-identical.
@@ -195,13 +202,21 @@ impl<'a> Session<'a> {
                     .handle
                     .reload_from_path(std::path::Path::new(path.trim()))
                 {
-                    Ok(advisor) => serde_json::to_string(&ControlLine {
-                        control: "reload".to_string(),
-                        pack: advisor.name().to_string(),
-                        cells: advisor.cell_names().len(),
-                    })
-                    .expect("control lines serialize"),
-                    Err(e) => emit_error(format!("reload failed (previous pack kept): {e}")),
+                    Ok(advisor) => {
+                        // Reloads are rare enough that the registry lookup (a short
+                        // mutex) is fine here, unlike the per-query hot path.
+                        tcp_obs::counter("advisor.reload.success").incr();
+                        serde_json::to_string(&ControlLine {
+                            control: "reload".to_string(),
+                            pack: advisor.name().to_string(),
+                            cells: advisor.cell_names().len(),
+                        })
+                        .expect("control lines serialize")
+                    }
+                    Err(e) => {
+                        tcp_obs::counter("advisor.reload.failed").incr();
+                        emit_error(format!("reload failed (previous pack kept): {e}"))
+                    }
                 }
             }
             None if control == "stats" => {
@@ -211,20 +226,35 @@ impl<'a> Session<'a> {
                 // has answered nothing itself still reports real traffic.
                 let families = advisor.family_stats();
                 serde_json::to_string(&StatsLine {
-                    control: "stats".to_string(),
-                    pack: advisor.name().to_string(),
                     cells: advisor.cell_names().len(),
-                    served: self.stats(),
+                    control: "stats".to_string(),
                     current: advisor.stats(),
-                    served_families: families.served,
                     dp_families: families.dp,
+                    pack: advisor.name().to_string(),
+                    served: self.stats(),
+                    served_families: families.served,
                 })
                 .expect("stats lines serialize")
             }
+            None if control == "metrics" => Self::metrics_line(),
             _ => emit_error(format!(
-                "unknown control line `!{control}` (expected `!reload <path>` or `!stats`)"
+                "unknown control line `!{control}` (expected `!reload <path>`, `!stats`, or `!metrics`)"
             )),
         }
+    }
+
+    /// The one-line JSON answer to a `!metrics` control line: the process-global
+    /// [`tcp_obs::Registry`] snapshot (counters, gauges, and latency histograms with
+    /// pre-computed p50/p90/p99/max) nested under a `"metrics"` key.  Keys are
+    /// deterministically sorted at both levels (`"control"` < `"metrics"`, and the
+    /// registry snapshot iterates a `BTreeMap`).  Unlike `!stats`, the scope is the
+    /// whole process across reloads — the two surfaces share the same `tcp-obs`
+    /// recording machinery, so their counts agree where their scopes overlap.
+    pub fn metrics_line() -> String {
+        format!(
+            "{{\"control\":\"metrics\",\"metrics\":{}}}",
+            tcp_obs::Registry::global().snapshot().to_json_line()
+        )
     }
 
     /// Query counters aggregated across *every* advisor that served part of this
@@ -559,6 +589,73 @@ dp_step_minutes = 30.0
         // and bathtub DP tables, so all three queries land there.
         assert_eq!(second.served_families.get("bathtub"), Some(&3));
         assert_eq!(second.dp_families.get("bathtub"), Some(&3));
+    }
+
+    #[test]
+    fn metrics_control_line_reports_the_global_registry() {
+        let handle = AdvisorHandle::new(advisor());
+        let query = r#"{"kind": "best-policy", "regime": "gcp-day"}"#;
+        let input = format!("{query}\n!metrics\n");
+        let out = serve_session(&handle, &input, 1);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // The metrics line is valid one-line JSON with the control/metrics envelope.
+        let value = serde_json::parse_value(lines[1]).unwrap();
+        assert_eq!(
+            value.get("control").and_then(|v| v.as_str()),
+            Some("metrics")
+        );
+        let metrics = value.get("metrics").expect("metrics object");
+        // The advisor registered its latency histograms at load time; the query above
+        // recorded into best_policy (count >= 1 — the registry is process-global, so
+        // other tests in this binary may have recorded too).
+        let best = metrics
+            .get("advisor.latency.best_policy")
+            .expect("latency family present");
+        assert!(best.get("count").and_then(|v| v.as_u64()).unwrap() >= 1);
+        for key in ["p50", "p90", "p99", "max", "mean", "sum"] {
+            assert!(best.get(key).is_some(), "missing {key}");
+        }
+        // Top-level metric keys are sorted.
+        let keys: Vec<&str> = metrics
+            .as_map()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn stats_line_keys_are_sorted() {
+        let handle = AdvisorHandle::new(advisor());
+        let out = serve_session(&handle, "!stats\n", 1);
+        let line = out.lines().next().unwrap();
+        let value = serde_json::parse_value(line).unwrap();
+        let keys: Vec<&str> = value
+            .as_map()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "top-level !stats keys must be sorted");
+        for stats_key in ["current", "served"] {
+            let nested: Vec<&str> = value
+                .get(stats_key)
+                .unwrap()
+                .as_map()
+                .unwrap()
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect();
+            let mut nested_sorted = nested.clone();
+            nested_sorted.sort_unstable();
+            assert_eq!(nested, nested_sorted, "{stats_key} keys must be sorted");
+        }
     }
 
     #[test]

@@ -72,6 +72,13 @@ pub struct CellDrift {
 /// pooled entry first, then the shared cells in the first catalog's order.  Cells
 /// present in only one catalog are not drift-testable and are skipped (the `compare`
 /// CLI reports them separately).
+///
+/// Every run also publishes to the process-global [`tcp_obs`] registry so a scraping
+/// loop around `calibrate compare` can alert on live drift: the
+/// `calibrate.drift.cells_flagged` counter advances by the number of drifted cells
+/// (registered at zero even when nothing drifts), and each tested cell's statistic
+/// lands in a `calibrate.drift.ks.<cell>` gauge.  Cell names are bounded by the
+/// catalogs' own cell sets, so the gauge family cannot grow without bound.
 pub fn drift_report(
     a: &RegimeCatalog,
     b: &RegimeCatalog,
@@ -96,6 +103,11 @@ pub fn drift_report(
             threshold,
             drifted: ks > threshold,
         });
+    }
+    let flagged = report.iter().filter(|cell| cell.drifted).count() as u64;
+    tcp_obs::counter("calibrate.drift.cells_flagged").add(flagged);
+    for cell in &report {
+        tcp_obs::gauge(&format!("calibrate.drift.ks.{}", cell.cell)).set(cell.ks_statistic);
     }
     Ok(report)
 }
@@ -178,6 +190,34 @@ mod tests {
         };
         let report = drift_report(&a, &b, &loose).unwrap();
         assert!(report.iter().all(|c| !c.drifted));
+    }
+
+    #[test]
+    fn drift_metrics_land_in_the_global_registry() {
+        let a = catalog("a", &study(5));
+        let b = catalog("b", &study(6));
+        let counter = tcp_obs::counter("calibrate.drift.cells_flagged");
+        let before = counter.get();
+        // A near-zero fixed threshold flags every shared cell, so this run's
+        // contribution to the (globally cumulative) counter is exactly `drifted`.
+        let tight = DriftOptions {
+            alpha: 0.05,
+            fixed_threshold: Some(1e-6),
+        };
+        let report = drift_report(&a, &b, &tight).unwrap();
+        let drifted = report.iter().filter(|c| c.drifted).count() as u64;
+        assert!(drifted > 0);
+        assert!(
+            counter.get() >= before + drifted,
+            "cells_flagged must advance by at least this run's {drifted} flags"
+        );
+        // Every tested cell exports its statistic as a gauge.  Other tests may run
+        // drift_report concurrently on the same cell names, so assert the invariant
+        // (a valid K-S value) rather than this run's exact value.
+        for cell in &report {
+            let value = tcp_obs::gauge(&format!("calibrate.drift.ks.{}", cell.cell)).get();
+            assert!((0.0..=1.0).contains(&value), "{}: {value}", cell.cell);
+        }
     }
 
     #[test]

@@ -316,7 +316,10 @@ fn fit_phased(lifetimes: &[f64], horizon: f64) -> Result<(Vec<f64>, PhasedHazard
 /// Fits every candidate family to one cell's lifetimes and selects the winner.
 ///
 /// Deterministic: no randomness anywhere in the fitting path, so the same lifetimes and
-/// options always produce the identical outcome.
+/// options always produce the identical outcome.  Each call increments the winning
+/// family's `calibrate.fit.winner.*` registry counter and times the selection step into
+/// the `calibrate.stage.winner_selection` histogram — out-of-band bookkeeping that
+/// never affects the outcome.
 pub fn fit_cell(lifetimes: &[f64], options: &FitOptions) -> Result<FitOutcome> {
     options.validate()?;
     if lifetimes.is_empty() {
@@ -395,6 +398,7 @@ pub fn fit_cell(lifetimes: &[f64], options: &FitOptions) -> Result<FitOutcome> {
         params: Vec::new(),
         lifetimes,
     };
+    let _selection_span = tcp_obs::time!("calibrate.stage.winner_selection");
     let (model, selection) = match candidates.first() {
         None => (
             empirical_model(sorted),
@@ -429,11 +433,26 @@ pub fn fit_cell(lifetimes: &[f64], options: &FitOptions) -> Result<FitOutcome> {
             format!("{} wins on K-S {:.4}", best.family, best.ks_statistic),
         ),
     };
+    tcp_obs::counter(winner_counter(&model.family)).incr();
     Ok(FitOutcome {
         candidates,
         model,
         selection,
     })
+}
+
+/// The registry counter tracking how often `family` wins a cell.  Static names keep the
+/// per-cell hot path free of allocation; an unknown family (impossible today) folds
+/// into `other` rather than minting unbounded metric names.
+fn winner_counter(family: &str) -> &'static str {
+    match family {
+        "bathtub" => "calibrate.fit.winner.bathtub",
+        "weibull" => "calibrate.fit.winner.weibull",
+        "exponential" => "calibrate.fit.winner.exponential",
+        "phased" => "calibrate.fit.winner.phased",
+        "empirical" => "calibrate.fit.winner.empirical",
+        _ => "calibrate.fit.winner.other",
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,11 @@
 //! the cells in canonical (sorted) order, results are collected in task order, and the
 //! fitting itself is randomness-free — so the emitted catalog is byte-identical for
 //! every thread count.
+//!
+//! Both stages are timed into the process-global [`tcp_obs`] registry
+//! (`calibrate.stage.bucketing`, `calibrate.stage.fitting`; winner selection is timed
+//! per cell inside [`fit_cell`]).  Instrumentation is strictly out-of-band: the catalog
+//! bytes never depend on whether metrics are enabled.
 
 use crate::catalog::{CellFit, RegimeCatalog, CATALOG_FORMAT_VERSION, POOLED_CELL};
 use crate::cell::CellKey;
@@ -169,11 +174,13 @@ impl Calibrator {
         // Task 0 fits the pooled distribution; tasks 1.. fit the cells in sorted order.
         // Collection is in task order, and fitting is deterministic, so the catalog
         // bytes do not depend on the thread count.
-        let outcomes: Vec<Result<FitOutcome>> =
+        let outcomes: Vec<Result<FitOutcome>> = {
+            let _fitting = tcp_obs::time!("calibrate.stage.fitting");
             run_tasks(keys.len() + 1, threads, |task| match task {
                 0 => fit_cell(&pooled, &self.options),
                 i => fit_cell(partition.lifetimes(&keys[i - 1]), &self.options),
-            });
+            })
+        };
         let mut outcomes = outcomes.into_iter();
         let pooled_outcome = outcomes
             .next()
@@ -222,7 +229,10 @@ impl Calibrator {
         source: &str,
         threads: usize,
     ) -> Result<RegimeCatalog> {
-        let partition = CellPartition::from_records_with(records, self.options.tod_hours)?;
+        let partition = {
+            let _bucketing = tcp_obs::time!("calibrate.stage.bucketing");
+            CellPartition::from_records_with(records, self.options.tod_hours)?
+        };
         self.calibrate_partition(&partition, source, threads)
     }
 
@@ -342,6 +352,35 @@ mod tests {
         let four = calibrator.calibrate(&records, "s", 4).unwrap();
         assert_eq!(one, four);
         assert_eq!(one.to_json().unwrap(), four.to_json().unwrap());
+    }
+
+    #[test]
+    fn calibration_times_stages_and_counts_winners_in_the_registry() {
+        fn stage_count(name: &str) -> u64 {
+            tcp_obs::Registry::global()
+                .histogram_snapshot(name)
+                .map(|s| s.count)
+                .unwrap_or(0)
+        }
+        fn winner_total() -> u64 {
+            ["bathtub", "weibull", "exponential", "phased", "empirical"]
+                .iter()
+                .map(|f| tcp_obs::counter(&format!("calibrate.fit.winner.{f}")).get())
+                .sum()
+        }
+        let records = study(500, 8);
+        let bucketing = stage_count("calibrate.stage.bucketing");
+        let fitting = stage_count("calibrate.stage.fitting");
+        let selection = stage_count("calibrate.stage.winner_selection");
+        let winners = winner_total();
+        let catalog = Calibrator::new("obs").calibrate(&records, "s", 0).unwrap();
+        // Registry state is process-global and other tests calibrate concurrently, so
+        // assert this run's minimum contribution, not exact totals.
+        let fits = catalog.cells.len() as u64 + 1;
+        assert!(stage_count("calibrate.stage.bucketing") > bucketing);
+        assert!(stage_count("calibrate.stage.fitting") > fitting);
+        assert!(stage_count("calibrate.stage.winner_selection") >= selection + fits);
+        assert!(winner_total() >= winners + fits);
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! Shared sharding helpers: cache-line padding and thread-to-shard hashing.
+
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::AtomicU64;
+
+/// Number of recording shards per metric.  Eight shards cover typical worker-pool
+/// sizes; beyond that, the hash spreads threads evenly enough that residual
+/// contention is a relaxed `fetch_add` on a shared line, not a lock.
+pub const SHARDS: usize = 8;
+
+/// A `u64` atomic padded to its own cache line, so adjacent shards of a sharded
+/// counter never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+pub struct PaddedU64(pub AtomicU64);
+
+impl PaddedU64 {
+    /// A zeroed padded atomic.
+    pub const fn new() -> Self {
+        PaddedU64(AtomicU64::new(0))
+    }
+}
+
+thread_local! {
+    static SHARD: usize = {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut hasher);
+        (hasher.finish() as usize) % SHARDS
+    };
+}
+
+/// The calling thread's stable shard index in `[0, SHARDS)`.
+#[inline]
+pub fn thread_shard() -> usize {
+    SHARD.with(|s| *s)
+}

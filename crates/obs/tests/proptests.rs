@@ -1,0 +1,107 @@
+//! Property-based tests for the observability core: histogram quantile accuracy
+//! against exact sorted-sample quantiles, and concurrent-recording consistency.
+
+use proptest::prelude::*;
+use tcp_obs::{Counter, Histogram};
+
+/// Nearest-rank exact quantile of a sorted sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Bucket-midpoint quantile estimates stay within the 1/16 relative error bound
+    // implied by ≤ 1/8-wide buckets, across seven orders of magnitude.
+    #[test]
+    fn quantiles_match_exact_within_bound(
+        values in proptest::collection::vec(1u64..10_000_000, 1..400),
+        q in 0.0f64..1.0,
+    ) {
+        let mut values = values.clone();
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.max, *values.last().unwrap());
+        let exact = exact_quantile(&values, q) as f64;
+        let estimate = snap.quantile(q);
+        let rel = (estimate - exact).abs() / exact;
+        prop_assert!(rel <= 1.0 / 16.0 + 1e-12, "q={} estimate={} exact={} rel={}", q, estimate, exact, rel);
+    }
+
+    // Values below 16 are recovered exactly, whatever the mix.
+    #[test]
+    fn small_values_round_trip_exactly(values in proptest::collection::vec(0u64..16, 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.1, 0.5, 0.9] {
+            prop_assert_eq!(snap.quantile(q) as u64, exact_quantile(&sorted, q));
+        }
+    }
+
+    // Merging per-thread snapshots equals recording everything into one histogram,
+    // and the sharded totals lose nothing under concurrency.
+    #[test]
+    fn concurrent_shards_sum_to_total(
+        per_thread in proptest::collection::vec(1u64..1_000_000, 1..50),
+        threads in 2usize..6,
+    ) {
+        let h = Histogram::new();
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let h = &h;
+                let c = &c;
+                let per_thread = &per_thread;
+                scope.spawn(move || {
+                    for &v in per_thread {
+                        h.record(v);
+                        c.incr();
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        let n = (threads * per_thread.len()) as u64;
+        prop_assert_eq!(snap.count, n);
+        prop_assert_eq!(c.get(), n);
+        prop_assert_eq!(snap.sum, per_thread.iter().sum::<u64>() * threads as u64);
+        prop_assert_eq!(snap.max, *per_thread.iter().max().unwrap());
+    }
+
+    // delta_since(earlier) recovers exactly the samples recorded in between.
+    #[test]
+    fn delta_recovers_interval_samples(
+        before in proptest::collection::vec(1u64..1_000_000, 0..100),
+        after in proptest::collection::vec(1u64..1_000_000, 1..100),
+    ) {
+        let h = Histogram::new();
+        for &v in &before {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for &v in &after {
+            h.record(v);
+        }
+        let delta = h.snapshot().delta_since(&earlier);
+        prop_assert_eq!(delta.count, after.len() as u64);
+        prop_assert_eq!(delta.sum, after.iter().sum::<u64>());
+        let mut sorted = after.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, 0.5) as f64;
+        let rel = (delta.quantile(0.5) - exact).abs() / exact;
+        prop_assert!(rel <= 1.0 / 16.0 + 1e-12);
+    }
+}

@@ -1,7 +1,8 @@
 //! `sweep` — run a declarative scenario sweep from the command line.
 //!
 //! ```text
-//! sweep <spec.toml|spec.json> [--threads N] [--out-dir DIR] [--shard I/N] [--dry-run] [--quiet]
+//! sweep <spec.toml|spec.json> [--threads N] [--out-dir DIR] [--shard I/N] [--dry-run]
+//!       [--quiet] [--heartbeat SECS]
 //! sweep merge <shard.json>... [--out-dir DIR] [--quiet]
 //! ```
 //!
@@ -12,9 +13,17 @@
 //! With `--shard I/N` only the scenarios with `id % N == I` run, and the report is
 //! written as `<name>.shard-I-of-N.json`; `sweep merge` reassembles shard reports into
 //! the exact bytes the unsharded run would have produced.
+//!
+//! `--heartbeat SECS` prints live progress to stderr while the sweep runs — trials
+//! completed out of scheduled plus the median trial wall time, read from the runner's
+//! `sweep.trials.*` registry counters.  Heartbeats go to stderr only; stdout and the
+//! report files are byte-identical with or without the flag.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tcp_scenarios::{expand, run_sweep_on_grid, run_sweep_shard, SweepReport, SweepSpec};
 
 const USAGE: &str = "usage: sweep <spec.toml|spec.json> [options]
@@ -26,6 +35,7 @@ options:
   --shard I/N    run only scenarios with id % N == I (merge shards with `sweep merge`)
   --dry-run      expand and list the scenario grid without running it
   --quiet        suppress the per-regime summary tables
+  --heartbeat S  print trial progress to stderr every S seconds while running
   --help         show this message";
 
 struct Args {
@@ -35,6 +45,58 @@ struct Args {
     shard: Option<(usize, usize)>,
     dry_run: bool,
     quiet: bool,
+    heartbeat: Option<f64>,
+}
+
+/// Prints live sweep progress to stderr until dropped: trials completed out of this
+/// run's scheduled total, plus the median trial wall time, read from the global
+/// metrics registry the runner publishes into.
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn start(interval: f64, total: u64) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let completed = tcp_obs::counter("sweep.trials.completed");
+            let base = completed.get();
+            loop {
+                // Sleep in short slices so drop() never blocks a full interval.
+                let deadline = Instant::now() + Duration::from_secs_f64(interval);
+                while Instant::now() < deadline {
+                    if flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                let done = completed.get().saturating_sub(base);
+                let p50_ms = tcp_obs::Registry::global()
+                    .histogram_snapshot("sweep.trial.latency")
+                    .map(|s| s.quantile(0.5) / 1e6)
+                    .unwrap_or(0.0);
+                eprintln!(
+                    "heartbeat: {done}/{total} trials ({:.1}%), p50 trial {p50_ms:.1} ms",
+                    100.0 * done as f64 / total.max(1) as f64
+                );
+            }
+        });
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 struct MergeArgs {
@@ -61,6 +123,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut shard = None;
     let mut dry_run = false;
     let mut quiet = false;
+    let mut heartbeat = None;
 
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -80,6 +143,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--dry-run" => dry_run = true,
             "--quiet" => quiet = true,
+            "--heartbeat" => {
+                let v = it.next().ok_or("--heartbeat needs a value (seconds)")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --heartbeat value `{v}`"))?;
+                if secs <= 0.0 || !secs.is_finite() {
+                    return Err(format!("--heartbeat must be positive, got `{v}`"));
+                }
+                heartbeat = Some(secs);
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n\n{USAGE}"))
             }
@@ -99,6 +172,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         shard,
         dry_run,
         quiet,
+        heartbeat,
     })
 }
 
@@ -166,6 +240,14 @@ fn run(args: &Args) -> Result<(), String> {
     }
 
     if let Some((index, count)) = args.shard {
+        let shard_scenarios = grid
+            .scenarios
+            .iter()
+            .filter(|s| s.meta.id % count == index)
+            .count();
+        let _heartbeat = args
+            .heartbeat
+            .map(|secs| Heartbeat::start(secs, (shard_scenarios * spec.trials()) as u64));
         let report =
             run_sweep_shard(&spec, &grid, index, count, args.threads).map_err(|e| e.to_string())?;
         println!(
@@ -184,7 +266,11 @@ fn run(args: &Args) -> Result<(), String> {
         return Ok(());
     }
 
+    let heartbeat = args
+        .heartbeat
+        .map(|secs| Heartbeat::start(secs, (grid.len() * spec.trials()) as u64));
     let report = run_sweep_on_grid(&spec, &grid, args.threads).map_err(|e| e.to_string())?;
+    drop(heartbeat);
     write_reports(&report, &args.out_dir, args.quiet)
 }
 

@@ -16,14 +16,17 @@
 //! request stream from a file with byte-identical output for every `--threads` value;
 //! `listen` serves the same protocol over TCP through a fixed worker pool with a
 //! bounded in-flight budget (overloads get typed 503-style lines, `!reload <path>`
-//! hot-swaps packs, `!stats` answers health probes, `!shutdown` drains and exits);
+//! hot-swaps packs, `!stats` / `!metrics` answer health probes, `!shutdown` drains
+//! and exits, and `--metrics-file` writes a periodic Prometheus text exposition);
 //! `connect` is the matching one-connection client; `gen` emits a deterministic load;
 //! `bench` measures the in-process serving path and `serve-bench` the loopback TCP
-//! path across worker counts.
+//! path across worker counts with registry-backed latency percentiles.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tcp_advisor::{
     generate_multi_requests, generate_requests, requests_to_ndjson, serve_session_with_stats,
     AdvisorHandle, ModelPack, MultiAdvisor, MultiPack, PackBuilder,
@@ -72,6 +75,11 @@ commands:
       --batch-threads T          threads per request batch (default 1)
       --max-pending P            most connections waiting for a worker (default 1024)
       --port-file FILE           write the bound address here once listening
+      --metrics-file FILE        write a Prometheus text exposition here periodically
+                                 (atomically, via rename; final write after drain)
+      --metrics-interval S       seconds between exposition writes (default 5)
+      --no-metrics               disable latency recording (histograms/span timers;
+                                 counters keep serving `!stats`)
 
   connect                      send request/control lines over one TCP connection
       --addr HOST:PORT           server address (required)
@@ -79,7 +87,9 @@ commands:
       --send LINE                extra line to send after --input (repeatable)
       --output FILE              response output path (default stdout)
 
-  serve-bench                  loopback TCP throughput across worker counts
+  serve-bench                  loopback TCP throughput across worker counts, with
+                               per-run p50/p90/p99 latency from the advisor's
+                               registry histograms and a one-line JSON summary
       --pack FILE                model pack (required)
       --requests N               corpus size (default 100000)
       --clients C                concurrent client connections (default 4)
@@ -287,9 +297,21 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes the global registry as a Prometheus text exposition, atomically (write to a
+/// sibling temp file, then rename) so a scraper never reads a half-written dump.
+fn write_exposition(path: &Path) {
+    let text = tcp_obs::Registry::global().snapshot().to_prometheus();
+    let tmp = path.with_extension("prom.tmp");
+    if std::fs::write(&tmp, &text).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
 fn cmd_listen(argv: &[String]) -> Result<(), String> {
     let mut pack: Option<PathBuf> = None;
     let mut port_file: Option<PathBuf> = None;
+    let mut metrics_file: Option<PathBuf> = None;
+    let mut metrics_interval = 5.0f64;
     let mut options = ServeOptions::default();
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -302,8 +324,14 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
             "--batch-threads" => options.batch_threads = parse(next_value(&mut it, arg)?, arg)?,
             "--max-pending" => options.max_pending = parse(next_value(&mut it, arg)?, arg)?,
             "--port-file" => port_file = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--metrics-file" => metrics_file = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--metrics-interval" => metrics_interval = parse(next_value(&mut it, arg)?, arg)?,
+            "--no-metrics" => tcp_obs::set_enabled(false),
             other => return Err(format!("unknown option `{other}`")),
         }
+    }
+    if metrics_interval <= 0.0 || metrics_interval.is_nan() {
+        return Err("--metrics-interval must be positive".to_string());
     }
     let advisor = load_advisor(&pack)?;
     let pack_name = advisor.name().to_string();
@@ -312,14 +340,41 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
     let addr = server.local_addr();
     eprintln!(
         "listening on {addr}: pack `{pack_name}` ({cells} cells), {} workers, \
-         max-inflight {}, protocol NDJSON (+ !reload / !stats / !shutdown)",
+         max-inflight {}, protocol NDJSON (+ !reload / !stats / !metrics / !shutdown)",
         options.workers, options.max_inflight
     );
     if let Some(path) = port_file {
         std::fs::write(&path, format!("{addr}\n"))
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     }
+    // The exposition writer is strictly out-of-band: it reads registry snapshots on
+    // its own thread and never touches the serving path, so response bytes are
+    // unaffected by whether (or how often) it runs.
+    let metrics_stop = Arc::new(AtomicBool::new(false));
+    let metrics_writer = metrics_file.as_ref().map(|path| {
+        let path = path.clone();
+        let stop = Arc::clone(&metrics_stop);
+        let interval = Duration::from_secs_f64(metrics_interval);
+        std::thread::spawn(move || loop {
+            write_exposition(&path);
+            let deadline = Instant::now() + interval;
+            while Instant::now() < deadline {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        })
+    });
     let report = server.join();
+    metrics_stop.store(true, Ordering::Relaxed);
+    if let Some(writer) = metrics_writer {
+        let _ = writer.join();
+    }
+    if let Some(path) = &metrics_file {
+        // One final write after the drain so the file holds the complete totals.
+        write_exposition(path);
+    }
     eprintln!(
         "drained: {} connections, {} requests, {} overload responses, {} refused connections",
         report.connections, report.requests, report.overload_responses, report.refused_connections
@@ -396,8 +451,16 @@ fn cmd_serve_bench(argv: &[String]) -> Result<(), String> {
 
     println!("loopback serve-bench: {requests} requests over {clients} client connections");
     let mut baseline: Option<f64> = None;
-    for &workers in &worker_counts {
+    let mut summary = format!(
+        "{{\"bench\":\"serve-bench\",\"clients\":{clients},\"requests\":{requests},\"results\":["
+    );
+    for (i, &workers) in worker_counts.iter().enumerate() {
+        // The loopback server runs in-process, so the advisor's per-query latencies
+        // land in this process's global registry; a before/after snapshot delta
+        // isolates just this run's samples.
+        let before = advisor_latency_snapshot();
         let report = loopback_bench(&pack_json, &corpus, workers, clients)?;
+        let delta = advisor_latency_snapshot().delta_since(&before);
         let speedup = match baseline {
             Some(base) => report.qps / base,
             None => {
@@ -405,12 +468,47 @@ fn cmd_serve_bench(argv: &[String]) -> Result<(), String> {
                 1.0
             }
         };
-        println!(
-            "  workers {:>2}: {:>9.0} q/s  ({:.3}s wall, {:.2}x vs workers {})",
-            report.workers, report.qps, report.seconds, speedup, worker_counts[0]
+        let (p50, p90, p99) = (
+            delta.quantile(0.50) / 1e3,
+            delta.quantile(0.90) / 1e3,
+            delta.quantile(0.99) / 1e3,
         );
+        println!(
+            "  workers {:>2}: {:>9.0} q/s  ({:.3}s wall, {:.2}x vs workers {})  \
+             latency p50 {:.2}us p90 {:.2}us p99 {:.2}us",
+            report.workers, report.qps, report.seconds, speedup, worker_counts[0], p50, p90, p99,
+        );
+        if i > 0 {
+            summary.push(',');
+        }
+        summary.push_str(&format!(
+            "{{\"p50_us\":{p50:.3},\"p90_us\":{p90:.3},\"p99_us\":{p99:.3},\
+             \"qps\":{:.1},\"seconds\":{:.4},\"workers\":{workers}}}",
+            report.qps, report.seconds,
+        ));
     }
+    summary.push_str("]}");
+    // One line of JSON for BENCH_*.json trajectory tracking.
+    println!("{summary}");
     Ok(())
+}
+
+/// The advisor's four per-kind latency histograms from the global registry, merged
+/// into one snapshot (empty for any not yet registered).
+fn advisor_latency_snapshot() -> tcp_obs::HistogramSnapshot {
+    let mut merged = tcp_obs::HistogramSnapshot::empty();
+    for kind in [
+        "should_reuse",
+        "checkpoint_plan",
+        "expected_cost_makespan",
+        "best_policy",
+    ] {
+        let name = format!("advisor.latency.{kind}");
+        if let Some(snapshot) = tcp_obs::Registry::global().histogram_snapshot(&name) {
+            merged.merge(&snapshot);
+        }
+    }
+    merged
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {

@@ -11,23 +11,61 @@
 //!   request stream produces byte-identical responses over the wire and from a file.
 //!   Malformed lines get typed error responses (never a dropped connection), a bounded
 //!   in-flight request budget sheds load with typed 503-style [`OverloadLine`]s (never
-//!   a silent drop), `!reload` hot-swaps packs without a restart, `!stats` answers
-//!   health probes, and `!shutdown` drains in-flight requests before exit;
+//!   a silent drop), `!reload` hot-swaps packs without a restart, `!stats` / `!metrics`
+//!   answer health probes, and `!shutdown` drains in-flight requests before exit;
 //! * [`client`] — a minimal loopback client (one connection, concurrent writer/reader)
 //!   used by the `advise connect` CLI, the tests and CI smoke;
 //! * [`mod@bench`] — a loopback throughput benchmark fanning concurrent client threads at
 //!   a freshly started server, used by `advise serve-bench` to demonstrate scaling
-//!   across worker counts.
+//!   across worker counts and report registry-backed latency percentiles.
 //!
 //! The `advise` binary lives here (it needs both the advisor and the server): the
 //! offline commands (`build` / `gen` / `serve` / `bench`) are unchanged, and `listen` /
-//! `connect` / `serve-bench` add the network path.
+//! `connect` / `serve-bench` add the network path.  `advise listen --metrics-file
+//! <path> [--metrics-interval <s>]` additionally writes the process-global
+//! [`tcp_obs::Registry`] as a Prometheus text exposition on a timer (atomic
+//! write-then-rename; one final write after the drain).
 //!
 //! ```text
 //! pack.json ──advise listen──▶ 127.0.0.1:PORT ◀──advise connect── requests.ndjson
 //!                 │ workers × connections, shared Arc'd pack,
-//!                 │ bounded in-flight budget, !reload/!stats/!shutdown
+//!                 │ bounded in-flight budget, !reload/!stats/!metrics/!shutdown
+//!                 └──[--metrics-file]──▶ metrics.prom (Prometheus text exposition)
 //! ```
+//!
+//! # Control-line schemas
+//!
+//! `!stats` answers with one JSON object per probe ([`tcp_advisor::StatsLine`]); keys
+//! are deterministically sorted at every level (struct fields are declared
+//! alphabetically, nested maps are `BTreeMap`s):
+//!
+//! ```json
+//! {"cells": 0,
+//!  "control": "stats",
+//!  "current":  {"best_policy": 2, "checkpoint_plan": 0, "expected_cost_makespan": 0, "should_reuse": 0},
+//!  "dp_families": {"bathtub": 2},
+//!  "pack": "tiny-pack",
+//!  "served":   {"best_policy": 2, "checkpoint_plan": 0, "expected_cost_makespan": 0, "should_reuse": 0},
+//!  "served_families": {"bathtub": 2}}
+//! ```
+//!
+//! * `cells` — routable cell packs currently loaded (`0` for a single pack);
+//! * `current` — query counters of the pack currently being served (server-wide since
+//!   the last `!reload`);
+//! * `served` — counters summed over every pack this *session* (connection) has
+//!   served from, surviving reloads;
+//! * `served_families` / `dp_families` — queries per model family of the answering
+//!   regime's served curves / DP tables (non-zero entries only, sorted).
+//!
+//! `!metrics` answers with `{"control":"metrics","metrics":{...}}` where `metrics` is
+//! the process-global registry snapshot: counters as integers, gauges as numbers, and
+//! histograms as `{"count","sum","mean","p50","p90","p99","max"}` objects (latency in
+//! nanoseconds), again with sorted keys.  Scope is the whole process across reloads
+//! and connections — `!stats` is the pack/session view, `!metrics` the fleet view.
+//!
+//! Responses for *request* lines are never affected by metrics: instrumentation is
+//! strictly out-of-band, so served bytes stay identical across `--threads`,
+//! `--workers`, and metrics-enabled/disabled runs.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

@@ -13,10 +13,15 @@
 //! 503-style [`OverloadLine`] — responses are never silently dropped, and output
 //! order always matches input order.
 //!
-//! Control lines: `!reload <path>` and `!stats` are handled by the shared session
-//! engine (any connection is an admin connection); `!shutdown` is handled here — it
-//! acknowledges, stops the accept loop, lets every worker drain the requests already
-//! read, and unblocks [`Server::join`].
+//! Control lines: `!reload <path>`, `!stats`, and `!metrics` are handled by the
+//! shared session engine (any connection is an admin connection); `!shutdown` is
+//! handled here — it acknowledges, stops the accept loop, lets every worker drain the
+//! requests already read, and unblocks [`Server::join`].
+//!
+//! Observability: the server publishes connection, queue-depth, in-flight, served and
+//! shed counters/gauges into the process-global [`tcp_obs::Registry`] (`serve.*`
+//! metric names).  Metrics are strictly out-of-band — they never touch the response
+//! stream, so served bytes stay identical for any worker/thread configuration.
 
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -26,6 +31,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 use tcp_advisor::{AdvisorHandle, MultiAdvisor, Session};
+use tcp_obs::{Counter, Gauge};
 
 /// How long a worker blocks in a read before re-checking the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(50);
@@ -128,6 +134,34 @@ struct Counters {
     refused: AtomicU64,
 }
 
+/// Registry handles for the server's `serve.*` metrics, resolved once at startup so
+/// hot paths never take the registry lock.  All instances of [`Server`] in a process
+/// share these (the registry is global); counters aggregate across servers, gauges
+/// report the most recent writer.
+struct ServerMetrics {
+    connections_accepted: &'static Counter,
+    connections_refused: &'static Counter,
+    connections_active: &'static Gauge,
+    queue_depth: &'static Gauge,
+    inflight: &'static Gauge,
+    requests_served: &'static Counter,
+    requests_shed: &'static Counter,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        ServerMetrics {
+            connections_accepted: tcp_obs::counter("serve.connections.accepted"),
+            connections_refused: tcp_obs::counter("serve.connections.refused"),
+            connections_active: tcp_obs::gauge("serve.connections.active"),
+            queue_depth: tcp_obs::gauge("serve.queue.depth"),
+            inflight: tcp_obs::gauge("serve.inflight"),
+            requests_served: tcp_obs::counter("serve.requests.served"),
+            requests_shed: tcp_obs::counter("serve.requests.shed"),
+        }
+    }
+}
+
 struct Shared {
     handle: AdvisorHandle,
     options: ServeOptions,
@@ -136,27 +170,37 @@ struct Shared {
     shutdown: AtomicBool,
     inflight: AtomicUsize,
     counters: Counters,
+    metrics: ServerMetrics,
     addr: SocketAddr,
 }
 
 impl Shared {
     /// Grabs one in-flight permit if the budget allows.
     fn try_admit(&self) -> bool {
-        self.inflight
+        match self
+            .inflight
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
                 if n < self.options.max_inflight {
                     Some(n + 1)
                 } else {
                     None
                 }
-            })
-            .is_ok()
+            }) {
+            Ok(previous) => {
+                self.metrics.inflight.set((previous + 1) as f64);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Returns `count` permits to the budget.
     fn release(&self, count: usize) {
         if count > 0 {
-            self.inflight.fetch_sub(count, Ordering::AcqRel);
+            let previous = self.inflight.fetch_sub(count, Ordering::AcqRel);
+            self.metrics
+                .inflight
+                .set(previous.saturating_sub(count) as f64);
         }
     }
 
@@ -215,6 +259,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
             counters: Counters::default(),
+            metrics: ServerMetrics::new(),
             addr,
         });
 
@@ -290,6 +335,7 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
         if queue.len() >= shared.options.max_pending {
             drop(queue);
             shared.counters.refused.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.connections_refused.incr();
             refuse(
                 stream,
                 format!(
@@ -299,6 +345,7 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
             );
         } else {
             queue.push_back(stream);
+            shared.metrics.queue_depth.set(queue.len() as f64);
             drop(queue);
             shared.queue_cv.notify_one();
         }
@@ -328,6 +375,7 @@ fn worker_loop(shared: &Shared) {
             let mut queue = shared.queue.lock().expect("connection queue poisoned");
             loop {
                 if let Some(stream) = queue.pop_front() {
+                    shared.metrics.queue_depth.set(queue.len() as f64);
                     break Some(stream);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -374,8 +422,20 @@ fn queue_line(line_bytes: Vec<u8>, pending: &mut Vec<Slot>, shared: &Shared) -> 
     true
 }
 
+/// Decrements `serve.connections.active` on every exit path of [`serve_connection`].
+struct ActiveConnectionGuard<'a>(&'a Gauge);
+
+impl Drop for ActiveConnectionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.sub(1.0);
+    }
+}
+
 fn serve_connection(stream: TcpStream, shared: &Shared) {
     shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.connections_accepted.incr();
+    shared.metrics.connections_active.add(1.0);
+    let _active = ActiveConnectionGuard(shared.metrics.connections_active);
     let _ = stream.set_nodelay(true);
     // A finite read timeout lets the worker notice a server shutdown while a client
     // sits idle; complete batches are always flushed before the worker blocks again.
@@ -542,5 +602,11 @@ fn flush_batch(
         .counters
         .overloads
         .fetch_add(overloaded, Ordering::Relaxed);
+    if served > 0 {
+        shared.metrics.requests_served.add(served);
+    }
+    if overloaded > 0 {
+        shared.metrics.requests_shed.add(overloaded);
+    }
     outcome
 }

@@ -6,6 +6,7 @@ pub use tcp_cloudsim as cloudsim;
 pub use tcp_core as model;
 pub use tcp_dists as dists;
 pub use tcp_numerics as numerics;
+pub use tcp_obs as obs;
 pub use tcp_policy as policy;
 pub use tcp_scenarios as scenarios;
 pub use tcp_serve as serve;

@@ -59,6 +59,38 @@ impl Strategy for std::ops::Range<i64> {
     }
 }
 
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+    fn pick(&self, rng: &mut StdRng) -> u64 {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy producing `Vec`s of a given element strategy and length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy: each case draws a length from `size`, then that many elements.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.size.clone());
+            (0..len).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+}
+
 /// Deterministic per-property RNG: every property function gets the same stream given the
 /// same name, so failures reproduce across runs and thread counts.
 pub fn rng_for_property(name: &str) -> StdRng {
