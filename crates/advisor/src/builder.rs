@@ -313,6 +313,10 @@ impl PackBuilder {
         checkpoint_costs: &[f64],
         dp_step_minutes: f64,
     ) -> Result<RegimePack> {
+        // The cold-DP counterpart of the advisor's warm `advisor.lookup.*` spans:
+        // when a build runs under an active trace, the per-regime table
+        // construction shows up as one span per regime.
+        let _span = tcp_obs::span!("advisor.build.dp", checkpoint_costs.len() as u64);
         let horizon = model.horizon();
         let (early_end, deadline_start) = model.phase_boundaries();
 

@@ -429,6 +429,10 @@ pub struct Advisor {
     /// Global per-kind latency histograms (`advisor.latency.*`), resolved from the
     /// registry once at load time.
     latency: [&'static Histogram; 4],
+    /// Per-kind trace sites (`advisor.lookup.*`), interned once at load time so the
+    /// per-query span carries no string hashing — these are the *warm* table-lookup
+    /// spans, in contrast to the builder's cold `advisor.build.dp` spans.
+    trace_sites: [u32; 4],
 }
 
 impl Advisor {
@@ -455,6 +459,12 @@ impl Advisor {
                 tcp_obs::histogram("advisor.latency.checkpoint_plan"),
                 tcp_obs::histogram("advisor.latency.expected_cost_makespan"),
                 tcp_obs::histogram("advisor.latency.best_policy"),
+            ],
+            trace_sites: [
+                tcp_obs::trace::site_id("advisor.lookup.should_reuse"),
+                tcp_obs::trace::site_id("advisor.lookup.checkpoint_plan"),
+                tcp_obs::trace::site_id("advisor.lookup.expected_cost_makespan"),
+                tcp_obs::trace::site_id("advisor.lookup.best_policy"),
             ],
         })
     }
@@ -527,6 +537,9 @@ impl Advisor {
     /// Answers one request.
     pub fn advise(&self, request: &AdviceRequest) -> Result<AdviceResponse> {
         let started = Instant::now();
+        // The per-kind warm-lookup span (inert unless this thread is tracing a
+        // request); the site id is pre-interned so this is pointer work only.
+        let _span = tcp_obs::trace::Span::enter(self.trace_sites[request.kind.index()], 0);
         let index = self.resolve_regime(request.regime.as_deref())?;
         let regime = &self.pack.regimes[index];
         let engine = &self.engines[index];

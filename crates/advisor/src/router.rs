@@ -92,8 +92,13 @@ impl MultiAdvisor {
 
     /// Answers one request, routing by its `cell` field.
     pub fn advise(&self, request: &AdviceRequest) -> Result<AdviceResponse> {
+        // Pack/cell resolution span: arg 0 = pooled fallback, arg = cell index + 1
+        // for a routed request (inert unless this thread is tracing a request).
         match request.cell.as_deref() {
-            None => self.pooled.advise(request),
+            None => {
+                let _span = tcp_obs::span!("advisor.route", 0u64);
+                self.pooled.advise(request)
+            }
             Some(cell) => {
                 let index = self
                     .cells
@@ -102,6 +107,7 @@ impl MultiAdvisor {
                         cell: cell.to_string(),
                         available: self.cell_names(),
                     })?;
+                let _span = tcp_obs::span!("advisor.route", index as u64 + 1);
                 let mut response = self.cells[index].1.advise(request)?;
                 response.cell = Some(cell.to_string());
                 Ok(response)

@@ -120,7 +120,8 @@ pub fn serve_ndjson(advisor: &MultiAdvisor, input: &str, threads: usize) -> Stri
 /// control lines, preserving input order.  Request runs are answered in parallel over
 /// `threads` workers (`0` = all CPUs) by a snapshot of the current advisor; `!reload`
 /// swaps the pack between runs; `!stats` reports the sharded counters; `!metrics`
-/// dumps the process-global metric registry.  The output for
+/// dumps the process-global metric registry (`!metrics prom` as a Prometheus text
+/// exposition); `!trace` returns the flight recorder's recent spans.  The output for
 /// a given line sequence does not depend on how the lines are sliced across
 /// [`Session::process`] calls, which is what makes the file front end
 /// ([`serve_session`]) and the TCP front end (`tcp-serve`) byte-identical.
@@ -129,6 +130,9 @@ pub struct Session<'a> {
     threads: usize,
     /// Every advisor that answered part of this session, for reload-surviving stats.
     used: Vec<Arc<MultiAdvisor>>,
+    /// Request lines answered so far: the per-request trace-sampling seed.  Purely
+    /// observational — responses never depend on it.
+    requests_seen: u64,
 }
 
 impl<'a> Session<'a> {
@@ -138,6 +142,7 @@ impl<'a> Session<'a> {
             handle,
             threads,
             used: Vec::new(),
+            requests_seen: 0,
         }
     }
 
@@ -167,7 +172,16 @@ impl<'a> Session<'a> {
             return;
         }
         let advisor = self.snapshot();
+        // Each request line gets a trace root seeded by its session-wide ordinal:
+        // deterministic sampling, and the root opens *inside* the worker closure so
+        // nesting works on whichever thread executes the task.  With inline batches
+        // (threads = 1) under an enclosing connection trace, the root nests as a
+        // child span instead.  Inert (one atomic load) when tracing is off.
+        let base_ordinal = self.requests_seen;
+        self.requests_seen += segment.len() as u64;
         let responses = run_tasks(segment.len(), self.threads, |i| {
+            let ordinal = base_ordinal + i as u64;
+            let _root = tcp_obs::root_span!("serve.request", ordinal, ordinal);
             respond_line(&advisor, segment[i])
         });
         for response in responses {
@@ -236,9 +250,12 @@ impl<'a> Session<'a> {
                 })
                 .expect("stats lines serialize")
             }
+            Some(("metrics", arg)) if arg.trim() == "prom" => Self::metrics_prometheus_line(),
             None if control == "metrics" => Self::metrics_line(),
+            None if control == "trace" => Self::trace_line(),
             _ => emit_error(format!(
-                "unknown control line `!{control}` (expected `!reload <path>`, `!stats`, or `!metrics`)"
+                "unknown control line `!{control}` (expected `!reload <path>`, `!stats`, \
+                 `!metrics`, `!metrics prom`, or `!trace`)"
             )),
         }
     }
@@ -254,6 +271,33 @@ impl<'a> Session<'a> {
         format!(
             "{{\"control\":\"metrics\",\"metrics\":{}}}",
             tcp_obs::Registry::global().snapshot().to_json_line()
+        )
+    }
+
+    /// The one-line JSON answer to `!metrics prom`: the same process-global registry
+    /// snapshot rendered as a Prometheus text exposition (format 0.0.4) and carried
+    /// as an escaped string under `"text"`, so scrapers can poll over the socket
+    /// without the `--metrics-file` sidecar.  Keys are sorted
+    /// (`"control"` < `"encoding"` < `"text"`); unescaping `text` yields the exact
+    /// bytes `--metrics-file` would have written.
+    pub fn metrics_prometheus_line() -> String {
+        format!(
+            "{{\"control\":\"metrics\",\"encoding\":\"prometheus-0.0.4\",\"text\":{}}}",
+            serde_json::to_string(&tcp_obs::Registry::global().snapshot().to_prometheus())
+                .expect("strings serialize")
+        )
+    }
+
+    /// The one-line JSON answer to a `!trace` control line: the flight recorder's
+    /// recent contents as `{"control":"trace","spans":[…]}` — each span a flat
+    /// sorted-key object with its site name resolved ([`tcp_obs::trace::spans_json`]).
+    /// The recorder is a bounded sliding window per thread, so the reply is bounded
+    /// too, and probing copies rather than drains: repeated `!trace` lines and a
+    /// later `--trace-file` export see the same records.
+    pub fn trace_line() -> String {
+        format!(
+            "{{\"control\":\"trace\",\"spans\":{}}}",
+            tcp_obs::trace::spans_json(&tcp_obs::trace::recent_spans())
         )
     }
 
@@ -613,7 +657,7 @@ dp_step_minutes = 30.0
             .get("advisor.latency.best_policy")
             .expect("latency family present");
         assert!(best.get("count").and_then(|v| v.as_u64()).unwrap() >= 1);
-        for key in ["p50", "p90", "p99", "max", "mean", "sum"] {
+        for key in ["p50", "p90", "p99", "p999", "max", "mean", "sum"] {
             assert!(best.get(key).is_some(), "missing {key}");
         }
         // Top-level metric keys are sorted.
@@ -626,6 +670,43 @@ dp_step_minutes = 30.0
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn metrics_prom_control_line_carries_the_text_exposition() {
+        let handle = AdvisorHandle::new(advisor());
+        let query = r#"{"kind": "best-policy", "regime": "gcp-day"}"#;
+        let input = format!("{query}\n!metrics prom\n");
+        let out = serve_session(&handle, &input, 1);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "one response line per input line");
+        let value = serde_json::parse_value(lines[1]).unwrap();
+        assert_eq!(
+            value.get("control").and_then(|v| v.as_str()),
+            Some("metrics")
+        );
+        assert_eq!(
+            value.get("encoding").and_then(|v| v.as_str()),
+            Some("prometheus-0.0.4")
+        );
+        // Unescaping `text` yields real multi-line Prometheus exposition with the
+        // advisor's latency families.
+        let text = value.get("text").and_then(|v| v.as_str()).unwrap();
+        assert!(text.contains("# TYPE advisor_latency_best_policy histogram"));
+        assert!(text.contains("advisor_latency_best_policy_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("advisor_latency_best_policy_count"));
+        assert!(text.lines().count() > 3, "text must be a full exposition");
+    }
+
+    #[test]
+    fn trace_control_line_returns_recent_ring_contents() {
+        let handle = AdvisorHandle::new(advisor());
+        // Without configuration the recorder is off: still a valid, empty-or-not
+        // envelope (the ring is process-global, so other tests may have committed).
+        let out = serve_session(&handle, "!trace\n", 1);
+        let value = serde_json::parse_value(out.lines().next().unwrap()).unwrap();
+        assert_eq!(value.get("control").and_then(|v| v.as_str()), Some("trace"));
+        assert!(value.get("spans").is_some(), "spans array present");
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Tracing overhead benchmarks: what a span costs on the hot path.
+//!
+//! The flight recorder's contract is that unconfigured tracing must be invisible —
+//! `span_disabled` and `root_span_disabled` measure the inert fast path (a single
+//! relaxed atomic load and a no-op guard) and should sit at low single-digit
+//! nanoseconds.  `span_sampled` is the full cost of an enter/exit pair inside a
+//! sampled trace (two `Instant` reads plus a thread-local stack push/pop);
+//! `root_span_sampled` adds the commit into the per-thread ring at root drop;
+//! `root_span_unsampled` shows 1/N sampling discarding a root cheaply.  The drain
+//! and export benches bound what a `!trace` control line or a `--trace-file`
+//! shutdown dump costs — off the serving path, but worth keeping honest.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+
+    // Unconfigured: the macros must reduce to one relaxed load + inert guard.
+    assert!(!tcp_obs::trace::tracing_configured());
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let _span = tcp_obs::span!("bench.trace.span");
+            black_box(());
+        })
+    });
+    group.bench_function("root_span_disabled", |b| {
+        b.iter(|| {
+            let _root = tcp_obs::root_span!("bench.trace.root", 7u64);
+            black_box(());
+        })
+    });
+
+    // Sample everything: the recording-path costs.
+    tcp_obs::trace::configure(1, 0);
+    group.bench_function("span_sampled_in_root", |b| {
+        b.iter(|| {
+            let _root = tcp_obs::root_span!("bench.trace.root", 7u64);
+            let _span = tcp_obs::span!("bench.trace.span");
+            black_box(());
+        })
+    });
+    let mut ordinal = 0u64;
+    group.bench_function("root_span_sampled", |b| {
+        b.iter(|| {
+            ordinal = ordinal.wrapping_add(1);
+            let _root = tcp_obs::root_span!("bench.trace.root", black_box(ordinal));
+            black_box(());
+        })
+    });
+
+    // 1/1024 sampling: most roots are discarded before any recording happens.
+    tcp_obs::trace::configure(1024, 0);
+    group.bench_function("root_span_unsampled", |b| {
+        b.iter(|| {
+            ordinal = ordinal.wrapping_add(1);
+            let _root = tcp_obs::root_span!("bench.trace.root", black_box(ordinal));
+            black_box(());
+        })
+    });
+
+    // Drain and export: fill the ring once, then measure snapshot + serializers.
+    tcp_obs::trace::configure(1, 0);
+    tcp_obs::trace::clear();
+    for seed in 0..4096u64 {
+        let _root = tcp_obs::root_span!("bench.trace.root", seed);
+        let _span = tcp_obs::span!("bench.trace.span");
+    }
+    let spans = tcp_obs::trace::recent_spans();
+    assert!(!spans.is_empty());
+    group.sample_size(20);
+    group.bench_function("recent_spans_drain", |b| {
+        b.iter(|| black_box(tcp_obs::trace::recent_spans().len()))
+    });
+    group.bench_function("chrome_export", |b| {
+        b.iter(|| black_box(tcp_obs::trace::chrome_trace_json(black_box(&spans)).len()))
+    });
+    group.bench_function("summary_export", |b| {
+        b.iter(|| black_box(tcp_obs::trace::summary_json(black_box(&spans)).len()))
+    });
+
+    tcp_obs::trace::configure(0, 0);
+    tcp_obs::trace::clear();
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

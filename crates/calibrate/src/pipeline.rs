@@ -176,9 +176,16 @@ impl Calibrator {
         // bytes do not depend on the thread count.
         let outcomes: Vec<Result<FitOutcome>> = {
             let _fitting = tcp_obs::time!("calibrate.stage.fitting");
-            run_tasks(keys.len() + 1, threads, |task| match task {
-                0 => fit_cell(&pooled, &self.options),
-                i => fit_cell(partition.lifetimes(&keys[i - 1]), &self.options),
+            run_tasks(keys.len() + 1, threads, |task| {
+                // One trace per cell fit, rooted inside the worker closure so it
+                // lands on whichever thread runs the task; the seed is the task
+                // index, so sampling is deterministic for a given partition.  Inert
+                // unless tracing is configured.
+                let _cell_trace = tcp_obs::root_span!("calibrate.cell", task as u64, task as u64);
+                match task {
+                    0 => fit_cell(&pooled, &self.options),
+                    i => fit_cell(partition.lifetimes(&keys[i - 1]), &self.options),
+                }
             })
         };
         let mut outcomes = outcomes.into_iter();

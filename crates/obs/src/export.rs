@@ -26,8 +26,9 @@ pub struct RegistrySnapshot {
     pub values: BTreeMap<String, SnapshotValue>,
 }
 
-/// Escapes a string for inclusion in a JSON document.
-fn json_escape(s: &str, out: &mut String) {
+/// Escapes a string for inclusion in a JSON document (shared with the trace
+/// exporters).
+pub(crate) fn json_escape(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -93,8 +94,9 @@ impl RegistrySnapshot {
     /// Renders the snapshot as a single line of JSON: an object keyed by metric
     /// name, sorted.  Counters become integers, gauges numbers (non-finite → `null`),
     /// histograms objects `{"count":..,"sum":..,"mean":..,"p50":..,"p90":..,
-    /// "p99":..,"max":..}` with bucket detail omitted (quantiles are pre-computed so
-    /// downstream log pipelines need no histogram math).
+    /// "p99":..,"p999":..,"max":..}` with bucket detail omitted (quantiles are
+    /// pre-computed so downstream log pipelines need no histogram math; p999 is
+    /// included because tail latency is what overload shedding is judged on).
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(64 + 48 * self.values.len());
         out.push('{');
@@ -118,7 +120,7 @@ impl RegistrySnapshot {
                     let _ = write!(out, "{}", h.sum);
                     out.push_str(",\"mean\":");
                     json_number(h.mean(), &mut out);
-                    for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                    for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99), ("p999", 0.999)] {
                         let _ = write!(out, ",\"{label}\":");
                         json_number(h.quantile(q), &mut out);
                     }

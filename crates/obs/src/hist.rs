@@ -220,19 +220,45 @@ impl HistogramSnapshot {
 
     /// The samples recorded between `earlier` and `self` (counters are monotone, so a
     /// bucket-wise saturating difference is exact when `earlier` was taken first on
-    /// the same histogram).  The `max` is the later snapshot's max — an upper bound
-    /// for the interval, exact unless the pre-existing max was never exceeded.
+    /// the same histogram).
+    ///
+    /// The tracked maximum is cumulative, so the interval's true max is not
+    /// recoverable exactly; the delta's `max` is the tighter of the later
+    /// snapshot's max and the upper bound of the highest non-empty *delta* bucket
+    /// (0 for an empty delta).  Without that clamp a per-run delta would report
+    /// `max` — and `quantile(1.0)`, which returns it — from all prior history:
+    /// exactly the cross-iteration contamination `serve-bench` percentiles must
+    /// not have.
     pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
-        HistogramSnapshot {
-            count: self.count.saturating_sub(earlier.count),
-            sum: self.sum.saturating_sub(earlier.sum),
-            max: self.max,
-            buckets: self
-                .buckets
+        let count = self.count.saturating_sub(earlier.count);
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(&earlier.buckets)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        let max = if count == 0 {
+            0
+        } else {
+            let bound = buckets
                 .iter()
-                .zip(&earlier.buckets)
-                .map(|(a, b)| a.saturating_sub(*b))
-                .collect(),
+                .rposition(|&n| n > 0)
+                .map(|i| {
+                    let (lo, hi) = bucket_bounds(i);
+                    if hi == u64::MAX {
+                        u64::MAX
+                    } else {
+                        (hi - 1).max(lo)
+                    }
+                })
+                .unwrap_or(self.max);
+            self.max.min(bound)
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            max,
+            buckets,
         }
     }
 
@@ -387,6 +413,40 @@ mod tests {
         assert_eq!(back.count, sa.count);
         assert_eq!(back.sum, sa.sum);
         assert_eq!(back.quantile(0.5), sa.quantile(0.5));
+    }
+
+    #[test]
+    fn delta_quantiles_are_not_contaminated_by_prior_history() {
+        // Regression for the serve-bench per-worker-count report: run 1 records a
+        // huge outlier, run 2 records only small samples.  Run 2's delta snapshot
+        // must not surface run 1's max through `max` or `quantile(1.0)` — that was
+        // exactly how earlier iterations bled into later per-run percentiles.
+        let h = Histogram::new();
+        h.record(50_000_000); // run 1: a 50 ms outlier
+        let baseline = h.snapshot();
+        for _ in 0..100 {
+            h.record(1_000); // run 2: 1 µs samples only
+        }
+        let delta = h.snapshot().delta_since(&baseline);
+        assert_eq!(delta.count, 100);
+        assert!(
+            delta.max <= 1_000 + 1_000 / 8,
+            "delta max {} leaked the prior run's outlier",
+            delta.max
+        );
+        assert!(delta.quantile(1.0) <= 1_000.0 * (1.0 + 1.0 / 8.0));
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let estimate = delta.quantile(q);
+            assert!(
+                (estimate - 1_000.0).abs() / 1_000.0 <= 1.0 / 16.0 + 1e-12,
+                "q={q}: {estimate}"
+            );
+        }
+        // An empty delta reports a zero max, not history's.
+        let empty = h.snapshot().delta_since(&h.snapshot());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.max, 0);
+        assert_eq!(empty.quantile(1.0), 0.0);
     }
 
     #[test]

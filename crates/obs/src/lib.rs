@@ -21,6 +21,11 @@
 //! - **Exposition** — [`RegistrySnapshot::to_json_line`] (one line of sorted-key
 //!   JSON for log pipelines) and [`RegistrySnapshot::to_prometheus`] (text
 //!   exposition format 0.0.4 for scraping).
+//! - **[`trace`]** — request-scoped structured tracing: RAII spans on an implicit
+//!   thread-local stack ([`span!`] / [`root_span!`]), a per-thread flight-recorder
+//!   ring buffer, deterministic `1/N` trace sampling, a slow-request log, and
+//!   Chrome trace-event / per-site summary exporters.  Aggregates say how the
+//!   fleet is doing; traces say where one request's time went.
 //!
 //! # Determinism contract
 //!
@@ -58,6 +63,7 @@ mod export;
 mod hist;
 mod pad;
 mod registry;
+pub mod trace;
 
 pub use export::{RegistrySnapshot, SnapshotValue};
 pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
@@ -162,6 +168,59 @@ macro_rules! time {
             $crate::SpanTimer::start(SITE.get_or_init(|| $crate::histogram($name)))
         } else {
             $crate::SpanTimer::disabled()
+        }
+    }};
+}
+
+/// Opens a trace span nested in the current thread's active trace:
+/// `let _span = obs::span!("advisor.route");` (optionally with a `u64` payload,
+/// `obs::span!("serve.batch.flush", batch_len)`).
+///
+/// The site id is interned once per call site (cached in a `OnceLock`).  When
+/// tracing is unconfigured the cost is one relaxed atomic load; when no trace is
+/// active on this thread the span is inert.  See [`trace::Span::enter`].
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span!($name, 0u64)
+    };
+    ($name:expr, $arg:expr) => {{
+        if $crate::trace::tracing_configured() {
+            static SITE: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+            $crate::trace::Span::enter(
+                *SITE.get_or_init(|| $crate::trace::site_id($name)),
+                $arg as u64,
+            )
+        } else {
+            $crate::trace::Span::inert()
+        }
+    }};
+}
+
+/// Opens a request-scoped trace root, deterministically sampled by `seed`:
+/// `let _root = obs::root_span!("serve.request", ordinal);` (optionally with a
+/// `u64` payload as the third argument).
+///
+/// If the thread already has an active trace the root nests as a child span, so
+/// per-request roots compose with an enclosing per-connection root.  At drop the
+/// trace commits to the flight recorder if sampled — or, regardless of sampling,
+/// if the root reached the configured slow threshold.  See
+/// [`trace::RootSpan::enter`].
+#[macro_export]
+macro_rules! root_span {
+    ($name:expr, $seed:expr) => {
+        $crate::root_span!($name, $seed, 0u64)
+    };
+    ($name:expr, $seed:expr, $arg:expr) => {{
+        if $crate::trace::tracing_configured() {
+            static SITE: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+            $crate::trace::RootSpan::enter(
+                *SITE.get_or_init(|| $crate::trace::site_id($name)),
+                $seed as u64,
+                $arg as u64,
+            )
+        } else {
+            $crate::trace::RootSpan::inert()
         }
     }};
 }

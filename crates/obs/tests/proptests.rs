@@ -81,6 +81,66 @@ proptest! {
         prop_assert_eq!(snap.max, *per_thread.iter().max().unwrap());
     }
 
+    // delta_since / merge round-trip under concurrent recording: with one
+    // histogram shard per thread, the delta of the merged shards equals the merge
+    // of the per-shard deltas — so sharded collection and interval measurement
+    // commute, which is what lets serve-bench difference a merged advisor
+    // snapshot per worker count.
+    #[test]
+    fn delta_of_merge_equals_merge_of_deltas(
+        warmup in proptest::collection::vec(1u64..1_000_000, 0..60),
+        interval in proptest::collection::vec(1u64..1_000_000, 1..60),
+        threads in 2usize..5,
+    ) {
+        let shards: Vec<Histogram> = (0..threads).map(|_| Histogram::new()).collect();
+        std::thread::scope(|scope| {
+            for shard in &shards {
+                let warmup = &warmup;
+                scope.spawn(move || {
+                    for &v in warmup {
+                        shard.record(v);
+                    }
+                });
+            }
+        });
+        let baselines: Vec<_> = shards.iter().map(|s| s.snapshot()).collect();
+        let mut merged_baseline = tcp_obs::HistogramSnapshot::empty();
+        for b in &baselines {
+            merged_baseline.merge(b);
+        }
+        std::thread::scope(|scope| {
+            for shard in &shards {
+                let interval = &interval;
+                scope.spawn(move || {
+                    for &v in interval {
+                        shard.record(v);
+                    }
+                });
+            }
+        });
+        let finals: Vec<_> = shards.iter().map(|s| s.snapshot()).collect();
+        let mut merged_final = tcp_obs::HistogramSnapshot::empty();
+        for f in &finals {
+            merged_final.merge(f);
+        }
+        let delta_of_merge = merged_final.delta_since(&merged_baseline);
+        let mut merge_of_deltas = tcp_obs::HistogramSnapshot::empty();
+        for (f, b) in finals.iter().zip(&baselines) {
+            merge_of_deltas.merge(&f.delta_since(b));
+        }
+        prop_assert_eq!(delta_of_merge.count, merge_of_deltas.count);
+        prop_assert_eq!(delta_of_merge.count, (threads * interval.len()) as u64);
+        prop_assert_eq!(delta_of_merge.sum, merge_of_deltas.sum);
+        prop_assert_eq!(
+            delta_of_merge.sum,
+            interval.iter().sum::<u64>() * threads as u64
+        );
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            prop_assert_eq!(delta_of_merge.quantile(q), merge_of_deltas.quantile(q));
+        }
+        prop_assert_eq!(delta_of_merge.quantile(1.0), merge_of_deltas.quantile(1.0));
+    }
+
     // delta_since(earlier) recovers exactly the samples recorded in between.
     #[test]
     fn delta_recovers_interval_samples(

@@ -224,6 +224,10 @@ fn run_sweep_filtered(
         let _trial_span = tcp_obs::time!("sweep.trial.latency");
         let scenario_index = task / trials;
         let trial = task % trials;
+        // One trace per trial (seeded by the flattened task index — deterministic
+        // for a given grid), alongside the histogram feeding `--heartbeat`.  The
+        // arg records which scenario the trial belongs to.
+        let _trial_trace = tcp_obs::root_span!("sweep.trial", task as u64, scenario_index as u64);
         let p = &prepared[scenario_index];
         let outcome = p.service.run_bag_with(
             &p.bag,

@@ -16,8 +16,9 @@
 //! request stream from a file with byte-identical output for every `--threads` value;
 //! `listen` serves the same protocol over TCP through a fixed worker pool with a
 //! bounded in-flight budget (overloads get typed 503-style lines, `!reload <path>`
-//! hot-swaps packs, `!stats` / `!metrics` answer health probes, `!shutdown` drains
-//! and exits, and `--metrics-file` writes a periodic Prometheus text exposition);
+//! hot-swaps packs, `!stats` / `!metrics` / `!trace` answer health probes,
+//! `!shutdown` drains and exits, `--metrics-file` writes a periodic Prometheus text
+//! exposition, and `--trace-file` dumps the flight recorder as Chrome trace JSON);
 //! `connect` is the matching one-connection client; `gen` emits a deterministic load;
 //! `bench` measures the in-process serving path and `serve-bench` the loopback TCP
 //! path across worker counts with registry-backed latency percentiles.
@@ -80,6 +81,15 @@ commands:
       --metrics-interval S       seconds between exposition writes (default 5)
       --no-metrics               disable latency recording (histograms/span timers;
                                  counters keep serving `!stats`)
+      --trace-file FILE          write a Chrome trace-event JSON dump of the flight
+                                 recorder here at shutdown (atomically, via rename);
+                                 load it in chrome://tracing or Perfetto
+      --trace-sample R           deterministic trace sampling rate as `1/N` or `N`
+                                 (0 = off; default 1 = every request when
+                                 --trace-file is given, else 0)
+      --trace-slow-us T          force-retain any request slower than T microseconds
+                                 with its full span subtree, regardless of sampling
+                                 (default 0 = off)
 
   connect                      send request/control lines over one TCP connection
       --addr HOST:PORT           server address (required)
@@ -88,7 +98,7 @@ commands:
       --output FILE              response output path (default stdout)
 
   serve-bench                  loopback TCP throughput across worker counts, with
-                               per-run p50/p90/p99 latency from the advisor's
+                               per-run p50/p90/p99/p999 latency from the advisor's
                                registry histograms and a one-line JSON summary
       --pack FILE                model pack (required)
       --requests N               corpus size (default 100000)
@@ -307,11 +317,36 @@ fn write_exposition(path: &Path) {
     }
 }
 
+/// Writes the flight recorder's retained spans as Chrome trace-event JSON, with the
+/// same atomic tmp-then-rename discipline as the metrics exposition.
+fn write_trace(path: &Path) {
+    let text = tcp_obs::trace::chrome_trace_json(&tcp_obs::trace::recent_spans());
+    let tmp = path.with_extension("trace.tmp");
+    if std::fs::write(&tmp, &text).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// Parses `--trace-sample`, accepting both `1/N` (the documented reading) and a bare
+/// `N`; `0` (or `1/0`) disables sampling.
+fn parse_sample(value: &str, flag: &str) -> Result<u64, String> {
+    match value.split_once('/') {
+        Some(("1", denom)) => parse(denom.trim(), flag),
+        Some(_) => Err(format!(
+            "invalid {flag} value `{value}` (expected `1/N` or `N`)"
+        )),
+        None => parse(value.trim(), flag),
+    }
+}
+
 fn cmd_listen(argv: &[String]) -> Result<(), String> {
     let mut pack: Option<PathBuf> = None;
     let mut port_file: Option<PathBuf> = None;
     let mut metrics_file: Option<PathBuf> = None;
     let mut metrics_interval = 5.0f64;
+    let mut trace_file: Option<PathBuf> = None;
+    let mut trace_sample: Option<u64> = None;
+    let mut trace_slow_us = 0u64;
     let mut options = ServeOptions::default();
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -327,12 +362,20 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
             "--metrics-file" => metrics_file = Some(PathBuf::from(next_value(&mut it, arg)?)),
             "--metrics-interval" => metrics_interval = parse(next_value(&mut it, arg)?, arg)?,
             "--no-metrics" => tcp_obs::set_enabled(false),
+            "--trace-file" => trace_file = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--trace-sample" => trace_sample = Some(parse_sample(next_value(&mut it, arg)?, arg)?),
+            "--trace-slow-us" => trace_slow_us = parse(next_value(&mut it, arg)?, arg)?,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     if metrics_interval <= 0.0 || metrics_interval.is_nan() {
         return Err("--metrics-interval must be positive".to_string());
     }
+    // Tracing defaults to sample-everything when a trace file is requested, and to
+    // fully off otherwise; `--trace-sample 0` forces it off either way (the trace
+    // file then holds an empty-but-valid dump, unless the slow log retains spans).
+    let sample_every = trace_sample.unwrap_or(u64::from(trace_file.is_some()));
+    tcp_obs::trace::configure(sample_every, trace_slow_us.saturating_mul(1_000));
     let advisor = load_advisor(&pack)?;
     let pack_name = advisor.name().to_string();
     let cells = advisor.cell_names().len();
@@ -340,7 +383,7 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
     let addr = server.local_addr();
     eprintln!(
         "listening on {addr}: pack `{pack_name}` ({cells} cells), {} workers, \
-         max-inflight {}, protocol NDJSON (+ !reload / !stats / !metrics / !shutdown)",
+         max-inflight {}, protocol NDJSON (+ !reload / !stats / !metrics / !trace / !shutdown)",
         options.workers, options.max_inflight
     );
     if let Some(path) = port_file {
@@ -374,6 +417,11 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
     if let Some(path) = &metrics_file {
         // One final write after the drain so the file holds the complete totals.
         write_exposition(path);
+    }
+    if let Some(path) = &trace_file {
+        // Written once, after the drain: the flight recorder keeps the most recent
+        // retained spans at bounded memory, so this is a dump, not an append log.
+        write_trace(path);
     }
     eprintln!(
         "drained: {} connections, {} requests, {} overload responses, {} refused connections",
@@ -456,8 +504,9 @@ fn cmd_serve_bench(argv: &[String]) -> Result<(), String> {
     );
     for (i, &workers) in worker_counts.iter().enumerate() {
         // The loopback server runs in-process, so the advisor's per-query latencies
-        // land in this process's global registry; a before/after snapshot delta
-        // isolates just this run's samples.
+        // land in this process's global registry; a *fresh* before/after snapshot
+        // delta per worker count isolates just this run's samples — reusing one
+        // baseline across iterations would fold earlier runs into later quantiles.
         let before = advisor_latency_snapshot();
         let report = loopback_bench(&pack_json, &corpus, workers, clients)?;
         let delta = advisor_latency_snapshot().delta_since(&before);
@@ -468,22 +517,31 @@ fn cmd_serve_bench(argv: &[String]) -> Result<(), String> {
                 1.0
             }
         };
-        let (p50, p90, p99) = (
+        let (p50, p90, p99, p999) = (
             delta.quantile(0.50) / 1e3,
             delta.quantile(0.90) / 1e3,
             delta.quantile(0.99) / 1e3,
+            delta.quantile(0.999) / 1e3,
         );
         println!(
             "  workers {:>2}: {:>9.0} q/s  ({:.3}s wall, {:.2}x vs workers {})  \
-             latency p50 {:.2}us p90 {:.2}us p99 {:.2}us",
-            report.workers, report.qps, report.seconds, speedup, worker_counts[0], p50, p90, p99,
+             latency p50 {:.2}us p90 {:.2}us p99 {:.2}us p999 {:.2}us",
+            report.workers,
+            report.qps,
+            report.seconds,
+            speedup,
+            worker_counts[0],
+            p50,
+            p90,
+            p99,
+            p999,
         );
         if i > 0 {
             summary.push(',');
         }
         summary.push_str(&format!(
             "{{\"p50_us\":{p50:.3},\"p90_us\":{p90:.3},\"p99_us\":{p99:.3},\
-             \"qps\":{:.1},\"seconds\":{:.4},\"workers\":{workers}}}",
+             \"p999_us\":{p999:.3},\"qps\":{:.1},\"seconds\":{:.4},\"workers\":{workers}}}",
             report.qps, report.seconds,
         ));
     }

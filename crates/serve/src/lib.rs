@@ -24,13 +24,17 @@
 //! `connect` / `serve-bench` add the network path.  `advise listen --metrics-file
 //! <path> [--metrics-interval <s>]` additionally writes the process-global
 //! [`tcp_obs::Registry`] as a Prometheus text exposition on a timer (atomic
-//! write-then-rename; one final write after the drain).
+//! write-then-rename; one final write after the drain), and `--trace-file <path>
+//! [--trace-sample 1/N] [--trace-slow-us T]` arms the [`tcp_obs::trace`] flight
+//! recorder and dumps it as Chrome trace-event JSON at shutdown (same atomic
+//! discipline; load the file in `chrome://tracing` or Perfetto).
 //!
 //! ```text
 //! pack.json ──advise listen──▶ 127.0.0.1:PORT ◀──advise connect── requests.ndjson
 //!                 │ workers × connections, shared Arc'd pack,
-//!                 │ bounded in-flight budget, !reload/!stats/!metrics/!shutdown
-//!                 └──[--metrics-file]──▶ metrics.prom (Prometheus text exposition)
+//!                 │ bounded in-flight budget, !reload/!stats/!metrics/!trace/!shutdown
+//!                 ├──[--metrics-file]──▶ metrics.prom (Prometheus text exposition)
+//!                 └──[--trace-file]───▶ trace.json (Chrome trace events, at drain)
 //! ```
 //!
 //! # Control-line schemas
@@ -59,13 +63,33 @@
 //!
 //! `!metrics` answers with `{"control":"metrics","metrics":{...}}` where `metrics` is
 //! the process-global registry snapshot: counters as integers, gauges as numbers, and
-//! histograms as `{"count","sum","mean","p50","p90","p99","max"}` objects (latency in
-//! nanoseconds), again with sorted keys.  Scope is the whole process across reloads
-//! and connections — `!stats` is the pack/session view, `!metrics` the fleet view.
+//! histograms as `{"count","sum","mean","p50","p90","p99","p999","max"}` objects
+//! (latency in nanoseconds), again with sorted keys.  Scope is the whole process
+//! across reloads and connections — `!stats` is the pack/session view, `!metrics`
+//! the fleet view.
 //!
-//! Responses for *request* lines are never affected by metrics: instrumentation is
-//! strictly out-of-band, so served bytes stay identical across `--threads`,
-//! `--workers`, and metrics-enabled/disabled runs.
+//! `!metrics prom` answers with the same registry rendered as Prometheus text
+//! exposition format 0.0.4, wrapped in one JSON line so the one-response-per-line
+//! protocol holds (the multi-line exposition is JSON-escaped under `text`):
+//!
+//! ```json
+//! {"control":"metrics","encoding":"prometheus-0.0.4","text":"# TYPE ... counter\n..."}
+//! ```
+//!
+//! Unescape `text` to recover exactly the bytes a `--metrics-file` scrape would
+//! read: `# TYPE` headers, counter/gauge samples, and cumulative histogram
+//! `_bucket{le=...}` / `_sum` / `_count` series per family.
+//!
+//! `!trace` answers with `{"control":"trace","spans":[...]}` — the flight recorder's
+//! currently retained spans (most recent per thread lane, bounded), each span a
+//! sorted-key object `{"arg","dur_ns","lane","parent","site","slow","span",
+//! "start_ns","trace"}`.  Arm the recorder with `--trace-sample` / `--trace-slow-us`
+//! (or `--trace-file`, which implies sampling everything); unarmed servers answer
+//! with an empty `spans` array.
+//!
+//! Responses for *request* lines are never affected by metrics or tracing:
+//! instrumentation is strictly out-of-band, so served bytes stay identical across
+//! `--threads`, `--workers`, metrics-enabled/disabled, and traced/untraced runs.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

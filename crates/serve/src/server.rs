@@ -29,7 +29,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tcp_advisor::{AdvisorHandle, MultiAdvisor, Session};
 use tcp_obs::{Counter, Gauge};
 
@@ -162,16 +162,30 @@ impl ServerMetrics {
     }
 }
 
+/// A connection waiting for a worker, stamped at accept time so the worker can
+/// attribute the queue wait to the connection's trace.
+struct QueuedConnection {
+    stream: TcpStream,
+    /// When the accept loop enqueued it (the start of the queue-wait span).
+    enqueued_at: Instant,
+    /// Accept-order ordinal: the deterministic trace-sampling seed for the
+    /// connection (`--trace-sample 1/N` picks the same connections every run of the
+    /// same arrival order).
+    ordinal: u64,
+}
+
 struct Shared {
     handle: AdvisorHandle,
     options: ServeOptions,
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<QueuedConnection>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
     inflight: AtomicUsize,
     counters: Counters,
     metrics: ServerMetrics,
     addr: SocketAddr,
+    /// Accept-order allocator behind [`QueuedConnection::ordinal`].
+    connection_seq: AtomicU64,
 }
 
 impl Shared {
@@ -261,6 +275,7 @@ impl Server {
             counters: Counters::default(),
             metrics: ServerMetrics::new(),
             addr,
+            connection_seq: AtomicU64::new(0),
         });
 
         let accept = {
@@ -344,7 +359,11 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
                 ),
             );
         } else {
-            queue.push_back(stream);
+            queue.push_back(QueuedConnection {
+                stream,
+                enqueued_at: Instant::now(),
+                ordinal: shared.connection_seq.fetch_add(1, Ordering::Relaxed),
+            });
             shared.metrics.queue_depth.set(queue.len() as f64);
             drop(queue);
             shared.queue_cv.notify_one();
@@ -374,9 +393,9 @@ fn worker_loop(shared: &Shared) {
         let connection = {
             let mut queue = shared.queue.lock().expect("connection queue poisoned");
             loop {
-                if let Some(stream) = queue.pop_front() {
+                if let Some(connection) = queue.pop_front() {
                     shared.metrics.queue_depth.set(queue.len() as f64);
-                    break Some(stream);
+                    break Some(connection);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
@@ -388,7 +407,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match connection {
-            Some(stream) => serve_connection(stream, shared),
+            Some(connection) => serve_connection(connection, shared),
             None => break,
         }
     }
@@ -431,7 +450,25 @@ impl Drop for ActiveConnectionGuard<'_> {
     }
 }
 
-fn serve_connection(stream: TcpStream, shared: &Shared) {
+fn serve_connection(connection: QueuedConnection, shared: &Shared) {
+    let QueuedConnection {
+        stream,
+        enqueued_at,
+        ordinal,
+    } = connection;
+    // The connection's trace root (accept → drain), sampled deterministically by
+    // accept ordinal; the time spent waiting for this worker lands as a completed
+    // `serve.queue.wait` child.  All of this is inert when tracing is off, and none
+    // of it touches the response bytes.
+    let _conn_trace = tcp_obs::root_span!("serve.connection", ordinal, ordinal);
+    if tcp_obs::trace::tracing_configured() {
+        static QUEUE_WAIT: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+        tcp_obs::trace::complete_span(
+            *QUEUE_WAIT.get_or_init(|| tcp_obs::trace::site_id("serve.queue.wait")),
+            enqueued_at,
+            ordinal,
+        );
+    }
     shared.counters.connections.fetch_add(1, Ordering::Relaxed);
     shared.metrics.connections_accepted.incr();
     shared.metrics.connections_active.add(1.0);
@@ -553,6 +590,9 @@ fn flush_batch(
     if pending.is_empty() {
         return Ok(());
     }
+    // Batch-assembly-and-dispatch span, nested in the connection trace; the arg is
+    // the batch size.  Per-request spans open inside `Session::process`.
+    let _batch_span = tcp_obs::span!("serve.batch.flush", pending.len() as u64);
     let mut out = String::new();
     let mut run: Vec<&str> = Vec::new();
     let mut permits = 0usize;

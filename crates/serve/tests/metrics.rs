@@ -91,7 +91,7 @@ fn metrics_stay_out_of_the_response_stream() {
         .iter()
         .map(|name| {
             let hist = metrics.get(name).expect("latency family present");
-            for key in ["count", "sum", "mean", "p50", "p90", "p99", "max"] {
+            for key in ["count", "sum", "mean", "p50", "p90", "p99", "p999", "max"] {
                 assert!(hist.get(key).is_some(), "{name} missing {key}");
             }
             hist.get("count").and_then(|v| v.as_u64()).unwrap()
