@@ -156,9 +156,20 @@ pub struct AdvisorHandle {
     current: RwLock<Arc<MultiAdvisor>>,
 }
 
+/// Records the pack swap in gauges: `advisor.pack.loaded_at_secs` (monotonic
+/// timestamp, the basis for `pack_age_secs` in `!health`/`!stats` and for
+/// `age`-kind SLO rules) and `advisor.pack.format_version`.
+fn publish_pack_gauges(advisor: &MultiAdvisor) {
+    tcp_obs::gauge("advisor.pack.loaded_at_secs").set(tcp_obs::log::now_monotonic_secs());
+    tcp_obs::gauge("advisor.pack.format_version")
+        .set(advisor.pooled().pack().format_version as f64);
+}
+
 impl AdvisorHandle {
-    /// Creates a handle serving `advisor`.
+    /// Creates a handle serving `advisor`.  Stamps the pack gauges, so serving
+    /// starts with a fresh `pack_age_secs`.
     pub fn new(advisor: MultiAdvisor) -> Self {
+        publish_pack_gauges(&advisor);
         AdvisorHandle {
             current: RwLock::new(Arc::new(advisor)),
         }
@@ -170,8 +181,10 @@ impl AdvisorHandle {
     }
 
     /// Atomically replaces the served advisor.  In-flight work keeps the snapshot it
-    /// already holds; only requests routed after the swap see the new packs.
+    /// already holds; only requests routed after the swap see the new packs.  The
+    /// pack gauges are re-stamped, resetting `pack_age_secs` to zero.
     pub fn reload(&self, advisor: MultiAdvisor) {
+        publish_pack_gauges(&advisor);
         *self.current.write().expect("advisor lock poisoned") = Arc::new(advisor);
     }
 

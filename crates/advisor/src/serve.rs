@@ -12,8 +12,10 @@
 //! holding a snapshot keeps answering from it unaffected.  The control line itself
 //! produces one `{"control": "reload", ...}` (or `{"error": ...}`) line in place.
 //! `!stats` emits the sharded query counters as a one-line JSON health report with
-//! deterministically sorted keys, and `!metrics` dumps the process-global
-//! [`tcp_obs::Registry`] (latency histograms included) as one line of sorted-key JSON.
+//! deterministically sorted keys, `!metrics` dumps the process-global
+//! [`tcp_obs::Registry`] (latency histograms included) as one line of sorted-key JSON,
+//! and `!health` reports the SLO evaluator's verdict (Healthy/Degraded/Unhealthy),
+//! per-rule states, pack version/age, uptime, and the recent warn/error event ring.
 //!
 //! The line-level state machine lives in [`Session`], which is front-end agnostic: the
 //! file/stdin path below feeds it a whole document at once, while the TCP server in
@@ -71,6 +73,12 @@ pub struct StatsLine {
     pub dp_families: std::collections::BTreeMap<String, u64>,
     /// Name of the pack (set) currently being served.
     pub pack: String,
+    /// Seconds since the served pack was swapped in (from the
+    /// `advisor.pack.loaded_at_secs` gauge stamped at load/reload time) — the
+    /// staleness figure `age`-kind SLO rules alert on.
+    pub pack_age_secs: f64,
+    /// Pack format version of the served pack.
+    pub pack_format_version: u32,
     /// Counters summed over every pack this session has served from — the figure that
     /// survives a `!reload` (which swaps the live counters).  Pack counters are shared
     /// by every session serving the same packs, so under a multi-connection server
@@ -82,6 +90,13 @@ pub struct StatsLine {
     /// since the last reload, so a fresh health-probe connection sees real traffic.
     /// This is the histogram that shows which models a pack is actually serving.
     pub served_families: std::collections::BTreeMap<String, u64>,
+}
+
+/// Seconds since the served pack was stamped into the `advisor.pack.loaded_at_secs`
+/// gauge (see `AdvisorHandle::new`/`reload`); clamped non-negative.
+fn pack_age_secs() -> f64 {
+    let loaded_at = tcp_obs::gauge("advisor.pack.loaded_at_secs").get();
+    (tcp_obs::log::now_monotonic_secs() - loaded_at).max(0.0)
 }
 
 /// Answers one NDJSON request line, returning the response (or error) line without a
@@ -121,7 +136,8 @@ pub fn serve_ndjson(advisor: &MultiAdvisor, input: &str, threads: usize) -> Stri
 /// `threads` workers (`0` = all CPUs) by a snapshot of the current advisor; `!reload`
 /// swaps the pack between runs; `!stats` reports the sharded counters; `!metrics`
 /// dumps the process-global metric registry (`!metrics prom` as a Prometheus text
-/// exposition); `!trace` returns the flight recorder's recent spans.  The output for
+/// exposition); `!trace` returns the flight recorder's recent spans; `!health`
+/// reports the SLO verdict, pack age/version, and recent errors.  The output for
 /// a given line sequence does not depend on how the lines are sliced across
 /// [`Session::process`] calls, which is what makes the file front end
 /// ([`serve_session`]) and the TCP front end (`tcp-serve`) byte-identical.
@@ -245,6 +261,8 @@ impl<'a> Session<'a> {
                     current: advisor.stats(),
                     dp_families: families.dp,
                     pack: advisor.name().to_string(),
+                    pack_age_secs: pack_age_secs(),
+                    pack_format_version: advisor.pooled().pack().format_version,
                     served: self.stats(),
                     served_families: families.served,
                 })
@@ -253,9 +271,10 @@ impl<'a> Session<'a> {
             Some(("metrics", arg)) if arg.trim() == "prom" => Self::metrics_prometheus_line(),
             None if control == "metrics" => Self::metrics_line(),
             None if control == "trace" => Self::trace_line(),
+            None if control == "health" => self.health_line(),
             _ => emit_error(format!(
                 "unknown control line `!{control}` (expected `!reload <path>`, `!stats`, \
-                 `!metrics`, `!metrics prom`, or `!trace`)"
+                 `!metrics`, `!metrics prom`, `!trace`, or `!health`)"
             )),
         }
     }
@@ -298,6 +317,44 @@ impl<'a> Session<'a> {
         format!(
             "{{\"control\":\"trace\",\"spans\":{}}}",
             tcp_obs::trace::spans_json(&tcp_obs::trace::recent_spans())
+        )
+    }
+
+    /// The one-line JSON answer to a `!health` control line:
+    /// `{"control":"health","health":{...}}` with the health object's keys sorted
+    /// (`"pack"` < `"recent_errors"` < `"rules"` < `"uptime_secs"` < `"verdict"`).
+    ///
+    /// The verdict and per-rule states come from the most recent
+    /// [`tcp_obs::health::HealthReport`] published by the SLO evaluator
+    /// (`advise listen --slo`); with no evaluator armed the verdict is `"healthy"`
+    /// with an empty rule list.  `pack` carries the served pack's name, cell
+    /// count, format version, and age in seconds (from the gauges stamped at swap
+    /// time); `recent_errors` is the event log's bounded ring of recent
+    /// warn/error records; `uptime_secs` is time since the process's
+    /// observability epoch.
+    pub fn health_line(&self) -> String {
+        let advisor = self.handle.current();
+        let report = tcp_obs::health::current();
+        let (verdict, rules) = match &report {
+            Some(r) => (r.verdict.as_str(), r.rules_json()),
+            None => ("healthy", "[]".to_string()),
+        };
+        let recent: Vec<String> = tcp_obs::log::recent_errors()
+            .iter()
+            .map(|e| e.to_json_line())
+            .collect();
+        format!(
+            "{{\"control\":\"health\",\"health\":{{\"pack\":{{\"age_secs\":{:?},\
+             \"cells\":{},\"format_version\":{},\"name\":{}}},\"recent_errors\":[{}],\
+             \"rules\":{},\"uptime_secs\":{:?},\"verdict\":\"{}\"}}}}",
+            pack_age_secs(),
+            advisor.cell_names().len(),
+            advisor.pooled().pack().format_version,
+            serde_json::to_string(&advisor.name().to_string()).expect("strings serialize"),
+            recent.join(","),
+            rules,
+            tcp_obs::log::now_monotonic_secs(),
+            verdict,
         )
     }
 
@@ -707,6 +764,94 @@ dp_step_minutes = 30.0
         let value = serde_json::parse_value(out.lines().next().unwrap()).unwrap();
         assert_eq!(value.get("control").and_then(|v| v.as_str()), Some("trace"));
         assert!(value.get("spans").is_some(), "spans array present");
+    }
+
+    #[test]
+    fn health_control_line_tracks_the_published_report() {
+        // One test owns the process-global published report end-to-end (parallel
+        // tests in this binary must not touch it): no report → healthy with empty
+        // rules; a published degraded report → degraded with the rule states; and
+        // clearing restores the default.
+        tcp_obs::health::clear_current();
+        let handle = AdvisorHandle::new(advisor());
+        let out = serve_session(&handle, "!health\n", 1);
+        let value = serde_json::parse_value(out.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            value.get("control").and_then(|v| v.as_str()),
+            Some("health")
+        );
+        let health = value.get("health").expect("health object");
+        assert_eq!(
+            health.get("verdict").and_then(|v| v.as_str()),
+            Some("healthy")
+        );
+        assert_eq!(
+            health.get("rules").and_then(|v| v.as_seq()).unwrap().len(),
+            0
+        );
+        assert!(health
+            .get("recent_errors")
+            .and_then(|v| v.as_seq())
+            .is_some());
+        assert!(health.get("uptime_secs").and_then(|v| v.as_f64()).unwrap() >= 0.0);
+        let pack = health.get("pack").expect("pack object");
+        assert_eq!(pack.get("name").and_then(|v| v.as_str()), Some("tiny-pack"));
+        assert_eq!(pack.get("cells").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(
+            pack.get("format_version").and_then(|v| v.as_u64()),
+            Some(crate::pack::PACK_FORMAT_VERSION as u64)
+        );
+        assert!(pack.get("age_secs").and_then(|v| v.as_f64()).unwrap() >= 0.0);
+        // Health object keys are sorted.
+        let keys: Vec<&str> = health
+            .as_map()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "health keys must be sorted");
+
+        // A published firing report flips the verdict and carries rule states.
+        tcp_obs::health::publish(tcp_obs::health::HealthReport {
+            verdict: tcp_obs::health::Verdict::Degraded,
+            t_secs: 1.0,
+            rules: vec![tcp_obs::health::RuleReport {
+                name: "shed-ratio".to_string(),
+                severity: tcp_obs::health::Severity::Warn,
+                firing: true,
+                short_value: 0.5,
+                long_value: 0.4,
+                threshold: 0.1,
+            }],
+        });
+        let out = serve_session(&handle, "!health\n", 1);
+        let value = serde_json::parse_value(out.lines().next().unwrap()).unwrap();
+        let health = value.get("health").unwrap();
+        assert_eq!(
+            health.get("verdict").and_then(|v| v.as_str()),
+            Some("degraded")
+        );
+        let rules = health.get("rules").and_then(|v| v.as_seq()).unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(
+            rules[0].get("name").and_then(|v| v.as_str()),
+            Some("shed-ratio")
+        );
+        assert_eq!(rules[0].get("firing").and_then(|v| v.as_bool()), Some(true));
+        tcp_obs::health::clear_current();
+    }
+
+    #[test]
+    fn stats_line_reports_pack_age_and_version() {
+        let handle = AdvisorHandle::new(advisor());
+        let out = serve_session(&handle, "!stats\n", 1);
+        let stats: StatsLine = serde_json::from_str(out.lines().next().unwrap()).unwrap();
+        assert!(stats.pack_age_secs >= 0.0);
+        // A fresh handle stamped the gauge moments ago.
+        assert!(stats.pack_age_secs < 60.0, "{}", stats.pack_age_secs);
+        assert_eq!(stats.pack_format_version, crate::pack::PACK_FORMAT_VERSION);
     }
 
     #[test]

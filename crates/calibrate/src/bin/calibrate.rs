@@ -105,6 +105,18 @@ fn cmd_fit(argv: &[String]) -> Result<(), String> {
         started.elapsed().as_secs_f64(),
         out.display()
     );
+    // The stdout line above is the human report; this is the same summary as one
+    // structured stderr event line for log scrapers (stdout stays untouched).
+    tcp_obs::event!(
+        info,
+        "calibrate.fit.done",
+        catalog = catalog.name.clone(),
+        records = catalog.total_records,
+        cells = catalog.cells.len(),
+        parametric = parametric,
+        pooled_winner = catalog.pooled.model.family.clone(),
+        elapsed_secs = started.elapsed().as_secs_f64(),
+    );
     Ok(())
 }
 
@@ -257,6 +269,18 @@ fn cmd_compare(argv: &[String]) -> Result<(), String> {
     for cell in &drift {
         if cell.drifted {
             drifted += 1;
+            // Drifted cells also go out as structured warn events: they are the
+            // actionable signal (recalibrate this cell), and the warn level lands
+            // them in the event log's recent-errors ring.
+            tcp_obs::event!(
+                warn,
+                "calibrate.drift",
+                cell = cell.cell.clone(),
+                ks_statistic = cell.ks_statistic,
+                threshold = cell.threshold,
+                records_a = cell.records_a,
+                records_b = cell.records_b,
+            );
         }
         println!(
             "  {:<36} D {:.4} vs {:.4} ({} vs {} records): {}",

@@ -47,8 +47,9 @@ pub(crate) fn json_escape(s: &str, out: &mut String) {
 }
 
 /// Renders an `f64` as a JSON number (`null` for non-finite values, integers
-/// without a trailing `.0` so counters read naturally).
-fn json_number(v: f64, out: &mut String) {
+/// without a trailing `.0` so counters read naturally).  Shared with the event
+/// log and health report renderers.
+pub(crate) fn json_number(v: f64, out: &mut String) {
     if !v.is_finite() {
         out.push_str("null");
     } else if v == v.trunc() && v.abs() < 9.007_199_254_740_992e15 {

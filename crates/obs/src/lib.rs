@@ -26,6 +26,13 @@
 //!   ring buffer, deterministic `1/N` trace sampling, a slow-request log, and
 //!   Chrome trace-event / per-site summary exporters.  Aggregates say how the
 //!   fleet is doing; traces say where one request's time went.
+//! - **[`log`]** — a leveled structured event log ([`event!`]): one-line sorted-key
+//!   JSON records with per-site token-bucket rate limiting and a bounded ring of
+//!   recent warn/error events (surfaced by the serve layer's `!health` line).
+//! - **[`health`]** — the consumption layer over the registry: a rolling-window
+//!   SLO engine evaluating declarative burn-rate rules (short + long windows)
+//!   against snapshot deltas, producing typed firing/resolved [`health::Alert`]s
+//!   and a published [`health::HealthReport`] verdict.
 //!
 //! # Determinism contract
 //!
@@ -60,7 +67,9 @@
 #![forbid(unsafe_code)]
 
 mod export;
+pub mod health;
 mod hist;
+pub mod log;
 mod pad;
 mod registry;
 pub mod trace;
@@ -71,6 +80,20 @@ pub use registry::{Counter, Gauge, Registry};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// A count delta over an elapsed wall-clock interval as an events-per-second rate
+/// (0 when the interval is non-positive or degenerate).
+///
+/// This is *the* windowed-rate definition for the workspace: `serve-bench` qps,
+/// the sweep heartbeat's trials-per-second, and the SLO engine's `rate` signals
+/// all divide the same way, so their numbers agree on the same window.
+pub fn rate_per_sec(count_delta: u64, elapsed_secs: f64) -> f64 {
+    if elapsed_secs.is_finite() && elapsed_secs > 0.0 {
+        count_delta as f64 / elapsed_secs
+    } else {
+        0.0
+    }
+}
 
 /// Whether latency instrumentation (histograms, span timers) records.
 static ENABLED: AtomicBool = AtomicBool::new(true);

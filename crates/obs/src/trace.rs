@@ -114,12 +114,14 @@ pub fn sampled(seed: u64) -> bool {
 }
 
 /// The process trace epoch: all span offsets are nanoseconds since this instant.
-fn epoch() -> Instant {
+/// Shared with the event log and the health evaluator so every observability
+/// timestamp in the process measures from the same zero.
+pub(crate) fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn since_epoch_ns(at: Instant) -> u64 {
+pub(crate) fn since_epoch_ns(at: Instant) -> u64 {
     at.checked_duration_since(epoch())
         .map(|d| d.as_nanos() as u64)
         .unwrap_or(0)

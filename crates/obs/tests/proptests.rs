@@ -141,6 +141,43 @@ proptest! {
         prop_assert_eq!(delta_of_merge.quantile(1.0), merge_of_deltas.quantile(1.0));
     }
 
+    // The SLO engine's windowed quantiles agree with exact quantiles: record
+    // samples in tick-sized chunks, snapshot after each tick (the evaluator's
+    // delta ring), then for every possible window start the quantile of
+    // `latest.delta_since(ring[start])` matches the exact nearest-rank quantile
+    // of precisely the samples recorded inside that window, within the 1/16
+    // bucket-midpoint bound.
+    #[test]
+    fn windowed_quantiles_from_delta_ring_match_exact(
+        ticks in proptest::collection::vec(
+            proptest::collection::vec(1u64..10_000_000, 1..40), 2..8),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        let mut ring = vec![h.snapshot()]; // baseline before any tick
+        for chunk in &ticks {
+            for &v in chunk {
+                h.record(v);
+            }
+            ring.push(h.snapshot());
+        }
+        let latest = ring.last().unwrap();
+        for start in 0..ticks.len() {
+            let delta = latest.delta_since(&ring[start]);
+            let mut window: Vec<u64> = ticks[start..].iter().flatten().copied().collect();
+            window.sort_unstable();
+            prop_assert_eq!(delta.count, window.len() as u64);
+            let exact = exact_quantile(&window, q) as f64;
+            let estimate = delta.quantile(q);
+            let rel = (estimate - exact).abs() / exact;
+            prop_assert!(
+                rel <= 1.0 / 16.0 + 1e-12,
+                "window [{}..]: q={} estimate={} exact={} rel={}",
+                start, q, estimate, exact, rel
+            );
+        }
+    }
+
     // delta_since(earlier) recovers exactly the samples recorded in between.
     #[test]
     fn delta_recovers_interval_samples(

@@ -15,9 +15,13 @@
 //! the exact bytes the unsharded run would have produced.
 //!
 //! `--heartbeat SECS` prints live progress to stderr while the sweep runs — trials
-//! completed out of scheduled plus the median trial wall time, read from the runner's
-//! `sweep.trials.*` registry counters.  Heartbeats go to stderr only; stdout and the
-//! report files are byte-identical with or without the flag.
+//! completed out of scheduled, the completion rate over the last interval, and the
+//! median trial wall time, read from the runner's `sweep.trials.*` registry
+//! counters.  `--heartbeat-json` emits each heartbeat as a structured
+//! `sweep.heartbeat` event line (one sorted-key JSON object via
+//! [`tcp_obs::event!`]) instead of prose, for log scrapers.  Heartbeats go to
+//! stderr only; stdout and the report files are byte-identical with or without
+//! either flag.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,6 +40,7 @@ options:
   --dry-run      expand and list the scenario grid without running it
   --quiet        suppress the per-regime summary tables
   --heartbeat S  print trial progress to stderr every S seconds while running
+  --heartbeat-json  emit heartbeats as structured JSON event lines instead of prose
   --help         show this message";
 
 struct Args {
@@ -46,6 +51,7 @@ struct Args {
     dry_run: bool,
     quiet: bool,
     heartbeat: Option<f64>,
+    heartbeat_json: bool,
 }
 
 /// Prints live sweep progress to stderr until dropped: trials completed out of this
@@ -57,12 +63,14 @@ struct Heartbeat {
 }
 
 impl Heartbeat {
-    fn start(interval: f64, total: u64) -> Heartbeat {
+    fn start(interval: f64, total: u64, json: bool) -> Heartbeat {
         let stop = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
             let completed = tcp_obs::counter("sweep.trials.completed");
             let base = completed.get();
+            let mut prev_done = 0u64;
+            let mut prev_at = Instant::now();
             loop {
                 // Sleep in short slices so drop() never blocks a full interval.
                 let deadline = Instant::now() + Duration::from_secs_f64(interval);
@@ -73,14 +81,35 @@ impl Heartbeat {
                     std::thread::sleep(Duration::from_millis(50));
                 }
                 let done = completed.get().saturating_sub(base);
+                // Completion rate over this interval, not the whole run: the
+                // operator watches it to spot a stalling sweep.
+                let trials_per_sec = tcp_obs::rate_per_sec(
+                    done.saturating_sub(prev_done),
+                    prev_at.elapsed().as_secs_f64(),
+                );
+                prev_done = done;
+                prev_at = Instant::now();
+                let pct = 100.0 * done as f64 / total.max(1) as f64;
                 let p50_ms = tcp_obs::Registry::global()
                     .histogram_snapshot("sweep.trial.latency")
                     .map(|s| s.quantile(0.5) / 1e6)
                     .unwrap_or(0.0);
-                eprintln!(
-                    "heartbeat: {done}/{total} trials ({:.1}%), p50 trial {p50_ms:.1} ms",
-                    100.0 * done as f64 / total.max(1) as f64
-                );
+                if json {
+                    tcp_obs::event!(
+                        info,
+                        "sweep.heartbeat",
+                        done = done,
+                        total = total,
+                        pct = pct,
+                        trials_per_sec = trials_per_sec,
+                        p50_trial_ms = p50_ms,
+                    );
+                } else {
+                    eprintln!(
+                        "heartbeat: {done}/{total} trials ({pct:.1}%), \
+                         {trials_per_sec:.1} trials/s, p50 trial {p50_ms:.1} ms"
+                    );
+                }
             }
         });
         Heartbeat {
@@ -124,6 +153,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut dry_run = false;
     let mut quiet = false;
     let mut heartbeat = None;
+    let mut heartbeat_json = false;
 
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -153,6 +183,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 heartbeat = Some(secs);
             }
+            "--heartbeat-json" => heartbeat_json = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n\n{USAGE}"))
             }
@@ -173,6 +204,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         dry_run,
         quiet,
         heartbeat,
+        heartbeat_json,
     })
 }
 
@@ -245,9 +277,13 @@ fn run(args: &Args) -> Result<(), String> {
             .iter()
             .filter(|s| s.meta.id % count == index)
             .count();
-        let _heartbeat = args
-            .heartbeat
-            .map(|secs| Heartbeat::start(secs, (shard_scenarios * spec.trials()) as u64));
+        let _heartbeat = args.heartbeat.map(|secs| {
+            Heartbeat::start(
+                secs,
+                (shard_scenarios * spec.trials()) as u64,
+                args.heartbeat_json,
+            )
+        });
         let report =
             run_sweep_shard(&spec, &grid, index, count, args.threads).map_err(|e| e.to_string())?;
         println!(
@@ -266,9 +302,13 @@ fn run(args: &Args) -> Result<(), String> {
         return Ok(());
     }
 
-    let heartbeat = args
-        .heartbeat
-        .map(|secs| Heartbeat::start(secs, (grid.len() * spec.trials()) as u64));
+    let heartbeat = args.heartbeat.map(|secs| {
+        Heartbeat::start(
+            secs,
+            (grid.len() * spec.trials()) as u64,
+            args.heartbeat_json,
+        )
+    });
     let report = run_sweep_on_grid(&spec, &grid, args.threads).map_err(|e| e.to_string())?;
     drop(heartbeat);
     write_reports(&report, &args.out_dir, args.quiet)

@@ -93,6 +93,6 @@ pub fn loopback_bench(
         clients: chunks.len(),
         requests: lines.len(),
         seconds,
-        qps: lines.len() as f64 / seconds.max(1e-9),
+        qps: tcp_obs::rate_per_sec(lines.len() as u64, seconds),
     })
 }

@@ -8,6 +8,7 @@
 //! advise bench --pack pack.json [--requests N] [--threads N] [--seed S]
 //! advise listen --pack pack.json [--addr HOST:PORT] [--workers N] [--max-inflight M]
 //! advise connect --addr HOST:PORT [--input FILE] [--send LINE]... [--output FILE]
+//! advise top   --addr HOST:PORT [--interval S] [--once]
 //! advise serve-bench --pack pack.json [--requests N] [--clients C] [--workers 1,2,4]
 //! ```
 //!
@@ -16,12 +17,16 @@
 //! request stream from a file with byte-identical output for every `--threads` value;
 //! `listen` serves the same protocol over TCP through a fixed worker pool with a
 //! bounded in-flight budget (overloads get typed 503-style lines, `!reload <path>`
-//! hot-swaps packs, `!stats` / `!metrics` / `!trace` answer health probes,
-//! `!shutdown` drains and exits, `--metrics-file` writes a periodic Prometheus text
-//! exposition, and `--trace-file` dumps the flight recorder as Chrome trace JSON);
-//! `connect` is the matching one-connection client; `gen` emits a deterministic load;
-//! `bench` measures the in-process serving path and `serve-bench` the loopback TCP
-//! path across worker counts with registry-backed latency percentiles.
+//! hot-swaps packs, `!stats` / `!metrics` / `!trace` / `!health` answer health
+//! probes, `!shutdown` drains and exits, `--metrics-file` writes a periodic
+//! Prometheus text exposition, `--trace-file` dumps the flight recorder as Chrome
+//! trace JSON, and `--slo` arms the rolling-window SLO evaluator with `--alert-log`
+//! appending firing/resolved transitions as JSON lines); `connect` is the matching
+//! one-connection client; `top` is a live terminal dashboard polling `!metrics` /
+//! `!health` (`--once` for a single machine-readable snapshot); `gen` emits a
+//! deterministic load; `bench` measures the in-process serving path and
+//! `serve-bench` the loopback TCP path across worker counts with registry-backed
+//! latency percentiles.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -34,7 +39,7 @@ use tcp_advisor::{
 };
 use tcp_calibrate::RegimeCatalog;
 use tcp_scenarios::SweepSpec;
-use tcp_serve::{loopback_bench, run_client, ServeOptions, Server};
+use tcp_serve::{loopback_bench, run_client, run_top, ServeOptions, Server, TopOptions};
 
 const USAGE: &str = "usage: advise <command> [options]
 
@@ -90,12 +95,27 @@ commands:
       --trace-slow-us T          force-retain any request slower than T microseconds
                                  with its full span subtree, regardless of sampling
                                  (default 0 = off)
+      --slo FILE                 arm the rolling-window SLO evaluator with the
+                                 declarative rules in FILE (TOML or JSON; see
+                                 examples/serve/slo.toml).  !health then reports the
+                                 verdict and per-rule burn-rate states
+      --alert-log FILE           append each alert transition (firing/resolved) as
+                                 one sorted-key JSON line (requires --slo)
 
   connect                      send request/control lines over one TCP connection
       --addr HOST:PORT           server address (required)
       --input FILE               NDJSON document to send (optional)
       --send LINE                extra line to send after --input (repeatable)
       --output FILE              response output path (default stdout)
+
+  top                          live terminal dashboard for a running server:
+                               polls !metrics prom + !health and renders windowed
+                               qps/p50/p99/shed%/verdict/alerts (plain ANSI)
+      --addr HOST:PORT           server address (required)
+      --interval S               seconds between polls = the rate/quantile window
+                                 (default 2)
+      --once                     take two samples one interval apart, print one
+                                 machine-readable JSON snapshot line, exit
 
   serve-bench                  loopback TCP throughput across worker counts, with
                                per-run p50/p90/p99/p999 latency from the advisor's
@@ -295,14 +315,16 @@ fn cmd_serve(argv: &[String]) -> Result<(), String> {
     let (output, stats) = serve_session_with_stats(&handle, &input, args.threads);
     let elapsed = started.elapsed().as_secs_f64();
     write_or_print(&args.output, &output)?;
-    eprintln!(
-        "served {} queries in {elapsed:.3}s ({:.0} q/s; {} reuse, {} plan, {} cost, {} policy)",
-        stats.total(),
-        stats.total() as f64 / elapsed.max(1e-9),
-        stats.should_reuse,
-        stats.checkpoint_plan,
-        stats.expected_cost_makespan,
-        stats.best_policy,
+    tcp_obs::event!(
+        info,
+        "serve.batch.done",
+        queries = stats.total(),
+        elapsed_secs = elapsed,
+        qps = tcp_obs::rate_per_sec(stats.total(), elapsed),
+        should_reuse = stats.should_reuse,
+        checkpoint_plan = stats.checkpoint_plan,
+        expected_cost_makespan = stats.expected_cost_makespan,
+        best_policy = stats.best_policy,
     );
     Ok(())
 }
@@ -347,6 +369,8 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
     let mut trace_file: Option<PathBuf> = None;
     let mut trace_sample: Option<u64> = None;
     let mut trace_slow_us = 0u64;
+    let mut slo_file: Option<PathBuf> = None;
+    let mut alert_log: Option<PathBuf> = None;
     let mut options = ServeOptions::default();
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -365,12 +389,23 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
             "--trace-file" => trace_file = Some(PathBuf::from(next_value(&mut it, arg)?)),
             "--trace-sample" => trace_sample = Some(parse_sample(next_value(&mut it, arg)?, arg)?),
             "--trace-slow-us" => trace_slow_us = parse(next_value(&mut it, arg)?, arg)?,
+            "--slo" => slo_file = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--alert-log" => alert_log = Some(PathBuf::from(next_value(&mut it, arg)?)),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     if metrics_interval <= 0.0 || metrics_interval.is_nan() {
         return Err("--metrics-interval must be positive".to_string());
     }
+    if alert_log.is_some() && slo_file.is_none() {
+        return Err("--alert-log requires --slo".to_string());
+    }
+    // Parse the SLO spec before binding the socket: a bad rule file should fail
+    // fast, not after the server is reachable.
+    let slo_spec = slo_file
+        .as_ref()
+        .map(|path| tcp_obs::health::SloSpec::load(path))
+        .transpose()?;
     // Tracing defaults to sample-everything when a trace file is requested, and to
     // fully off otherwise; `--trace-sample 0` forces it off either way (the trace
     // file then holds an empty-but-valid dump, unless the slow log retains spans).
@@ -381,11 +416,19 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
     let cells = advisor.cell_names().len();
     let server = Server::start(advisor, options.clone())?;
     let addr = server.local_addr();
-    eprintln!(
-        "listening on {addr}: pack `{pack_name}` ({cells} cells), {} workers, \
-         max-inflight {}, protocol NDJSON (+ !reload / !stats / !metrics / !trace / !shutdown)",
-        options.workers, options.max_inflight
+    tcp_obs::event!(
+        info,
+        "serve.listening",
+        addr = addr.to_string(),
+        pack = pack_name,
+        cells = cells,
+        workers = options.workers,
+        max_inflight = options.max_inflight,
+        protocol = "ndjson (+ !reload / !stats / !metrics / !trace / !health / !shutdown)",
     );
+    // The evaluator reads registry snapshots on its own thread (like the exposition
+    // writer below); dropping the handle after the drain stops and joins it.
+    let _evaluator = slo_spec.map(|spec| tcp_obs::health::spawn_evaluator(spec, alert_log.clone()));
     if let Some(path) = port_file {
         std::fs::write(&path, format!("{addr}\n"))
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
@@ -423,9 +466,13 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
         // retained spans at bounded memory, so this is a dump, not an append log.
         write_trace(path);
     }
-    eprintln!(
-        "drained: {} connections, {} requests, {} overload responses, {} refused connections",
-        report.connections, report.requests, report.overload_responses, report.refused_connections
+    tcp_obs::event!(
+        info,
+        "serve.drained",
+        connections = report.connections,
+        requests = report.requests,
+        overload_responses = report.overload_responses,
+        refused_connections = report.refused_connections,
     );
     Ok(())
 }
@@ -614,6 +661,27 @@ fn cmd_bench(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_top(argv: &[String]) -> Result<(), String> {
+    let mut options = TopOptions::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => options.addr = next_value(&mut it, arg)?.clone(),
+            "--interval" => options.interval_secs = parse(next_value(&mut it, arg)?, arg)?,
+            "--once" => options.once = true,
+            "--frames" => options.max_frames = Some(parse(next_value(&mut it, arg)?, arg)?),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if options.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    if options.interval_secs <= 0.0 || options.interval_secs.is_nan() {
+        return Err("--interval must be positive".to_string());
+    }
+    run_top(&options)
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let outcome = match argv.first().map(String::as_str) {
@@ -622,6 +690,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&argv[1..]),
         Some("listen") => cmd_listen(&argv[1..]),
         Some("connect") => cmd_connect(&argv[1..]),
+        Some("top") => cmd_top(&argv[1..]),
         Some("serve-bench") => cmd_serve_bench(&argv[1..]),
         Some("bench") => cmd_bench(&argv[1..]),
         Some("--help" | "-h") | None => {

@@ -28,6 +28,13 @@
 //! [--trace-sample 1/N] [--trace-slow-us T]` arms the [`tcp_obs::trace`] flight
 //! recorder and dumps it as Chrome trace-event JSON at shutdown (same atomic
 //! discipline; load the file in `chrome://tracing` or Perfetto).
+//! `--slo <file> [--alert-log <path>]` arms the [`tcp_obs::health`] rolling-window
+//! SLO evaluator: declarative burn-rate rules are checked against registry
+//! snapshots on a tick, `!health` reports the verdict and per-rule states, and
+//! alert transitions append to the alert log as JSON lines.  [`mod@top`] (`advise
+//! top`) is the matching live terminal dashboard: it polls `!metrics prom` +
+//! `!health` and renders windowed qps/p50/p99/shed%/alerts (`--once` emits one
+//! machine-readable JSON snapshot instead).
 //!
 //! ```text
 //! pack.json ──advise listen──▶ 127.0.0.1:PORT ◀──advise connect── requests.ndjson
@@ -87,9 +94,19 @@
 //! (or `--trace-file`, which implies sampling everything); unarmed servers answer
 //! with an empty `spans` array.
 //!
-//! Responses for *request* lines are never affected by metrics or tracing:
-//! instrumentation is strictly out-of-band, so served bytes stay identical across
-//! `--threads`, `--workers`, metrics-enabled/disabled, and traced/untraced runs.
+//! `!health` answers with `{"control":"health","health":{...}}` — the health
+//! object carries (sorted keys) `pack` (`{"age_secs","cells","format_version",
+//! "name"}`), `recent_errors` (the event log's bounded warn/error ring, each
+//! record a sorted-key object), `rules` (per-SLO-rule
+//! `{"firing","long_value","name","severity","short_value","threshold"}`),
+//! `uptime_secs`, and `verdict` (`"healthy"` / `"degraded"` / `"unhealthy"`).
+//! Without `--slo` the verdict is `"healthy"` with an empty rule list, so health
+//! probes work against any server.
+//!
+//! Responses for *request* lines are never affected by metrics, tracing, the SLO
+//! evaluator, or event logging: instrumentation is strictly out-of-band, so served
+//! bytes stay identical across `--threads`, `--workers`, metrics-enabled/disabled,
+//! traced/untraced, and SLO-armed/unarmed runs.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -97,7 +114,9 @@
 pub mod bench;
 pub mod client;
 pub mod server;
+pub mod top;
 
 pub use bench::{loopback_bench, LoopbackBenchReport};
 pub use client::run_client;
 pub use server::{OverloadLine, ServeOptions, Server, ServerReport, ShutdownLine};
+pub use top::{run_top, TopOptions};
