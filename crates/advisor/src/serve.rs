@@ -90,6 +90,9 @@ pub struct StatsLine {
     /// since the last reload, so a fresh health-probe connection sees real traffic.
     /// This is the histogram that shows which models a pack is actually serving.
     pub served_families: std::collections::BTreeMap<String, u64>,
+    /// Seconds since the process's observability epoch — the same monotonic
+    /// clock `!health` reports, so the two probes agree on process age.
+    pub uptime_secs: f64,
 }
 
 /// Seconds since the served pack was stamped into the `advisor.pack.loaded_at_secs`
@@ -265,6 +268,7 @@ impl<'a> Session<'a> {
                     pack_format_version: advisor.pooled().pack().format_version,
                     served: self.stats(),
                     served_families: families.served,
+                    uptime_secs: tcp_obs::log::now_monotonic_secs(),
                 })
                 .expect("stats lines serialize")
             }
@@ -272,9 +276,10 @@ impl<'a> Session<'a> {
             None if control == "metrics" => Self::metrics_line(),
             None if control == "trace" => Self::trace_line(),
             None if control == "health" => self.health_line(),
+            None if control == "profile" => Self::profile_line(),
             _ => emit_error(format!(
                 "unknown control line `!{control}` (expected `!reload <path>`, `!stats`, \
-                 `!metrics`, `!metrics prom`, `!trace`, or `!health`)"
+                 `!metrics`, `!metrics prom`, `!trace`, `!health`, or `!profile`)"
             )),
         }
     }
@@ -355,6 +360,22 @@ impl<'a> Session<'a> {
             rules,
             tcp_obs::log::now_monotonic_secs(),
             verdict,
+        )
+    }
+
+    /// The one-line JSON answer to a `!profile` control line:
+    /// `{"control":"profile","profile":{...}}` with the profile object's keys
+    /// sorted at every level ([`tcp_obs::profile::profile_json`]): `"alloc"`
+    /// (allocation totals plus per-site attribution from the counting
+    /// allocator, when the serving binary installed one) and `"wall"` (the
+    /// continuous sampler's collapsed stacks keyed by `;`-joined site paths,
+    /// plus tick/sample/torn counters).  With the profiler never armed the
+    /// wall object is empty but the line still answers — probes need no
+    /// capability negotiation.
+    pub fn profile_line() -> String {
+        format!(
+            "{{\"control\":\"profile\",\"profile\":{}}}",
+            tcp_obs::profile::profile_json(&tcp_obs::profile::snapshot())
         )
     }
 
@@ -882,6 +903,57 @@ dp_step_minutes = 30.0
             nested_sorted.sort_unstable();
             assert_eq!(nested, nested_sorted, "{stats_key} keys must be sorted");
         }
+    }
+
+    #[test]
+    fn stats_uptime_agrees_with_health_epoch() {
+        let handle = AdvisorHandle::new(advisor());
+        let out = serve_session(&handle, "!stats\n!health\n", 1);
+        let lines: Vec<&str> = out.lines().collect();
+        let stats: StatsLine = serde_json::from_str(lines[0]).unwrap();
+        assert!(stats.uptime_secs >= 0.0);
+        let health = serde_json::parse_value(lines[1]).unwrap();
+        let health_uptime = health
+            .get("health")
+            .and_then(|h| h.get("uptime_secs"))
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        // Same shared monotonic epoch: the later probe reads a larger-or-equal
+        // offset, and the two can only differ by the time between the probes.
+        assert!(health_uptime >= stats.uptime_secs);
+        assert!(health_uptime - stats.uptime_secs < 60.0);
+    }
+
+    #[test]
+    fn profile_control_line_reports_wall_and_alloc_with_sorted_keys() {
+        let handle = AdvisorHandle::new(advisor());
+        let out = serve_session(&handle, "!profile\n", 1);
+        let line = out.lines().next().unwrap();
+        let value = serde_json::parse_value(line).unwrap();
+        assert_eq!(
+            value.get("control").and_then(|v| v.as_str()),
+            Some("profile")
+        );
+        let profile = value.get("profile").unwrap();
+        for (outer, inner) in [("alloc", "allocs"), ("wall", "ticks")] {
+            assert!(
+                profile
+                    .get(outer)
+                    .and_then(|o| o.get(inner))
+                    .and_then(|v| v.as_u64())
+                    .is_some(),
+                "missing {outer}.{inner} in {line}"
+            );
+        }
+        let keys: Vec<&str> = profile
+            .as_map()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "!profile keys must be sorted");
     }
 
     #[test]

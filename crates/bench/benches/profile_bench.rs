@@ -1,0 +1,97 @@
+//! Continuous-profiler overhead benchmarks: what always-on profiling costs.
+//!
+//! The profiler's contract mirrors the tracer's — disarmed it must be invisible
+//! (`span_profiler_off` is the same one-relaxed-load fast path as tracing), and
+//! armed it may only add the per-span mirror push/pop (`span_profiler_armed_*`:
+//! a seq bump, a site store, and a depth store on each side, independent of the
+//! sampling rate — the sampler reads the mirror from its own thread).  The
+//! allocator benches bound the counting wrapper: `alloc_counting_off` is the
+//! pass-through cost over `System` (one relaxed load), `alloc_counting_on` adds
+//! the global and per-site atomic adds per alloc/free pair.
+//!
+//! This bench binary installs [`tcp_obs::profile::CountingAlloc`] as its global
+//! allocator, so every measurement runs over the wrapper exactly as the `advise`
+//! binary does.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+#[global_allocator]
+static ALLOC: tcp_obs::profile::CountingAlloc = tcp_obs::profile::CountingAlloc::new();
+
+fn bench_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile");
+
+    // Fully off: spans reduce to one relaxed gate load + inert guard.
+    assert!(!tcp_obs::trace::tracing_configured());
+    assert!(!tcp_obs::profile::armed());
+    group.bench_function("span_profiler_off", |b| {
+        b.iter(|| {
+            let _span = tcp_obs::span!("bench.profile.span");
+            black_box(());
+        })
+    });
+
+    // Armed: the only added hot-path work is the mirror push/pop; the rate only
+    // changes how often the background thread reads, so 97 Hz and 997 Hz should
+    // measure the same.
+    for hz in [97u64, 997] {
+        assert!(tcp_obs::profile::arm(hz));
+        group.bench_function(format!("span_profiler_armed_{hz}hz"), |b| {
+            b.iter(|| {
+                let _span = tcp_obs::span!("bench.profile.span");
+                black_box(());
+            })
+        });
+        tcp_obs::profile::disarm();
+    }
+
+    // Nested spans under the sampler: the depth the serve path actually runs at
+    // (connection -> request -> advisor lookup).
+    assert!(tcp_obs::profile::arm(997));
+    group.bench_function("nested_spans_armed_997hz", |b| {
+        b.iter(|| {
+            let _a = tcp_obs::span!("bench.profile.outer");
+            let _b = tcp_obs::span!("bench.profile.mid");
+            let _c = tcp_obs::span!("bench.profile.inner");
+            black_box(());
+        })
+    });
+    tcp_obs::profile::disarm();
+
+    // Allocator wrapper: a boxed-slice alloc/free pair, counting off vs on.
+    tcp_obs::profile::set_counting(false);
+    group.bench_function("alloc_counting_off", |b| {
+        b.iter(|| {
+            let v = vec![0u8; black_box(64)];
+            black_box(v.len())
+        })
+    });
+    tcp_obs::profile::set_counting(true);
+    group.bench_function("alloc_counting_on", |b| {
+        b.iter(|| {
+            let v = vec![0u8; black_box(64)];
+            black_box(v.len())
+        })
+    });
+    tcp_obs::profile::set_counting(false);
+
+    // Attributed allocation: counting on inside an armed span, the worst case
+    // (gate load + TLS site read + two per-site atomic adds per alloc).
+    tcp_obs::profile::set_counting(true);
+    assert!(tcp_obs::profile::arm(997));
+    group.bench_function("alloc_counting_on_in_span", |b| {
+        b.iter(|| {
+            let _span = tcp_obs::span!("bench.profile.alloc");
+            let v = vec![0u8; black_box(64)];
+            black_box(v.len())
+        })
+    });
+    tcp_obs::profile::disarm();
+    tcp_obs::profile::set_counting(false);
+    tcp_obs::profile::reset();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile);
+criterion_main!(benches);

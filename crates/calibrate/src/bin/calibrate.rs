@@ -16,6 +16,12 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use tcp_calibrate::{Calibrator, FitOptions, RegimeCatalog};
 
+/// Counting allocator so `fit --profile-file` attributes allocations to the
+/// pipeline's span sites; counting stays off (one relaxed load per alloc)
+/// unless that flag arms it.
+#[global_allocator]
+static ALLOC: tcp_obs::profile::CountingAlloc = tcp_obs::profile::CountingAlloc::new();
+
 const USAGE: &str = "usage: calibrate <command> [options]
 
 commands:
@@ -27,6 +33,8 @@ commands:
       --ks-threshold X       parametric winners above this K-S keep the fallback (default 0.15)
       --tod-hours N          launch-hour cells of N hours (divides 24) instead of the
                              day/night split; needs a CSV with a launch_hour column
+      --profile-file FILE    continuously profile the fit (97 Hz wall sampler +
+                             allocation counting) and dump FILE.folded / .svg / .json
 
   inspect <catalog.json>   print the per-cell selection table
       --cell KEY             print one cell's full candidate scores instead
@@ -60,6 +68,7 @@ fn cmd_fit(argv: &[String]) -> Result<(), String> {
     let mut name: Option<String> = None;
     let mut threads = 0usize;
     let mut options = FitOptions::default();
+    let mut profile_file: Option<PathBuf> = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -69,11 +78,16 @@ fn cmd_fit(argv: &[String]) -> Result<(), String> {
             "--min-records" => options.min_records = parse(next_value(&mut it, arg)?, arg)?,
             "--ks-threshold" => options.ks_threshold = parse(next_value(&mut it, arg)?, arg)?,
             "--tod-hours" => options.tod_hours = Some(parse(next_value(&mut it, arg)?, arg)?),
+            "--profile-file" => profile_file = Some(PathBuf::from(next_value(&mut it, arg)?)),
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             other => positional(&mut csv_path, other)?,
         }
     }
     let csv_path = csv_path.ok_or("fit needs a records CSV")?;
+    if profile_file.is_some() {
+        tcp_obs::profile::set_counting(true);
+        tcp_obs::profile::arm(97);
+    }
     let name = name.unwrap_or_else(|| {
         csv_path
             .file_stem()
@@ -117,6 +131,16 @@ fn cmd_fit(argv: &[String]) -> Result<(), String> {
         pooled_winner = catalog.pooled.model.family.clone(),
         elapsed_secs = started.elapsed().as_secs_f64(),
     );
+    if let Some(path) = &profile_file {
+        tcp_obs::profile::disarm();
+        let written = tcp_obs::profile::dump_to(path)
+            .map_err(|e| format!("cannot write profile {}: {e}", path.display()))?;
+        println!(
+            "profiled fit -> {} files at {}.*",
+            written.len(),
+            path.with_extension("").display()
+        );
+    }
     Ok(())
 }
 

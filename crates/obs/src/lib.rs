@@ -33,6 +33,11 @@
 //!   SLO engine evaluating declarative burn-rate rules (short + long windows)
 //!   against snapshot deltas, producing typed firing/resolved [`health::Alert`]s
 //!   and a published [`health::HealthReport`] verdict.
+//! - **[`profile`]** — continuous profiling: a wall-clock sampler folding every
+//!   thread's mirrored span stack into collapsed stacks ([`profile::arm`]), an
+//!   allocation profiler ([`profile::CountingAlloc`]) attributing allocs/bytes
+//!   to the innermost span site, and exporters — inferno-style collapsed text,
+//!   a self-rendered standalone flamegraph SVG, and the `!profile` JSON.
 //!
 //! # Determinism contract
 //!
@@ -64,13 +69,16 @@
 //! assert!(prom.contains("example_requests_served 1"));
 //! ```
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned exception is the `GlobalAlloc`
+// delegation in [`profile`], which carries its own scoped `allow` + SAFETY note.
+#![deny(unsafe_code)]
 
 mod export;
 pub mod health;
 mod hist;
 pub mod log;
 mod pad;
+pub mod profile;
 mod registry;
 pub mod trace;
 
@@ -200,15 +208,16 @@ macro_rules! time {
 /// `obs::span!("serve.batch.flush", batch_len)`).
 ///
 /// The site id is interned once per call site (cached in a `OnceLock`).  When
-/// tracing is unconfigured the cost is one relaxed atomic load; when no trace is
-/// active on this thread the span is inert.  See [`trace::Span::enter`].
+/// neither tracing nor the profiler is on the cost is one relaxed atomic load;
+/// when no trace is active on this thread the span is inert (but still feeds
+/// the profiler's stack mirror while armed).  See [`trace::Span::enter`].
 #[macro_export]
 macro_rules! span {
     ($name:expr) => {
         $crate::span!($name, 0u64)
     };
     ($name:expr, $arg:expr) => {{
-        if $crate::trace::tracing_configured() {
+        if $crate::trace::instrumented() {
             static SITE: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
             $crate::trace::Span::enter(
                 *SITE.get_or_init(|| $crate::trace::site_id($name)),
@@ -235,7 +244,7 @@ macro_rules! root_span {
         $crate::root_span!($name, $seed, 0u64)
     };
     ($name:expr, $seed:expr, $arg:expr) => {{
-        if $crate::trace::tracing_configured() {
+        if $crate::trace::instrumented() {
             static SITE: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
             $crate::trace::RootSpan::enter(
                 *SITE.get_or_init(|| $crate::trace::site_id($name)),

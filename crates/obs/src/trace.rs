@@ -61,10 +61,21 @@ const WORDS: usize = 8;
 static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(0);
 /// Slow-request threshold in nanoseconds (`0` = no slow log).
 static SLOW_NS: AtomicU64 = AtomicU64::new(0);
-/// Fast-path gate: non-zero iff sampling or the slow log is on.
-static CONFIGURED: AtomicU64 = AtomicU64::new(0);
+/// Fast-path gate bitmask ([`GATE_TRACE`] | [`GATE_PROFILE`]): the disabled
+/// span path is still one relaxed load covering both consumers.
+static GATES: AtomicU64 = AtomicU64::new(0);
 /// Process-global span id allocator (0 is reserved for "no parent").
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Gate bit: tracing is configured (sampling or the slow log is on).
+const GATE_TRACE: u64 = 1;
+/// Gate bit: the wall-clock profiler is armed and wants stack mirrors kept.
+const GATE_PROFILE: u64 = 2;
+
+#[inline]
+fn gates() -> u64 {
+    GATES.load(Ordering::Relaxed)
+}
 
 /// Configures tracing process-wide.
 ///
@@ -77,7 +88,22 @@ pub fn configure(sample_every: u64, slow_threshold_ns: u64) {
     SAMPLE_EVERY.store(sample_every, Ordering::Relaxed);
     SLOW_NS.store(slow_threshold_ns, Ordering::Relaxed);
     let on = sample_every > 0 || slow_threshold_ns > 0;
-    CONFIGURED.store(on as u64, Ordering::Relaxed);
+    if on {
+        GATES.fetch_or(GATE_TRACE, Ordering::Relaxed);
+    } else {
+        GATES.fetch_and(!GATE_TRACE, Ordering::Relaxed);
+    }
+}
+
+/// Opens or closes the profiler gate bit (called by [`crate::profile::arm`] /
+/// [`crate::profile::disarm`]); orthogonal to [`configure`].
+pub(crate) fn set_profile_gate(on: bool) {
+    if on {
+        epoch();
+        GATES.fetch_or(GATE_PROFILE, Ordering::Relaxed);
+    } else {
+        GATES.fetch_and(!GATE_PROFILE, Ordering::Relaxed);
+    }
 }
 
 /// The configured `1/N` sampling rate (`0` = sampling off).
@@ -93,7 +119,15 @@ pub fn slow_threshold_ns() -> u64 {
 /// Whether tracing is configured on (the disabled-span fast path: one relaxed load).
 #[inline]
 pub fn tracing_configured() -> bool {
-    CONFIGURED.load(Ordering::Relaxed) != 0
+    gates() & GATE_TRACE != 0
+}
+
+/// Whether *any* span consumer is live — tracing configured or the profiler
+/// armed.  This is the gate the [`crate::span!`] / [`crate::root_span!`]
+/// macros check: still one relaxed load on the all-off fast path.
+#[inline]
+pub fn instrumented() -> bool {
+    gates() != 0
 }
 
 /// SplitMix64 finalizer: the deterministic sampling hash.
@@ -371,6 +405,8 @@ pub struct Span {
     /// Index into the active trace's span buffer, or `usize::MAX` when inert.
     index: usize,
     started: Option<Instant>,
+    /// Whether this guard pushed the profiler's stack mirror and owes a pop.
+    mirror_pushed: bool,
 }
 
 impl Span {
@@ -380,23 +416,41 @@ impl Span {
         Span {
             index: usize::MAX,
             started: None,
+            mirror_pushed: false,
         }
     }
 
     /// Opens a child of the innermost open span on this thread, carrying `arg`.
     ///
-    /// Inert when tracing is unconfigured or the thread has no active trace.
+    /// Inert when neither tracing nor the profiler is on.  When only the
+    /// profiler is armed the guard records no trace span but still maintains
+    /// the thread's stack mirror, so wall-clock samples see the full stack.
     #[inline]
     pub fn enter(site: u32, arg: u64) -> Span {
-        if !tracing_configured() {
+        let gates = gates();
+        if gates == 0 {
             return Span::inert();
+        }
+        let mirror_pushed = gates & GATE_PROFILE != 0 && crate::profile::push_site(site);
+        if gates & GATE_TRACE == 0 {
+            return Span {
+                index: usize::MAX,
+                started: None,
+                mirror_pushed,
+            };
         }
         ACTIVE.with(|cell| {
             let mut active = cell.borrow_mut();
             let Some(trace) = active.as_mut() else {
-                return Span::inert();
+                return Span {
+                    index: usize::MAX,
+                    started: None,
+                    mirror_pushed,
+                };
             };
-            Span::open_in(trace, site, arg)
+            let mut span = Span::open_in(trace, site, arg);
+            span.mirror_pushed = mirror_pushed;
+            span
         })
     }
 
@@ -427,6 +481,7 @@ impl Span {
         Span {
             index,
             started: Some(started),
+            mirror_pushed: false,
         }
     }
 
@@ -442,15 +497,18 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if self.index == usize::MAX {
-            return;
-        }
-        let Some(started) = self.started else { return };
-        ACTIVE.with(|cell| {
-            if let Some(trace) = cell.borrow_mut().as_mut() {
-                Span::close_in(trace, self.index, started);
+        if self.index != usize::MAX {
+            if let Some(started) = self.started {
+                ACTIVE.with(|cell| {
+                    if let Some(trace) = cell.borrow_mut().as_mut() {
+                        Span::close_in(trace, self.index, started);
+                    }
+                });
             }
-        });
+        }
+        if self.mirror_pushed {
+            crate::profile::pop_site();
+        }
     }
 }
 
@@ -477,6 +535,8 @@ enum RootState {
 #[must_use = "a root span measures until dropped; binding it to `_` drops immediately"]
 pub struct RootSpan {
     state: RootState,
+    /// Whether this guard pushed the profiler's stack mirror and owes a pop.
+    mirror_pushed: bool,
 }
 
 impl RootSpan {
@@ -484,6 +544,7 @@ impl RootSpan {
     pub fn inert() -> RootSpan {
         RootSpan {
             state: RootState::Inert,
+            mirror_pushed: false,
         }
     }
 
@@ -492,11 +553,21 @@ impl RootSpan {
     /// `seed` drives deterministic sampling (see [`sampled`]); `arg` is stored on
     /// the root record.  If this thread already has an active trace the "root"
     /// nests as an ordinary child span, which lets per-request roots compose with
-    /// an enclosing per-connection root when batches run inline.
+    /// an enclosing per-connection root when batches run inline.  When the
+    /// profiler is armed the guard also maintains the thread's stack mirror,
+    /// independent of the sampling decision.
     #[inline]
     pub fn enter(site: u32, seed: u64, arg: u64) -> RootSpan {
-        if !tracing_configured() {
+        let gates = gates();
+        if gates == 0 {
             return RootSpan::inert();
+        }
+        let mirror_pushed = gates & GATE_PROFILE != 0 && crate::profile::push_site(site);
+        if gates & GATE_TRACE == 0 {
+            return RootSpan {
+                state: RootState::Inert,
+                mirror_pushed,
+            };
         }
         ACTIVE.with(|cell| {
             let mut active = cell.borrow_mut();
@@ -505,11 +576,15 @@ impl RootSpan {
                     state: RootState::Nested {
                         _child: Span::open_in(trace, site, arg),
                     },
+                    mirror_pushed,
                 };
             }
             let is_sampled = sampled(seed);
             if !is_sampled && slow_threshold_ns() == 0 {
-                return RootSpan::inert();
+                return RootSpan {
+                    state: RootState::Inert,
+                    mirror_pushed,
+                };
             }
             let started = Instant::now();
             let mut trace = ActiveTrace {
@@ -534,6 +609,7 @@ impl RootSpan {
             *active = Some(trace);
             RootSpan {
                 state: RootState::Root { started },
+                mirror_pushed,
             }
         })
     }
@@ -541,10 +617,20 @@ impl RootSpan {
 
 impl Drop for RootSpan {
     fn drop(&mut self) {
-        let started = match std::mem::replace(&mut self.state, RootState::Inert) {
-            RootState::Inert | RootState::Nested { .. } => return,
-            RootState::Root { started } => started,
-        };
+        // The Nested state's child guard drops here (a no-op for the mirror:
+        // its flag is false — the root-level push below covers the site).
+        let state = std::mem::replace(&mut self.state, RootState::Inert);
+        if let RootState::Root { started } = state {
+            Self::commit(started);
+        }
+        if self.mirror_pushed {
+            crate::profile::pop_site();
+        }
+    }
+}
+
+impl RootSpan {
+    fn commit(started: Instant) {
         let Some(mut trace) = ACTIVE.with(|cell| cell.borrow_mut().take()) else {
             return;
         };
@@ -879,6 +965,42 @@ mod tests {
         let spans = spans_json(&records);
         assert!(spans.contains("\"site\":\"test.chrome.site\""));
         assert!(spans.contains("\"slow\":true"));
+    }
+
+    #[test]
+    fn profiler_gate_mirrors_spans_without_tracing() {
+        let _gate = lock();
+        configure(0, 0);
+        clear();
+        set_profile_gate(true);
+        let root_site = site_id("test.mirrorgate.root");
+        let child_site = site_id("test.mirrorgate.child");
+        {
+            let _root = RootSpan::enter(root_site, 9, 0);
+            let _child = Span::enter(child_site, 0);
+            crate::profile::tick();
+        }
+        set_profile_gate(false);
+        // No trace records (tracing is off) …
+        assert!(!recent_spans()
+            .iter()
+            .any(|r| r.site == root_site || r.site == child_site));
+        // … but the wall profiler saw the stack, outermost first.
+        let snap = crate::profile::snapshot();
+        let (path, _) = snap
+            .stacks
+            .iter()
+            .find(|(path, _)| path.contains(&"test.mirrorgate.child".to_string()))
+            .expect("profiler sampled the span stack");
+        let root_pos = path
+            .iter()
+            .position(|f| f == "test.mirrorgate.root")
+            .expect("root frame mirrored");
+        let child_pos = path
+            .iter()
+            .position(|f| f == "test.mirrorgate.child")
+            .unwrap();
+        assert!(root_pos < child_pos);
     }
 
     #[test]

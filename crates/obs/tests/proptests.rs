@@ -1,8 +1,60 @@
 //! Property-based tests for the observability core: histogram quantile accuracy
-//! against exact sorted-sample quantiles, and concurrent-recording consistency.
+//! against exact sorted-sample quantiles, concurrent-recording consistency, and
+//! the continuous profiler's collapsed-stack invariants.
 
 use proptest::prelude::*;
 use tcp_obs::{Counter, Histogram};
+
+/// Frame alphabet for synthetic span stacks: interned-looking dotted names the
+/// draw indices below map onto.
+const FRAMES: [&str; 6] = [
+    "serve.connection",
+    "serve.batch.flush",
+    "serve.request",
+    "advisor.route",
+    "advisor.lookup",
+    "advisor.build.dp",
+];
+
+/// Maps drawn frame indices (one inner vec = the stack one tick sampled) onto
+/// named stacks, outermost frame first.
+fn to_stacks(raw: &[Vec<u64>]) -> Vec<Vec<String>> {
+    raw.iter()
+        .map(|stack| {
+            stack
+                .iter()
+                .map(|&i| FRAMES[i as usize % FRAMES.len()].to_string())
+                .collect()
+        })
+        .collect()
+}
+
+/// Folds one sampled stack per tick the way the sampler does, returning the
+/// collapsed map.
+fn fold(ticks: &[Vec<String>]) -> Vec<(Vec<String>, u64)> {
+    let mut map: std::collections::BTreeMap<Vec<String>, u64> = std::collections::BTreeMap::new();
+    for stack in ticks {
+        *map.entry(stack.clone()).or_insert(0) += 1;
+    }
+    map.into_iter().collect()
+}
+
+/// Checks the prefix-closure invariant on a frame tree: every node's inclusive
+/// count equals its terminal samples plus the sum of its children's counts,
+/// and no child outweighs its parent.
+fn assert_prefix_closed(node: &tcp_obs::profile::FrameNode) {
+    let child_sum: u64 = node.children.values().map(|c| c.count).sum();
+    assert_eq!(
+        node.count,
+        node.terminal + child_sum,
+        "frame {} is not prefix-closed",
+        node.name
+    );
+    for child in node.children.values() {
+        assert!(child.count <= node.count);
+        assert_prefix_closed(child);
+    }
+}
 
 /// Nearest-rank exact quantile of a sorted sample.
 fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
@@ -200,5 +252,61 @@ proptest! {
         let exact = exact_quantile(&sorted, 0.5) as f64;
         let rel = (delta.quantile(0.5) - exact).abs() / exact;
         prop_assert!(rel <= 1.0 / 16.0 + 1e-12);
+    }
+
+    // Collapsed-stack totals equal the sampler's tick count: folding one
+    // sampled stack per tick, the sum of collapsed counts — and equivalently
+    // the root of the frame tree — recovers exactly the number of ticks, and
+    // the collapsed text round-trips the same totals.
+    #[test]
+    fn collapsed_totals_equal_tick_count(
+        raw in proptest::collection::vec(proptest::collection::vec(0u64..6, 1..6), 1..120),
+    ) {
+        let ticks = to_stacks(&raw);
+        let stacks = fold(&ticks);
+        let total: u64 = stacks.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(total, ticks.len() as u64);
+        let tree = tcp_obs::profile::stack_tree(&stacks);
+        prop_assert_eq!(tree.count, ticks.len() as u64);
+        let snap = tcp_obs::profile::ProfileSnapshot {
+            armed: false,
+            hz: 997,
+            ticks: ticks.len() as u64,
+            samples: total,
+            torn: 0,
+            stacks: stacks.clone(),
+            alloc: Default::default(),
+            alloc_sites: Vec::new(),
+        };
+        let mut parsed_total = 0u64;
+        for line in tcp_obs::profile::collapsed(&snap).lines() {
+            let (_, count) = line.rsplit_once(' ').expect("`path count` shape");
+            parsed_total += count.parse::<u64>().expect("integer count");
+        }
+        prop_assert_eq!(parsed_total, snap.ticks);
+    }
+
+    // Every frame path in the folded tree is a prefix-closed chain: a node's
+    // samples are exactly its terminal samples plus its children's, so every
+    // sampled path's prefixes all exist with consistent weights (what the
+    // flamegraph renderer relies on for widths to nest).
+    #[test]
+    fn frame_paths_are_prefix_closed_chains(
+        raw in proptest::collection::vec(proptest::collection::vec(0u64..6, 1..6), 1..120),
+    ) {
+        let ticks = to_stacks(&raw);
+        let stacks = fold(&ticks);
+        let tree = tcp_obs::profile::stack_tree(&stacks);
+        assert_prefix_closed(&tree);
+        // And every sampled path is reachable: walking the tree along the path
+        // never misses a node.
+        for (path, count) in &stacks {
+            let mut node = &tree;
+            for frame in path {
+                node = node.children.get(frame).expect("prefix chain unbroken");
+                prop_assert!(node.count >= *count);
+            }
+            prop_assert!(node.terminal >= *count);
+        }
     }
 }

@@ -41,7 +41,15 @@ options:
   --quiet        suppress the per-regime summary tables
   --heartbeat S  print trial progress to stderr every S seconds while running
   --heartbeat-json  emit heartbeats as structured JSON event lines instead of prose
+  --profile-file FILE  continuously profile the sweep (97 Hz wall sampler +
+                 allocation counting) and dump FILE.folded / .svg / .json
   --help         show this message";
+
+/// Counting allocator so `--profile-file` attributes allocations to trial span
+/// sites; counting stays off (one relaxed load per alloc) unless that flag
+/// arms it.
+#[global_allocator]
+static ALLOC: tcp_obs::profile::CountingAlloc = tcp_obs::profile::CountingAlloc::new();
 
 struct Args {
     spec_path: PathBuf,
@@ -52,6 +60,7 @@ struct Args {
     quiet: bool,
     heartbeat: Option<f64>,
     heartbeat_json: bool,
+    profile_file: Option<PathBuf>,
 }
 
 /// Prints live sweep progress to stderr until dropped: trials completed out of this
@@ -154,6 +163,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut quiet = false;
     let mut heartbeat = None;
     let mut heartbeat_json = false;
+    let mut profile_file = None;
 
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -184,6 +194,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 heartbeat = Some(secs);
             }
             "--heartbeat-json" => heartbeat_json = true,
+            "--profile-file" => {
+                profile_file = Some(PathBuf::from(
+                    it.next().ok_or("--profile-file needs a value")?,
+                ));
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n\n{USAGE}"))
             }
@@ -205,6 +220,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         quiet,
         heartbeat,
         heartbeat_json,
+        profile_file,
     })
 }
 
@@ -253,6 +269,20 @@ fn write_reports(report: &SweepReport, out_dir: &PathBuf, quiet: bool) -> Result
     Ok(())
 }
 
+/// Stops the sampler and dumps the collapsed/SVG/JSON profile triple next to
+/// `path` (shared by the sharded and whole-grid paths).
+fn dump_profile(path: &std::path::Path) -> Result<(), String> {
+    tcp_obs::profile::disarm();
+    let written = tcp_obs::profile::dump_to(path)
+        .map_err(|e| format!("cannot write profile {}: {e}", path.display()))?;
+    println!(
+        "profiled sweep -> {} files at {}.*",
+        written.len(),
+        path.with_extension("").display()
+    );
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), String> {
     let spec = SweepSpec::from_path(&args.spec_path).map_err(|e| e.to_string())?;
     let grid = expand(&spec).map_err(|e| e.to_string())?;
@@ -269,6 +299,10 @@ fn run(args: &Args) -> Result<(), String> {
             println!("  [{:>4}] {}", s.meta.id, s.meta.label);
         }
         return Ok(());
+    }
+    if args.profile_file.is_some() {
+        tcp_obs::profile::set_counting(true);
+        tcp_obs::profile::arm(97);
     }
 
     if let Some((index, count)) = args.shard {
@@ -299,6 +333,9 @@ fn run(args: &Args) -> Result<(), String> {
         std::fs::write(&path, report.to_json().map_err(|e| e.to_string())?)
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         println!("wrote {} (merge shards with `sweep merge`)", path.display());
+        if let Some(profile) = &args.profile_file {
+            dump_profile(profile)?;
+        }
         return Ok(());
     }
 
@@ -311,7 +348,11 @@ fn run(args: &Args) -> Result<(), String> {
     });
     let report = run_sweep_on_grid(&spec, &grid, args.threads).map_err(|e| e.to_string())?;
     drop(heartbeat);
-    write_reports(&report, &args.out_dir, args.quiet)
+    write_reports(&report, &args.out_dir, args.quiet)?;
+    if let Some(profile) = &args.profile_file {
+        dump_profile(profile)?;
+    }
+    Ok(())
 }
 
 fn run_merge(args: &MergeArgs) -> Result<(), String> {

@@ -10,6 +10,7 @@
 //! advise connect --addr HOST:PORT [--input FILE] [--send LINE]... [--output FILE]
 //! advise top   --addr HOST:PORT [--interval S] [--once]
 //! advise serve-bench --pack pack.json [--requests N] [--clients C] [--workers 1,2,4]
+//!                    [--profile-hz N]
 //! ```
 //!
 //! `build` precomputes the tables offline — from a sweep spec (single pack) or, with
@@ -17,19 +18,27 @@
 //! request stream from a file with byte-identical output for every `--threads` value;
 //! `listen` serves the same protocol over TCP through a fixed worker pool with a
 //! bounded in-flight budget (overloads get typed 503-style lines, `!reload <path>`
-//! hot-swaps packs, `!stats` / `!metrics` / `!trace` / `!health` answer health
-//! probes, `!shutdown` drains and exits, `--metrics-file` writes a periodic
-//! Prometheus text exposition, `--trace-file` dumps the flight recorder as Chrome
-//! trace JSON, and `--slo` arms the rolling-window SLO evaluator with `--alert-log`
-//! appending firing/resolved transitions as JSON lines); `connect` is the matching
-//! one-connection client; `top` is a live terminal dashboard polling `!metrics` /
-//! `!health` (`--once` for a single machine-readable snapshot); `gen` emits a
+//! hot-swaps packs, `!stats` / `!metrics` / `!trace` / `!health` / `!profile`
+//! answer health probes, `!shutdown` drains and exits, `--metrics-file` writes a
+//! periodic Prometheus text exposition, `--trace-file` dumps the flight recorder as
+//! Chrome trace JSON, `--profile-file` arms the continuous profiler and dumps
+//! collapsed stacks + a flamegraph SVG + JSON at drain, and `--slo` arms the
+//! rolling-window SLO evaluator with `--alert-log` appending firing/resolved
+//! transitions as JSON lines); `connect` is the matching one-connection client;
+//! `top` is a live terminal dashboard polling `!metrics` / `!health` / `!profile`
+//! (`--once` for a single machine-readable snapshot); `gen` emits a
 //! deterministic load; `bench` measures the in-process serving path and
 //! `serve-bench` the loopback TCP path across worker counts with registry-backed
-//! latency percentiles.
+//! latency percentiles and counting-allocator allocs/op + bytes/op.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// The counting allocator (off by default: one relaxed load per allocator
+/// call) backs `listen --profile-file`'s allocation attribution and
+/// `serve-bench`'s allocs/op + bytes/op columns.
+#[global_allocator]
+static ALLOC: tcp_obs::profile::CountingAlloc = tcp_obs::profile::CountingAlloc::new();
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -101,6 +110,13 @@ commands:
                                  verdict and per-rule burn-rate states
       --alert-log FILE           append each alert transition (firing/resolved) as
                                  one sorted-key JSON line (requires --slo)
+      --profile-file FILE        arm the continuous profiler (wall-clock span-stack
+                                 sampler + allocation counting) and, at drain, dump
+                                 FILE's basename with .folded (collapsed stacks),
+                                 .svg (standalone flamegraph) and .json extensions,
+                                 each atomically via rename
+      --profile-hz N             wall-clock sampling rate while armed (default 97,
+                                 clamped to 1..=10000; requires --profile-file)
 
   connect                      send request/control lines over one TCP connection
       --addr HOST:PORT           server address (required)
@@ -109,8 +125,9 @@ commands:
       --output FILE              response output path (default stdout)
 
   top                          live terminal dashboard for a running server:
-                               polls !metrics prom + !health and renders windowed
-                               qps/p50/p99/shed%/verdict/alerts (plain ANSI)
+                               polls !metrics prom + !health + !profile and renders
+                               windowed qps/p50/p99/shed%/verdict/alerts plus a
+                               hot-sites wall-profile panel (plain ANSI)
       --addr HOST:PORT           server address (required)
       --interval S               seconds between polls = the rate/quantile window
                                  (default 2)
@@ -119,12 +136,15 @@ commands:
 
   serve-bench                  loopback TCP throughput across worker counts, with
                                per-run p50/p90/p99/p999 latency from the advisor's
-                               registry histograms and a one-line JSON summary
+                               registry histograms, counting-allocator allocs/op +
+                               bytes/op deltas, and a one-line JSON summary
       --pack FILE                model pack (required)
       --requests N               corpus size (default 100000)
       --clients C                concurrent client connections (default 4)
       --workers LIST             comma-separated worker counts (default 1,2,4)
       --seed S                   load-generator seed (default 2020)
+      --profile-hz N             arm the wall-clock sampler for the whole bench,
+                                 to measure continuous profiling's qps cost
 
   bench                        measure the in-process serving path
       --pack FILE                model pack (required)
@@ -371,6 +391,8 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
     let mut trace_slow_us = 0u64;
     let mut slo_file: Option<PathBuf> = None;
     let mut alert_log: Option<PathBuf> = None;
+    let mut profile_file: Option<PathBuf> = None;
+    let mut profile_hz: Option<u64> = None;
     let mut options = ServeOptions::default();
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -391,6 +413,8 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
             "--trace-slow-us" => trace_slow_us = parse(next_value(&mut it, arg)?, arg)?,
             "--slo" => slo_file = Some(PathBuf::from(next_value(&mut it, arg)?)),
             "--alert-log" => alert_log = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--profile-file" => profile_file = Some(PathBuf::from(next_value(&mut it, arg)?)),
+            "--profile-hz" => profile_hz = Some(parse(next_value(&mut it, arg)?, arg)?),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -399,6 +423,9 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
     }
     if alert_log.is_some() && slo_file.is_none() {
         return Err("--alert-log requires --slo".to_string());
+    }
+    if profile_hz.is_some() && profile_file.is_none() {
+        return Err("--profile-hz requires --profile-file".to_string());
     }
     // Parse the SLO spec before binding the socket: a bad rule file should fail
     // fast, not after the server is reachable.
@@ -411,6 +438,13 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
     // file then holds an empty-but-valid dump, unless the slow log retains spans).
     let sample_every = trace_sample.unwrap_or(u64::from(trace_file.is_some()));
     tcp_obs::trace::configure(sample_every, trace_slow_us.saturating_mul(1_000));
+    // Arm the continuous profiler before the worker pool spawns so the very first
+    // request's span stack is mirrored; counting allocation rides along since this
+    // binary installs the counting global allocator.
+    if profile_file.is_some() {
+        tcp_obs::profile::set_counting(true);
+        tcp_obs::profile::arm(profile_hz.unwrap_or(97));
+    }
     let advisor = load_advisor(&pack)?;
     let pack_name = advisor.name().to_string();
     let cells = advisor.cell_names().len();
@@ -424,7 +458,8 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
         cells = cells,
         workers = options.workers,
         max_inflight = options.max_inflight,
-        protocol = "ndjson (+ !reload / !stats / !metrics / !trace / !health / !shutdown)",
+        protocol =
+            "ndjson (+ !reload / !stats / !metrics / !trace / !health / !profile / !shutdown)",
     );
     // The evaluator reads registry snapshots on its own thread (like the exposition
     // writer below); dropping the handle after the drain stops and joins it.
@@ -465,6 +500,25 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
         // Written once, after the drain: the flight recorder keeps the most recent
         // retained spans at bounded memory, so this is a dump, not an append log.
         write_trace(path);
+    }
+    if let Some(path) = &profile_file {
+        // Disarm first (stops and joins the sampler thread), then dump everything
+        // accumulated: basename.folded / .svg / .json, each via tmp + rename.
+        tcp_obs::profile::disarm();
+        match tcp_obs::profile::dump_to(path) {
+            Ok(written) => tcp_obs::event!(
+                info,
+                "serve.profile.dumped",
+                files = written.len(),
+                base = path.with_extension("").display().to_string(),
+            ),
+            Err(e) => tcp_obs::event!(
+                warn,
+                "serve.profile.dump_failed",
+                path = path.display().to_string(),
+                error = e.to_string(),
+            ),
+        }
     }
     tcp_obs::event!(
         info,
@@ -518,6 +572,7 @@ fn cmd_serve_bench(argv: &[String]) -> Result<(), String> {
     let mut clients = 4usize;
     let mut worker_counts: Vec<usize> = vec![1, 2, 4];
     let mut seed = 2020u64;
+    let mut profile_hz: Option<u64> = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -525,6 +580,7 @@ fn cmd_serve_bench(argv: &[String]) -> Result<(), String> {
             "--requests" => requests = parse(next_value(&mut it, arg)?, arg)?,
             "--clients" => clients = parse(next_value(&mut it, arg)?, arg)?,
             "--seed" => seed = parse(next_value(&mut it, arg)?, arg)?,
+            "--profile-hz" => profile_hz = Some(parse(next_value(&mut it, arg)?, arg)?),
             "--workers" => {
                 worker_counts = next_value(&mut it, arg)?
                     .split(',')
@@ -545,6 +601,15 @@ fn cmd_serve_bench(argv: &[String]) -> Result<(), String> {
     drop(advisor);
 
     println!("loopback serve-bench: {requests} requests over {clients} client connections");
+    // The loopback server runs in-process, so the counting global allocator this
+    // binary installs sees every allocation of a run; per-worker-count deltas of
+    // the process totals give allocs/op and bytes/op alongside the latency columns.
+    tcp_obs::profile::set_counting(true);
+    // --profile-hz arms the wall sampler for the whole bench — the direct way to
+    // measure what continuous profiling costs in qps against a run without it.
+    if let Some(hz) = profile_hz {
+        tcp_obs::profile::arm(hz);
+    }
     let mut baseline: Option<f64> = None;
     let mut summary = format!(
         "{{\"bench\":\"serve-bench\",\"clients\":{clients},\"requests\":{requests},\"results\":["
@@ -555,8 +620,13 @@ fn cmd_serve_bench(argv: &[String]) -> Result<(), String> {
         // delta per worker count isolates just this run's samples — reusing one
         // baseline across iterations would fold earlier runs into later quantiles.
         let before = advisor_latency_snapshot();
+        let alloc_before = tcp_obs::profile::alloc_totals();
         let report = loopback_bench(&pack_json, &corpus, workers, clients)?;
         let delta = advisor_latency_snapshot().delta_since(&before);
+        let alloc_after = tcp_obs::profile::alloc_totals();
+        let ops = (report.requests as f64).max(1.0);
+        let allocs_per_op = (alloc_after.allocs - alloc_before.allocs) as f64 / ops;
+        let bytes_per_op = (alloc_after.bytes - alloc_before.bytes) as f64 / ops;
         let speedup = match baseline {
             Some(base) => report.qps / base,
             None => {
@@ -572,7 +642,8 @@ fn cmd_serve_bench(argv: &[String]) -> Result<(), String> {
         );
         println!(
             "  workers {:>2}: {:>9.0} q/s  ({:.3}s wall, {:.2}x vs workers {})  \
-             latency p50 {:.2}us p90 {:.2}us p99 {:.2}us p999 {:.2}us",
+             latency p50 {:.2}us p90 {:.2}us p99 {:.2}us p999 {:.2}us  \
+             alloc {:.1}/op {:.0} B/op",
             report.workers,
             report.qps,
             report.seconds,
@@ -582,15 +653,21 @@ fn cmd_serve_bench(argv: &[String]) -> Result<(), String> {
             p90,
             p99,
             p999,
+            allocs_per_op,
+            bytes_per_op,
         );
         if i > 0 {
             summary.push(',');
         }
         summary.push_str(&format!(
-            "{{\"p50_us\":{p50:.3},\"p90_us\":{p90:.3},\"p99_us\":{p99:.3},\
+            "{{\"allocs_per_op\":{allocs_per_op:.1},\"bytes_per_op\":{bytes_per_op:.1},\
+             \"p50_us\":{p50:.3},\"p90_us\":{p90:.3},\"p99_us\":{p99:.3},\
              \"p999_us\":{p999:.3},\"qps\":{:.1},\"seconds\":{:.4},\"workers\":{workers}}}",
             report.qps, report.seconds,
         ));
+    }
+    if profile_hz.is_some() {
+        tcp_obs::profile::disarm();
     }
     summary.push_str("]}");
     // One line of JSON for BENCH_*.json trajectory tracking.

@@ -1,11 +1,11 @@
 //! `advise top` — a live terminal dashboard over a running `advise listen` server.
 //!
 //! Connects to the server like any other client and polls `!metrics prom` +
-//! `!health` over one short connection per refresh, so the dashboard exercises the
-//! exact surfaces an operator's tooling would.  From two consecutive polls it
-//! derives **windowed** figures — qps, shed %, p50/p99 advisor latency over the
-//! refresh interval — rather than process-lifetime aggregates, then repaints the
-//! terminal with plain ANSI escapes (no TTY crates).
+//! `!health` + `!profile` over one short connection per refresh, so the dashboard
+//! exercises the exact surfaces an operator's tooling would.  From two consecutive
+//! polls it derives **windowed** figures — qps, shed %, p50/p99 advisor latency
+//! over the refresh interval — rather than process-lifetime aggregates, then
+//! repaints the terminal with plain ANSI escapes (no TTY crates).
 //!
 //! Latency quantiles are rebuilt client-side from the Prometheus exposition: each
 //! `advisor_latency_*` family's cumulative `_bucket{le="..."}` series is
@@ -93,6 +93,11 @@ pub struct TopSample {
     pub uptime_secs: f64,
     /// Recent warn/error event records, rendered one-line each (site + level).
     pub recent_errors: Vec<String>,
+    /// Total wall-clock profiler samples from `!profile` (0 when the server's
+    /// profiler is disarmed or the control line isn't answered).
+    pub wall_samples: u64,
+    /// Hot sites ranked by self samples, from the profiler's collapsed stacks.
+    pub hot_sites: Vec<tcp_obs::profile::HotSite>,
 }
 
 impl TopSample {
@@ -245,7 +250,42 @@ pub fn parse_sample(metrics_line: &str, health_line: &str) -> Result<TopSample, 
         pack_format_version: f64_of(pack.and_then(|p| p.get("format_version"))) as u64,
         uptime_secs: f64_of(health.get("uptime_secs")),
         recent_errors,
+        wall_samples: 0,
+        hot_sites: Vec::new(),
     })
+}
+
+/// Parses one `!profile` response line into the wall-sample total and the
+/// hot-sites ranking.
+///
+/// The `wall.stacks` map's keys are `;`-joined collapsed paths; splitting them
+/// back recovers the stacks, and [`tcp_obs::profile::hot_sites`] ranks them the
+/// same way the server-side exporters do.  Errors (an older server answering
+/// the control line with an error record, say) are the caller's to swallow —
+/// the panel is additive, not load-bearing.
+pub fn parse_profile(profile_line: &str) -> Result<(u64, Vec<tcp_obs::profile::HotSite>), String> {
+    let value = serde_json::parse_value(profile_line.trim())
+        .map_err(|e| format!("bad !profile line: {e}"))?;
+    let wall = value
+        .get("profile")
+        .and_then(|p| p.get("wall"))
+        .ok_or("!profile reply has no `profile.wall`")?;
+    let samples = wall.get("samples").and_then(|v| v.as_u64()).unwrap_or(0);
+    let stacks: Vec<(Vec<String>, u64)> = wall
+        .get("stacks")
+        .and_then(|v| v.as_map())
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|(path, count)| {
+            count.as_u64().map(|count| {
+                (
+                    path.split(';').map(str::to_string).collect::<Vec<_>>(),
+                    count,
+                )
+            })
+        })
+        .collect();
+    Ok((samples, tcp_obs::profile::hot_sites(&stacks)))
 }
 
 /// The windowed figures between two samples taken `elapsed_secs` apart.
@@ -284,11 +324,12 @@ pub fn window_between(prev: &TopSample, curr: &TopSample, elapsed_secs: f64) -> 
 pub fn snapshot_json(curr: &TopSample, window: &Window) -> String {
     format!(
         "{{\"alerts_firing\":{},\"p50_us\":{:.3},\"p99_us\":{:.3},\"pack\":{},\
-         \"qps\":{:.1},\"shed_pct\":{:.2},\"verdict\":\"{}\"}}",
+         \"profile_samples\":{},\"qps\":{:.1},\"shed_pct\":{:.2},\"verdict\":\"{}\"}}",
         curr.alerts_firing(),
         window.p50_us,
         window.p99_us,
         serde_json::to_string(&curr.pack_name).expect("strings serialize"),
+        curr.wall_samples,
         window.qps,
         window.shed_pct,
         curr.verdict,
@@ -353,6 +394,23 @@ pub fn render_frame(addr: &str, curr: &TopSample, window: &Window) -> String {
             );
         }
     }
+    if !curr.hot_sites.is_empty() && curr.wall_samples > 0 {
+        let _ = writeln!(
+            out,
+            "{DIM}hot sites{RESET} ({} wall samples)",
+            curr.wall_samples
+        );
+        for site in curr.hot_sites.iter().take(5) {
+            let pct = |n: u64| 100.0 * n as f64 / curr.wall_samples as f64;
+            let _ = writeln!(
+                out,
+                "  {:<28} self {:>5.1}%  total {:>5.1}%",
+                site.name,
+                pct(site.self_samples),
+                pct(site.total_samples),
+            );
+        }
+    }
     if !curr.recent_errors.is_empty() {
         let _ = writeln!(out, "{DIM}recent warn/error events{RESET}");
         for line in curr.recent_errors.iter().rev().take(5) {
@@ -362,15 +420,24 @@ pub fn render_frame(addr: &str, curr: &TopSample, window: &Window) -> String {
     out
 }
 
-/// Polls the server once: sends `!metrics prom` + `!health` over one connection
-/// and parses the two response lines.
+/// Polls the server once: sends `!metrics prom` + `!health` + `!profile` over
+/// one connection and parses the response lines.
+///
+/// The `!profile` reply is best-effort: a server that predates the control line
+/// answers with an error record, and the dashboard simply draws no hot-sites
+/// panel rather than failing the poll.
 fn poll(addr: &str) -> Result<TopSample, String> {
-    let reply = run_client(addr, "!metrics prom\n!health\n")
+    let reply = run_client(addr, "!metrics prom\n!health\n!profile\n")
         .map_err(|e| format!("cannot poll {addr}: {e}"))?;
     let mut lines = reply.lines();
     let metrics = lines.next().ok_or("server sent no !metrics reply")?;
     let health = lines.next().ok_or("server sent no !health reply")?;
-    parse_sample(metrics, health)
+    let mut sample = parse_sample(metrics, health)?;
+    if let Some(Ok((samples, hot))) = lines.next().map(parse_profile) {
+        sample.wall_samples = samples;
+        sample.hot_sites = hot;
+    }
+    Ok(sample)
 }
 
 /// Runs the dashboard: polls every `interval_secs`, repainting the terminal —
@@ -498,8 +565,8 @@ advisor_latency_should_reuse_count 5
         assert_eq!(
             line,
             "{\"alerts_firing\":0,\"p50_us\":10.500,\"p99_us\":99.125,\
-             \"pack\":\"tiny-pack\",\"qps\":123.5,\"shed_pct\":1.23,\
-             \"verdict\":\"healthy\"}"
+             \"pack\":\"tiny-pack\",\"profile_samples\":0,\"qps\":123.5,\
+             \"shed_pct\":1.23,\"verdict\":\"healthy\"}"
         );
         let value = serde_json::parse_value(&line).unwrap();
         let keys: Vec<&str> = value
@@ -542,5 +609,41 @@ advisor_latency_should_reuse_count 5
         );
         assert!(frame.contains("UNHEALTHY"));
         assert!(frame.contains("shed-ratio"));
+    }
+
+    #[test]
+    fn parse_profile_ranks_hot_sites_from_collapsed_stacks() {
+        let line = "{\"control\":\"profile\",\"profile\":{\"alloc\":{\"allocs\":1,\
+             \"bytes\":64,\"frees\":0,\"freed_bytes\":0,\"live_bytes\":64,\
+             \"peak_bytes\":64,\"sites\":{}},\"wall\":{\"armed\":true,\"hz\":997,\
+             \"samples\":10,\"stacks\":{\"serve.request\":2,\
+             \"serve.request;advisor.lookup\":7,\"serve.request;advisor.route\":1},\
+             \"ticks\":10,\"torn\":0}}}";
+        let (samples, hot) = parse_profile(line).unwrap();
+        assert_eq!(samples, 10);
+        // advisor.lookup leads on self samples; serve.request spans every stack
+        // so its total is 10 even though only 2 samples end there.
+        assert_eq!(hot[0].name, "advisor.lookup");
+        assert_eq!(hot[0].self_samples, 7);
+        let serve = hot.iter().find(|s| s.name == "serve.request").unwrap();
+        assert_eq!(serve.self_samples, 2);
+        assert_eq!(serve.total_samples, 10);
+
+        // The hot-sites panel renders with self/total percentages.
+        let mut sample = sample(10, 0, &[]);
+        sample.wall_samples = samples;
+        sample.hot_sites = hot;
+        let frame = render_frame(
+            "127.0.0.1:1",
+            &sample,
+            &window_between(&sample, &sample, 1.0),
+        );
+        assert!(frame.contains("hot sites"));
+        assert!(frame.contains("advisor.lookup"));
+        assert!(frame.contains("70.0%"));
+
+        // An error reply (older server) is an Err, not a panic — the poll loop
+        // swallows it and draws no panel.
+        assert!(parse_profile("{\"error\":\"unknown control\"}").is_err());
     }
 }
