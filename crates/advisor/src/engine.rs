@@ -536,6 +536,7 @@ impl Advisor {
 
     /// Answers one request.
     pub fn advise(&self, request: &AdviceRequest) -> Result<AdviceResponse> {
+        // lint:allow(determinism) latency metric only: `started` feeds the query-stats histogram, never a response field
         let started = Instant::now();
         // The per-kind warm-lookup span (inert unless this thread is tracing a
         // request); the site id is pre-interned so this is pointer work only.
@@ -621,13 +622,16 @@ impl Advisor {
                     .min_by(|a, b| {
                         let da = (a.cost_minutes - overhead).abs();
                         let db = (b.cost_minutes - overhead).abs();
-                        da.partial_cmp(&db)
-                            .expect("finite costs")
-                            .then(a.cost_minutes.partial_cmp(&b.cost_minutes).expect("finite"))
+                        da.total_cmp(&db)
+                            .then(a.cost_minutes.total_cmp(&b.cost_minutes))
                     })
-                    .expect("packs always carry at least one checkpoint cell")
+                    .ok_or_else(|| {
+                        AdvisorError::Pack("pack regime carries no checkpoint cells".to_string())
+                    })?
             }
-            None => &engine.checkpoints[0],
+            None => engine.checkpoints.first().ok_or_else(|| {
+                AdvisorError::Pack("pack regime carries no checkpoint cells".to_string())
+            })?,
         };
         // Nearest tabulated job length carries the concrete fresh-VM schedule; ties
         // resolve toward the shorter job for determinism.
@@ -638,12 +642,12 @@ impl Advisor {
             .min_by(|(_, a), (_, b)| {
                 let da = (*a - job_len).abs();
                 let db = (*b - job_len).abs();
-                da.partial_cmp(&db)
-                    .expect("finite grid")
-                    .then(a.partial_cmp(b).expect("finite"))
+                da.total_cmp(&db).then(a.total_cmp(b))
             })
             .map(|(i, _)| i)
-            .expect("non-empty job grid");
+            .ok_or_else(|| {
+                AdvisorError::Pack("checkpoint cell carries an empty job grid".to_string())
+            })?;
         let schedule = &cell.schedules[nearest];
         let mut response = AdviceResponse::bare(request.kind, request.id, &regime.name);
         response.checkpoint_cost_minutes = Some(cell.cost_minutes);

@@ -31,6 +31,7 @@
 //!     └───advise build──▶ pack.json ──advise serve──▶ answers (online, microseconds)
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`

@@ -31,7 +31,10 @@ impl MultiAdvisor {
         // Only the routing invariant (strictly sorted cell names, for binary search)
         // is checked here; per-pack table validation happens inside `Advisor::new`,
         // and documents arriving through `from_json` were already fully validated.
-        if !multi.cells.windows(2).all(|w| w[0].cell < w[1].cell) {
+        if !multi.cells.windows(2).all(|w| match w {
+            [a, b] => a.cell < b.cell,
+            _ => true,
+        }) {
             return Err(AdvisorError::Pack(
                 "cell packs must be unique and sorted by cell name".to_string(),
             ));
@@ -177,7 +180,12 @@ impl AdvisorHandle {
 
     /// Snapshots the advisor currently being served.
     pub fn current(&self) -> Arc<MultiAdvisor> {
-        self.current.read().expect("advisor lock poisoned").clone()
+        // A writer can only panic between the lock and the store, in which case the
+        // previous advisor snapshot is still intact: recover it rather than abort.
+        self.current
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Atomically replaces the served advisor.  In-flight work keeps the snapshot it
@@ -185,7 +193,7 @@ impl AdvisorHandle {
     /// pack gauges are re-stamped, resetting `pack_age_secs` to zero.
     pub fn reload(&self, advisor: MultiAdvisor) {
         publish_pack_gauges(&advisor);
-        *self.current.write().expect("advisor lock poisoned") = Arc::new(advisor);
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(advisor);
     }
 
     /// Loads a pack (single or multi) from a JSON file and swaps it in.  On failure the

@@ -102,16 +102,35 @@ fn pack_age_secs() -> f64 {
     (tcp_obs::log::now_monotonic_secs() - loaded_at).max(0.0)
 }
 
+/// Serializes one NDJSON reply line.  A serializer failure is impossible for the
+/// line types used here, but a serving worker must never abort on a response
+/// path, so it degrades to a well-formed error line instead of panicking.
+fn render_line<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value)
+        .unwrap_or_else(|_| "{\"error\":\"internal: response serialization failed\"}".to_string())
+}
+
+/// Serializes one JSON string fragment for hand-assembled control lines; the
+/// empty-string fallback keeps the surrounding line well-formed JSON.
+fn render_json_str(value: &str) -> String {
+    serde_json::to_string(value).unwrap_or_else(|_| "\"\"".to_string())
+}
+
+/// Serializes one float for hand-assembled control lines through the sanctioned
+/// serde_json float writer (finite values render as `{:?}` would; NaN and
+/// infinities become `null`, keeping the line valid JSON).
+fn render_f64(value: f64) -> String {
+    serde_json::to_string(&value).unwrap_or_else(|_| "null".to_string())
+}
+
 /// Answers one NDJSON request line, returning the response (or error) line without a
 /// trailing newline.
 pub fn respond_line(advisor: &MultiAdvisor, line: &str) -> String {
-    let emit_error = |error: String, id: Option<u64>| {
-        serde_json::to_string(&ErrorLine { error, id }).expect("error lines serialize")
-    };
+    let emit_error = |error: String, id: Option<u64>| render_line(&ErrorLine { error, id });
     match serde_json::from_str::<AdviceRequest>(line) {
         Err(e) => emit_error(format!("parse error: {e}"), None),
         Ok(request) => match advisor.advise(&request) {
-            Ok(response) => serde_json::to_string(&response).expect("responses serialize"),
+            Ok(response) => render_line(&response),
             Err(e) => emit_error(e.to_string(), request.id),
         },
     }
@@ -226,9 +245,7 @@ impl<'a> Session<'a> {
         // control line that must get the typed unknown-control error, not execute.
         let trimmed = line.trim();
         let control = trimmed.strip_prefix('!').unwrap_or(trimmed);
-        let emit_error = |error: String| {
-            serde_json::to_string(&ErrorLine { error, id: None }).expect("error lines serialize")
-        };
+        let emit_error = |error: String| render_line(&ErrorLine { error, id: None });
         match control.split_once(char::is_whitespace) {
             Some(("reload", path)) => {
                 match self
@@ -239,12 +256,11 @@ impl<'a> Session<'a> {
                         // Reloads are rare enough that the registry lookup (a short
                         // mutex) is fine here, unlike the per-query hot path.
                         tcp_obs::counter("advisor.reload.success").incr();
-                        serde_json::to_string(&ControlLine {
+                        render_line(&ControlLine {
                             control: "reload".to_string(),
                             pack: advisor.name().to_string(),
                             cells: advisor.cell_names().len(),
                         })
-                        .expect("control lines serialize")
                     }
                     Err(e) => {
                         tcp_obs::counter("advisor.reload.failed").incr();
@@ -258,7 +274,7 @@ impl<'a> Session<'a> {
                 // the live pack's (server-wide) scope, like `current` — a session that
                 // has answered nothing itself still reports real traffic.
                 let families = advisor.family_stats();
-                serde_json::to_string(&StatsLine {
+                render_line(&StatsLine {
                     cells: advisor.cell_names().len(),
                     control: "stats".to_string(),
                     current: advisor.stats(),
@@ -270,7 +286,6 @@ impl<'a> Session<'a> {
                     served_families: families.served,
                     uptime_secs: tcp_obs::log::now_monotonic_secs(),
                 })
-                .expect("stats lines serialize")
             }
             Some(("metrics", arg)) if arg.trim() == "prom" => Self::metrics_prometheus_line(),
             None if control == "metrics" => Self::metrics_line(),
@@ -307,8 +322,7 @@ impl<'a> Session<'a> {
     pub fn metrics_prometheus_line() -> String {
         format!(
             "{{\"control\":\"metrics\",\"encoding\":\"prometheus-0.0.4\",\"text\":{}}}",
-            serde_json::to_string(&tcp_obs::Registry::global().snapshot().to_prometheus())
-                .expect("strings serialize")
+            render_json_str(&tcp_obs::Registry::global().snapshot().to_prometheus())
         )
     }
 
@@ -349,16 +363,16 @@ impl<'a> Session<'a> {
             .map(|e| e.to_json_line())
             .collect();
         format!(
-            "{{\"control\":\"health\",\"health\":{{\"pack\":{{\"age_secs\":{:?},\
+            "{{\"control\":\"health\",\"health\":{{\"pack\":{{\"age_secs\":{},\
              \"cells\":{},\"format_version\":{},\"name\":{}}},\"recent_errors\":[{}],\
-             \"rules\":{},\"uptime_secs\":{:?},\"verdict\":\"{}\"}}}}",
-            pack_age_secs(),
+             \"rules\":{},\"uptime_secs\":{},\"verdict\":\"{}\"}}}}",
+            render_f64(pack_age_secs()),
             advisor.cell_names().len(),
             advisor.pooled().pack().format_version,
-            serde_json::to_string(&advisor.name().to_string()).expect("strings serialize"),
+            render_json_str(advisor.name()),
             recent.join(","),
             rules,
-            tcp_obs::log::now_monotonic_secs(),
+            render_f64(tcp_obs::log::now_monotonic_secs()),
             verdict,
         )
     }
@@ -493,6 +507,7 @@ pub fn generate_multi_requests(multi: &MultiPack, count: usize, seed: u64) -> Ve
                 (Some(entry.cell.clone()), &entry.pack)
             }
         };
+        // lint:allow(panic-policy) load-generator helper, not a request path: packs are validated non-empty before generation
         let mut request = mixed_request(&mut rng, &pack.regimes[0], i as u64);
         request.cell = cell_name;
         requests.push(request);
@@ -504,6 +519,7 @@ pub fn generate_multi_requests(multi: &MultiPack, count: usize, seed: u64) -> Ve
 pub fn requests_to_ndjson(requests: &[AdviceRequest]) -> String {
     let mut out = String::new();
     for request in requests {
+        // lint:allow(panic-policy) load-generator helper, not a request path: requests it just built always serialize
         out.push_str(&serde_json::to_string(request).expect("requests serialize"));
         out.push('\n');
     }

@@ -25,13 +25,14 @@ pub struct Table2D {
 /// weight `w ∈ [0, 1]` toward knot `i + 1`, clamped at the ends.
 fn bracket(knots: &[f64], x: f64) -> (usize, f64) {
     let n = knots.len();
+    // lint:allow(panic-policy) private helper: Table2D::new guarantees ≥2 finite, strictly increasing knots
     if x <= knots[0] {
         return (0, 0.0);
     }
     if x >= knots[n - 1] {
         return (n - 2, 1.0);
     }
-    let idx = match knots.binary_search_by(|v| v.partial_cmp(&x).expect("finite knots")) {
+    let idx = match knots.binary_search_by(|v| v.total_cmp(&x)) {
         Ok(i) => return (i.min(n - 2), if i == n - 1 { 1.0 } else { 0.0 }),
         Err(i) => i,
     };
@@ -57,10 +58,12 @@ impl Table2D {
         }
         for knots in [&xs, &ys] {
             for w in knots.windows(2) {
-                if !(w[1] > w[0]) {
-                    return Err(AdvisorError::Pack(
-                        "Table2D knots must be strictly increasing".to_string(),
-                    ));
+                if let [a, b] = w {
+                    if !(b > a) {
+                        return Err(AdvisorError::Pack(
+                            "Table2D knots must be strictly increasing".to_string(),
+                        ));
+                    }
                 }
             }
         }

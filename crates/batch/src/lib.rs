@@ -19,6 +19,7 @@
 //! cost) while keeping the controller logic transparent; DESIGN.md discusses the
 //! substitution.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`

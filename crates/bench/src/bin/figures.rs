@@ -6,6 +6,7 @@
 //! figures [all|fig1|fig2|fig4|fig5|fig6|fig7|ckpt|fig8|fig9|params]
 //! ```
 
+use std::process::ExitCode;
 use tcp_bench::figures;
 use tcp_core::BathtubModel;
 
@@ -13,10 +14,9 @@ fn print_fig(fig: &figures::FigureData) {
     println!("{}", fig.to_csv());
 }
 
-fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+fn run(which: &str) -> Result<(), String> {
     let run_all = which == "all";
-    let model = figures::fitted_model(2020).expect("model fit");
+    let model = figures::fitted_model(2020).map_err(|e| format!("model fit: {e}"))?;
 
     if run_all || which == "params" {
         let p = model.params();
@@ -33,7 +33,7 @@ fn main() {
         );
     }
     if run_all || which == "fig1" {
-        let (fig, cmp) = figures::figure1(2020, 60).expect("fig1");
+        let (fig, cmp) = figures::figure1(2020, 60).map_err(|e| format!("fig1: {e}"))?;
         print_fig(&fig);
         println!("# fig1 goodness of fit");
         println!("family,r_squared,rmse");
@@ -43,12 +43,12 @@ fn main() {
         println!();
     }
     if run_all || which == "fig2" {
-        for fig in figures::figure2(2021, 300, 60).expect("fig2") {
+        for fig in figures::figure2(2021, 300, 60).map_err(|e| format!("fig2: {e}"))? {
             print_fig(&fig);
         }
     }
     if run_all || which == "fig4" {
-        let (a, b, analysis) = figures::figure4(&model, 48).expect("fig4");
+        let (a, b, analysis) = figures::figure4(&model, 48).map_err(|e| format!("fig4: {e}"))?;
         print_fig(&a);
         print_fig(&b);
         println!("# fig4 derived");
@@ -62,21 +62,38 @@ fn main() {
         print_fig(&figures::figure5(&model, 6.0, 48));
     }
     if run_all || which == "fig6" {
-        print_fig(&figures::figure6(&model, 24).expect("fig6"));
+        print_fig(&figures::figure6(&model, 24).map_err(|e| format!("fig6: {e}"))?);
     }
     if run_all || which == "fig7" {
-        let suboptimal = BathtubModel::from_parts(0.49, 0.55, 0.9, 23.2).expect("suboptimal model");
-        print_fig(&figures::figure7(&model, &suboptimal, 24).expect("fig7"));
+        let suboptimal = BathtubModel::from_parts(0.49, 0.55, 0.9, 23.2)
+            .map_err(|e| format!("suboptimal model: {e}"))?;
+        print_fig(&figures::figure7(&model, &suboptimal, 24).map_err(|e| format!("fig7: {e}"))?);
     }
     if run_all || which == "ckpt" {
-        print_fig(&figures::checkpoint_schedule_example(&model).expect("ckpt"));
+        print_fig(&figures::checkpoint_schedule_example(&model).map_err(|e| format!("ckpt: {e}"))?);
     }
     if run_all || which == "fig8" {
-        print_fig(&figures::figure8a(&model, 200).expect("fig8a"));
-        print_fig(&figures::figure8b(&model, 200).expect("fig8b"));
+        print_fig(&figures::figure8a(&model, 200).map_err(|e| format!("fig8a: {e}"))?);
+        print_fig(&figures::figure8b(&model, 200).map_err(|e| format!("fig8b: {e}"))?);
     }
     if run_all || which == "fig9" {
-        print_fig(&figures::figure9a(&model, 100, 32).expect("fig9a"));
-        print_fig(&figures::figure9b(&model, 100, 32, 10).expect("fig9b"));
+        print_fig(&figures::figure9a(&model, 100, 32).map_err(|e| format!("fig9a: {e}"))?);
+        print_fig(&figures::figure9b(&model, 100, 32, 10).map_err(|e| format!("fig9b: {e}"))?);
     }
+    Ok(())
+}
+
+const SELECTORS: [&str; 11] = [
+    "all", "params", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "ckpt", "fig8", "fig9",
+];
+
+fn main() -> ExitCode {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if !SELECTORS.contains(&which.as_str()) {
+        return tcp_obs::cli::usage_error(format_args!(
+            "unknown figure `{which}`\n\nusage: figures [{}]",
+            SELECTORS.join("|")
+        ));
+    }
+    tcp_obs::cli::exit_outcome(run(&which))
 }

@@ -154,6 +154,7 @@ fn print_cell_detail(fit: &tcp_calibrate::CellFit) {
         fit.cell, fit.records, fit.deadline_survivals, fit.mean_lifetime_hours
     );
     println!("selection: {}", fit.selection);
+    // lint:allow(json-stability) human-readable cell detail on stdout, not wire JSON
     println!("model: {} params {:?}", fit.model.family, fit.model.params);
     if fit.candidates.is_empty() {
         println!("candidates: none (cell too small for parametric fits)");
@@ -329,17 +330,10 @@ fn main() -> ExitCode {
         Some("fit") => cmd_fit(&argv[1..]),
         Some("inspect") => cmd_inspect(&argv[1..]),
         Some("compare") => cmd_compare(&argv[1..]),
-        Some("--help" | "-h") | None => {
-            eprintln!("{USAGE}");
-            return ExitCode::from(2);
+        Some("--help" | "-h") | None => return tcp_obs::cli::usage_error(USAGE),
+        Some(other) => {
+            return tcp_obs::cli::usage_error(format_args!("unknown command `{other}`\n\n{USAGE}"))
         }
-        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
-    match outcome {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
-        }
-    }
+    tcp_obs::cli::exit_outcome(outcome)
 }

@@ -29,6 +29,7 @@
 //!
 //! The `calibrate` binary wraps it into a CLI (`fit` / `inspect` / `compare`).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`

@@ -15,6 +15,7 @@
 //!   trial runs an independent simulation with its own RNG stream; results are reduced
 //!   in task order so aggregates are bit-identical for every thread count).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`

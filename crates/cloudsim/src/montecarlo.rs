@@ -75,6 +75,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                // lint:allow(ordering-audit) work-stealing index: atomicity alone guarantees each task runs once; result order comes from the slots
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= count {
                     break;

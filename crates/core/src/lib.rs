@@ -19,6 +19,7 @@
 //!   [`lifetime::TabulatedLifetime`], the quadrature-table adapter
 //!   behind the generic-hazard DP.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`

@@ -21,6 +21,7 @@
 //! hazard rate, truncated expectations, and inverse-transform sampling needed by the model
 //! analysis, the policies, and the cloud simulator.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`

@@ -1,0 +1,151 @@
+//! The committed baseline: grandfathered findings that do not fail the run.
+//!
+//! A baseline entry fingerprints a finding by `(rule, path, snippet)` plus a
+//! count, *not* by line number — unrelated edits that shift lines do not
+//! invalidate the baseline, while a new instance of the same construct in the
+//! same file (count exceeded) fails the run.
+
+use crate::rules::Finding;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One grandfathered fingerprint.  Field order is alphabetical so the serialized
+/// JSON keys are sorted.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// How many findings with this fingerprint are grandfathered.
+    pub count: u64,
+    /// Repo-relative path of the file.
+    pub path: String,
+    /// Rule id.
+    pub rule: String,
+    /// The matched construct (see [`Finding::snippet`]).
+    pub snippet: String,
+}
+
+/// The baseline document (`lint-baseline.json`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Grandfathered fingerprints, sorted by (path, rule, snippet).
+    pub findings: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses a baseline document.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        serde_json::from_str(text).map_err(|e| format!("baseline: {e}"))
+    }
+
+    /// Serializes the baseline with sorted keys and a trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut text = serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string());
+        text.push('\n');
+        text
+    }
+
+    /// Builds a baseline that grandfathers exactly `findings`.
+    pub fn capture(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<(String, String, String), u64> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry((f.path.clone(), f.rule.to_string(), f.snippet.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline {
+            findings: counts
+                .into_iter()
+                .map(|((path, rule, snippet), count)| BaselineEntry {
+                    count,
+                    path,
+                    rule,
+                    snippet,
+                })
+                .collect(),
+        }
+    }
+
+    /// Splits `findings` into (surviving, baselined-count).  For each fingerprint
+    /// the first `count` findings are absorbed; any excess survives.
+    pub fn filter(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+        let mut budget: BTreeMap<(String, String, String), u64> = self
+            .findings
+            .iter()
+            .map(|e| ((e.path.clone(), e.rule.clone(), e.snippet.clone()), e.count))
+            .collect();
+        let mut out = Vec::new();
+        let mut baselined = 0usize;
+        for f in findings {
+            let absorbed = {
+                let key = (f.path.clone(), f.rule.to_string(), f.snippet.clone());
+                match budget.get_mut(&key) {
+                    Some(remaining) if *remaining > 0 => {
+                        *remaining -= 1;
+                        true
+                    }
+                    _ => false,
+                }
+            };
+            if absorbed {
+                baselined += 1;
+            } else {
+                out.push(f);
+            }
+        }
+        (out, baselined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Severity;
+
+    fn finding(path: &str, line: u32, snippet: &str) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line,
+            rule: "ordering-audit",
+            snippet: snippet.to_string(),
+            message: "m".to_string(),
+            severity: Severity::Error,
+        }
+    }
+
+    #[test]
+    fn capture_then_filter_absorbs_exactly_the_captured_set() {
+        let found = vec![
+            finding("a.rs", 3, "Ordering::Relaxed"),
+            finding("a.rs", 9, "Ordering::Relaxed"),
+            finding("b.rs", 1, "Ordering::Relaxed"),
+        ];
+        let baseline = Baseline::capture(&found);
+        let (surviving, baselined) = baseline.filter(found.clone());
+        assert!(surviving.is_empty());
+        assert_eq!(baselined, 3);
+
+        // A *new* instance of a baselined fingerprint survives.
+        let mut more = found;
+        more.push(finding("a.rs", 40, "Ordering::Relaxed"));
+        let (surviving, baselined) = baseline.filter(more);
+        assert_eq!(baselined, 3);
+        assert_eq!(surviving.len(), 1);
+        assert_eq!(surviving[0].line, 40);
+    }
+
+    #[test]
+    fn json_round_trip_is_stable() {
+        let baseline = Baseline::capture(&[finding("a.rs", 3, "unsafe")]);
+        let json = baseline.to_json();
+        let reparsed = Baseline::from_json(&json).unwrap();
+        assert_eq!(reparsed, baseline);
+        assert_eq!(reparsed.to_json(), json);
+    }
+
+    #[test]
+    fn line_drift_does_not_invalidate_the_baseline() {
+        let baseline = Baseline::capture(&[finding("a.rs", 3, "unsafe")]);
+        let (surviving, baselined) = baseline.filter(vec![finding("a.rs", 300, "unsafe")]);
+        assert!(surviving.is_empty());
+        assert_eq!(baselined, 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! `lint` — the workspace invariant checker CLI.
+//!
+//! ```text
+//! lint check [--json] [--baseline FILE] [--config FILE] [--root DIR]
+//!            [--write-baseline FILE]
+//! lint rules
+//! ```
+//!
+//! `check` exits `0` when no error-severity finding survives the suppressions and
+//! the baseline, `1` when findings remain, `2` on usage/config errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tcp_lint::{Baseline, LintConfig};
+
+const USAGE: &str = "\
+usage: lint <command> [options]
+
+commands:
+  check    lint the tree and report findings
+  rules    print the rule catalog
+
+check options:
+  --root DIR             tree to lint (default: current directory)
+  --config FILE          lint config (default: <root>/lint.toml)
+  --baseline FILE        grandfathered findings to filter out
+  --write-baseline FILE  capture current findings as the new baseline and exit 0
+  --json                 emit the sorted-key JSON report instead of text
+";
+
+struct CheckArgs {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_check_args(argv: &[String]) -> Result<CheckArgs, String> {
+    let mut args = CheckArgs {
+        root: PathBuf::from("."),
+        config: None,
+        baseline: None,
+        write_baseline: None,
+        json: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut path_value = |name: &str| -> Result<PathBuf, String> {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} requires a value\n\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--root" => args.root = path_value("--root")?,
+            "--config" => args.config = Some(path_value("--config")?),
+            "--baseline" => args.baseline = Some(path_value("--baseline")?),
+            "--write-baseline" => args.write_baseline = Some(path_value("--write-baseline")?),
+            "--json" => args.json = true,
+            other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Runs `lint check`.  `Ok(true)` means clean, `Ok(false)` means error-severity
+/// findings survived (the caller exits `1` without the `error:` prefix — the
+/// report already says everything).
+fn cmd_check(args: &CheckArgs) -> Result<bool, String> {
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let config_text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+    let config = LintConfig::from_toml(&config_text)
+        .map_err(|e| format!("{}: {e}", config_path.display()))?;
+    let baseline = match &args.baseline {
+        None => Baseline::default(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            Baseline::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+    };
+    let files = tcp_lint::collect_files(&args.root, &config)?;
+    let report = tcp_lint::run(&args.root, &config, &files, &baseline)?;
+    if let Some(path) = &args.write_baseline {
+        let captured = Baseline::capture(&report.findings);
+        std::fs::write(path, captured.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!(
+            "wrote {} fingerprint(s) to {}",
+            captured.findings.len(),
+            path.display()
+        );
+        return Ok(true);
+    }
+    if args.json {
+        print!("{}", tcp_lint::report::to_json(&report));
+    } else {
+        print!("{}", tcp_lint::report::to_text(&report));
+    }
+    Ok(report.errors() == 0)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("check") => match parse_check_args(&argv[1..]) {
+            Err(message) => tcp_obs::cli::usage_error(message),
+            Ok(args) => match cmd_check(&args) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(message) => tcp_obs::cli::exit_outcome(Err(message)),
+            },
+        },
+        Some("rules") => {
+            print!("{}", tcp_lint::report::rules_text());
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h") | None => tcp_obs::cli::usage_error(USAGE),
+        Some(other) => tcp_obs::cli::usage_error(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}

@@ -1,0 +1,228 @@
+//! `lint.toml` — the path-scoped rule configuration.
+//!
+//! The config is parsed by walking the vendored TOML front end's [`serde::Value`]
+//! tree directly (rather than derive) so unknown keys can be rejected with a
+//! precise message: a typoed scope entry must fail the run, not silently lint
+//! nothing.
+
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// Per-rule severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, but does not fail the run.
+    Warn,
+    /// Fails the run when not baselined or suppressed.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase name used in reports and config files.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    fn parse(text: &str) -> Result<Severity, String> {
+        match text {
+            "warn" => Ok(Severity::Warn),
+            "error" => Ok(Severity::Error),
+            other => Err(format!("unknown severity `{other}` (expected warn|error)")),
+        }
+    }
+}
+
+/// Scope and severity overrides for one rule.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// `false` disables the rule entirely.
+    pub enabled: Option<bool>,
+    /// Overrides the rule's default severity.
+    pub severity: Option<Severity>,
+    /// Path prefixes the rule applies to; empty means every scanned file.
+    pub include: Vec<String>,
+    /// Path prefixes carved out of the rule's scope.
+    pub exclude: Vec<String>,
+    /// unsafe-audit only: files where `unsafe` is sanctioned (each must carry a
+    /// `SAFETY:` comment).
+    pub allow_unsafe_in: Vec<String>,
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Directories (repo-relative) to scan for `.rs` files.
+    pub include: Vec<String>,
+    /// Path prefixes excluded from scanning entirely (vendored code, fixtures).
+    pub exclude: Vec<String>,
+    /// Per-rule overrides keyed by rule id.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl LintConfig {
+    /// Parses a `lint.toml` document.
+    pub fn from_toml(text: &str) -> Result<LintConfig, String> {
+        let value = toml::parse_document(text).map_err(|e| e.to_string())?;
+        let mut config = LintConfig::default();
+        for (key, entry) in map_entries(&value, "config root")? {
+            match key.as_str() {
+                "scan" => {
+                    for (scan_key, scan_value) in map_entries(entry, "[scan]")? {
+                        match scan_key.as_str() {
+                            "include" => config.include = string_list(scan_value, "scan.include")?,
+                            "exclude" => config.exclude = string_list(scan_value, "scan.exclude")?,
+                            other => return Err(format!("unknown key `scan.{other}`")),
+                        }
+                    }
+                }
+                "rules" => {
+                    for (rule_id, rule_value) in map_entries(entry, "[rules]")? {
+                        if !crate::rules::CATALOG.iter().any(|r| r.id == *rule_id) {
+                            return Err(format!("unknown rule `{rule_id}` in [rules]"));
+                        }
+                        config
+                            .rules
+                            .insert(rule_id.clone(), parse_rule(rule_id, rule_value)?);
+                    }
+                }
+                other => return Err(format!("unknown top-level key `{other}`")),
+            }
+        }
+        if config.include.is_empty() {
+            return Err("scan.include must list at least one directory".to_string());
+        }
+        Ok(config)
+    }
+
+    /// The effective config for `rule_id` (empty default when not configured).
+    pub fn rule(&self, rule_id: &str) -> RuleConfig {
+        self.rules.get(rule_id).cloned().unwrap_or_default()
+    }
+}
+
+fn parse_rule(rule_id: &str, value: &Value) -> Result<RuleConfig, String> {
+    let mut rule = RuleConfig::default();
+    for (key, entry) in map_entries(value, &format!("[rules.{rule_id}]"))? {
+        match key.as_str() {
+            "enabled" => {
+                rule.enabled = Some(
+                    entry
+                        .as_bool()
+                        .ok_or_else(|| format!("rules.{rule_id}.enabled must be a boolean"))?,
+                )
+            }
+            "severity" => {
+                let text = entry
+                    .as_str()
+                    .ok_or_else(|| format!("rules.{rule_id}.severity must be a string"))?;
+                rule.severity = Some(Severity::parse(text)?);
+            }
+            "include" => rule.include = string_list(entry, &format!("rules.{rule_id}.include"))?,
+            "exclude" => rule.exclude = string_list(entry, &format!("rules.{rule_id}.exclude"))?,
+            "allow-unsafe-in" if rule_id == "unsafe-audit" => {
+                rule.allow_unsafe_in =
+                    string_list(entry, &format!("rules.{rule_id}.allow-unsafe-in"))?
+            }
+            other => return Err(format!("unknown key `rules.{rule_id}.{other}`")),
+        }
+    }
+    Ok(rule)
+}
+
+fn map_entries<'a>(value: &'a Value, what: &str) -> Result<&'a [(String, Value)], String> {
+    value
+        .as_map()
+        .ok_or_else(|| format!("{what} must be a table"))
+}
+
+fn string_list(value: &Value, what: &str) -> Result<Vec<String>, String> {
+    let seq = value
+        .as_seq()
+        .ok_or_else(|| format!("{what} must be an array of strings"))?;
+    seq.iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{what} must contain only strings"))
+        })
+        .collect()
+}
+
+/// Whether `path` (repo-relative, forward slashes) is `entry` or inside it.
+pub fn path_matches(path: &str, entry: &str) -> bool {
+    path == entry || path.starts_with(entry) && path.as_bytes().get(entry.len()) == Some(&b'/')
+}
+
+/// Whether `path` falls in a rule's scope: inside `include` (or everywhere when
+/// empty) and outside `exclude`.
+pub fn in_scope(path: &str, rule: &RuleConfig) -> bool {
+    let included = rule.include.is_empty() || rule.include.iter().any(|e| path_matches(path, e));
+    included && !rule.exclude.iter().any(|e| path_matches(path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scopes_and_severities() {
+        let config = LintConfig::from_toml(
+            r#"
+[scan]
+include = ["crates", "src"]
+exclude = ["vendor"]
+
+[rules.determinism]
+severity = "warn"
+include = ["crates/cloudsim/src"]
+exclude = ["crates/cloudsim/src/bin"]
+
+[rules.unsafe-audit]
+allow-unsafe-in = ["crates/obs/src/profile.rs"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(config.include, vec!["crates", "src"]);
+        let det = config.rule("determinism");
+        assert_eq!(det.severity, Some(Severity::Warn));
+        assert!(in_scope("crates/cloudsim/src/provider.rs", &det));
+        assert!(!in_scope("crates/cloudsim/src/bin/x.rs", &det));
+        assert!(!in_scope("crates/other/src/lib.rs", &det));
+        assert_eq!(
+            config.rule("unsafe-audit").allow_unsafe_in,
+            vec!["crates/obs/src/profile.rs"]
+        );
+    }
+
+    #[test]
+    fn unknown_keys_and_rules_are_rejected() {
+        assert!(
+            LintConfig::from_toml("[scan]\ninclude = [\"x\"]\n[rules.nope]\n")
+                .unwrap_err()
+                .contains("unknown rule")
+        );
+        assert!(
+            LintConfig::from_toml("typo = 1\n[scan]\ninclude = [\"x\"]\n")
+                .unwrap_err()
+                .contains("unknown top-level key")
+        );
+        assert!(
+            LintConfig::from_toml("[scan]\ninclude = [\"x\"]\ntypo = 1\n")
+                .unwrap_err()
+                .contains("unknown key `scan.typo`")
+        );
+        assert!(LintConfig::from_toml("[scan]\nexclude = []\n")
+            .unwrap_err()
+            .contains("at least one"));
+    }
+
+    #[test]
+    fn path_prefix_matching_is_component_wise() {
+        assert!(path_matches("crates/obs/src/lib.rs", "crates/obs"));
+        assert!(path_matches("crates/obs", "crates/obs"));
+        assert!(!path_matches("crates/obs2/src/lib.rs", "crates/obs"));
+    }
+}

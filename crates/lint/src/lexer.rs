@@ -1,0 +1,466 @@
+//! A hand-rolled Rust lexer: just enough of the language to scan the workspace's own
+//! sources reliably.
+//!
+//! The lexer's one job is to never misclassify the constructs that would make a
+//! token-level lint lie: string literals (so `"unwrap()"` inside a message is not a
+//! call), comments (so commented-out code is not a finding, and so suppression
+//! comments can be collected), raw strings/identifiers, char-vs-lifetime
+//! disambiguation, and nested block comments.  Everything else — numeric suffixes,
+//! multi-character operators — is kept deliberately simple: operators are emitted as
+//! single-character punctuation tokens and matched as sequences by the rules.
+
+/// The kind of a significant (non-trivia) token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier, keyword, or raw identifier (`r#type` yields `type`).
+    Ident,
+    /// A lifetime or loop label (`'a`), without the leading quote.
+    Lifetime,
+    /// An integer literal (any base, suffix included in the text).
+    Int,
+    /// A float literal.
+    Float,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`); the token text is
+    /// the *content* without quotes or hashes, escapes left as written.
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`), content without quotes.
+    Char,
+    /// A single punctuation character (`::` is two `Punct(':')` tokens).
+    Punct(char),
+}
+
+/// One significant token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The token's text (see [`TokenKind`] for what is included).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A comment (line or block, doc or plain) with its starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equals `line` for line comments).
+    pub end_line: u32,
+}
+
+/// The result of lexing one file: significant tokens plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order (suppressions are parsed out of these).
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source text.  The lexer is total: unexpected bytes become punctuation
+/// tokens rather than errors, so a file that rustc would reject still produces a
+/// best-effort token stream (the build gate catches real syntax errors).
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.char_indices().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        // A shebang line is possible in scripts; skip it.
+        if self.peek(0) == Some('#') && self.peek(1) == Some('!') && self.peek(2) == Some('/') {
+            while let Some(c) = self.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '\'' => self.quote(line),
+                '"' => self.string(line, String::new()),
+                'r' if self.raw_string_ahead(1) => {
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line, String::new());
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.bump();
+                    self.char_literal(line);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier `r#type`: emit the bare name.
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
+                }
+                c if is_ident_start(c) => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Whether the characters starting `ahead` positions from here spell the opening
+    /// of a raw string: zero or more `#` then `"`.
+    fn raw_string_ahead(&self, ahead: usize) -> bool {
+        let mut i = ahead;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text: text.trim_start_matches(['/', '!']).trim().to_string(),
+            line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text: text.trim_start_matches(['*', '!']).trim().to_string(),
+            line,
+            end_line: self.line,
+        });
+    }
+
+    /// A `'` token: lifetime/label, or a char literal.
+    fn quote(&mut self, line: u32) {
+        self.bump();
+        // `'a'` is a char; `'a` (no closing quote after the identifier) is a
+        // lifetime.  Escapes (`'\n'`) are always chars.
+        if self.peek(0).is_some_and(is_ident_start) && self.peek(1) != Some('\'') {
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        } else {
+            self.char_literal(line);
+        }
+    }
+
+    /// The body of a char/byte literal; the opening quote is already consumed.
+    fn char_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '\'' => break,
+                c => text.push(c),
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    /// A non-raw string; the opening `"` has not been consumed yet.
+    fn string(&mut self, line: u32, mut text: String) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                c => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// A raw string; positioned at the first `#` or the `"`.
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening `"`
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A closing quote counts only when followed by `hashes` hashes.
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    matched += 1;
+                    self.bump();
+                }
+                if matched == hashes {
+                    break 'outer;
+                }
+                text.push('"');
+                for _ in 0..matched {
+                    text.push('#');
+                }
+            } else {
+                text.push(c);
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut float = false;
+        // Hex/octal/binary prefixes take the simple path: consume alphanumerics.
+        let radix_prefix = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B'));
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                // An exponent sign is part of the number: `1e-3`.
+                if !radix_prefix
+                    && (c == 'e' || c == 'E')
+                    && matches!(self.peek(1), Some('+' | '-'))
+                {
+                    float = true;
+                    text.push(c);
+                    self.bump();
+                    if let Some(sign) = self.bump() {
+                        text.push(sign);
+                    }
+                    continue;
+                }
+                if !radix_prefix && (c == 'e' || c == 'E') {
+                    float = true;
+                }
+                text.push(c);
+                self.bump();
+            } else if c == '.' && !float && !radix_prefix {
+                // `1.0` is a float; `1.method()` and `1..2` are not.
+                if self.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+                    float = true;
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        let kind = if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_tokens() {
+        let lexed = lex("let x = \"unwrap()\"; // .unwrap() here\n/* .expect( */ call();");
+        assert!(!lexed
+            .tokens
+            .iter()
+            .any(|t| t.is_ident("unwrap") || t.is_ident("expect")));
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].text, ".unwrap() here");
+    }
+
+    #[test]
+    fn raw_strings_swallow_their_bodies() {
+        let toks = kinds("r#\"a \" quote {:?}\"# r\"plain\" br#\"bytes\"#");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].1, "a \" quote {:?}");
+        assert_eq!(toks[1].1, "plain");
+        assert_eq!(toks[2].1, "bytes");
+        assert!(toks.iter().all(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn lifetimes_versus_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "x");
+        assert_eq!(chars[1].1, "\\n");
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("1.5 1e-3 0x1f 1..2 x.0");
+        assert_eq!(toks[0].0, TokenKind::Float);
+        assert_eq!(toks[1].0, TokenKind::Float);
+        assert_eq!(toks[2].0, TokenKind::Int);
+        // `1..2` must not eat the range dots into a float.
+        assert_eq!(toks[3], (TokenKind::Int, "1".to_string()));
+        assert_eq!(toks[4], (TokenKind::Punct('.'), ".".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still outer */ fn f() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("f")));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n\"multi\nline\"\nc");
+        let by_name: Vec<(String, u32)> = lexed
+            .tokens
+            .iter()
+            .map(|t| (t.text.clone(), t.line))
+            .collect();
+        assert_eq!(by_name[0], ("a".to_string(), 1));
+        assert_eq!(by_name[1], ("b".to_string(), 2));
+        assert_eq!(by_name[2], ("multi\nline".to_string(), 3));
+        assert_eq!(by_name[3], ("c".to_string(), 5));
+    }
+
+    #[test]
+    fn raw_identifiers_yield_bare_names() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "type".to_string())));
+    }
+}

@@ -1,0 +1,111 @@
+//! Reporters: human text and sorted-key JSON.
+//!
+//! The JSON report is byte-deterministic: findings are pre-sorted by the engine,
+//! struct fields are declared in alphabetical order (the vendored serde derive
+//! emits declaration order), and nothing time- or environment-dependent is
+//! included.  Repeated runs over the same tree produce identical bytes, which CI
+//! and the fixture suite compare with `cmp`.
+
+use crate::engine::RunReport;
+use serde::Serialize;
+
+/// One finding as serialized in the JSON report (fields alphabetical).
+#[derive(Debug, Serialize)]
+struct JsonFinding {
+    line: u32,
+    message: String,
+    path: String,
+    rule: String,
+    severity: String,
+    snippet: String,
+}
+
+/// The summary block (fields alphabetical).
+#[derive(Debug, Serialize)]
+struct JsonSummary {
+    baselined: u64,
+    errors: u64,
+    files_scanned: u64,
+    findings: u64,
+    suppressed: u64,
+    warnings: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct JsonReport {
+    findings: Vec<JsonFinding>,
+    summary: JsonSummary,
+}
+
+/// Renders the JSON report (one trailing newline, sorted keys throughout).
+pub fn to_json(report: &RunReport) -> String {
+    let doc = JsonReport {
+        findings: report
+            .findings
+            .iter()
+            .map(|f| JsonFinding {
+                line: f.line,
+                message: f.message.clone(),
+                path: f.path.clone(),
+                rule: f.rule.to_string(),
+                severity: f.severity.as_str().to_string(),
+                snippet: f.snippet.clone(),
+            })
+            .collect(),
+        summary: JsonSummary {
+            baselined: report.baselined as u64,
+            errors: report.errors() as u64,
+            files_scanned: report.files_scanned as u64,
+            findings: report.findings.len() as u64,
+            suppressed: report.suppressed as u64,
+            warnings: report.warnings() as u64,
+        },
+    };
+    let mut text = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string());
+    text.push('\n');
+    text
+}
+
+/// Renders the human report: one `path:line: [severity] rule: message` per
+/// finding, then a one-line summary.
+pub fn to_text(report: &RunReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}: {}\n",
+            f.path,
+            f.line,
+            f.severity.as_str(),
+            f.rule,
+            f.message
+        ));
+    }
+    out.push_str(&format!(
+        "{} finding(s) ({} error(s), {} warning(s)); {} baselined, {} suppressed; \
+         {} file(s) scanned\n",
+        report.findings.len(),
+        report.errors(),
+        report.warnings(),
+        report.baselined,
+        report.suppressed,
+        report.files_scanned,
+    ));
+    out
+}
+
+/// Renders the rule catalog for `lint rules`.
+pub fn rules_text() -> String {
+    let mut out = String::new();
+    for rule in crate::rules::CATALOG {
+        out.push_str(&format!(
+            "{:<16} {:<6} {}\n",
+            rule.id,
+            rule.default_severity.as_str(),
+            rule.description
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+    }
+    out
+}

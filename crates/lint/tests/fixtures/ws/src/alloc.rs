@@ -1,0 +1,7 @@
+//! The sanctioned unsafe site: `allow-unsafe-in` lists this file and the block
+//! carries the required `SAFETY:` comment, so unsafe-audit stays quiet.
+
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: fixture — the caller guarantees `p` points at a live byte.
+    unsafe { *p }
+}

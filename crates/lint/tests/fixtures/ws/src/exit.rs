@@ -1,0 +1,12 @@
+//! `process::exit` misuse: allowed inside `fn main`, flagged in helpers.
+
+fn bail(code: i32) -> ! {
+    std::process::exit(code);
+}
+
+fn main() {
+    if std::env::args().len() > 9 {
+        std::process::exit(2);
+    }
+    bail(0);
+}

@@ -1,0 +1,29 @@
+//! Deliberate panic-policy violations; the test module at the bottom is exempt.
+
+pub fn first(xs: &[u64]) -> u64 {
+    xs[0]
+}
+
+pub fn must(value: Option<u64>) -> u64 {
+    value.unwrap()
+}
+
+pub fn must_msg(value: Option<u64>) -> u64 {
+    value.expect("present")
+}
+
+pub fn boom() {
+    panic!("request paths must answer typed errors instead");
+}
+
+pub fn array_types_are_fine() -> [u8; 4] {
+    [0; 4]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

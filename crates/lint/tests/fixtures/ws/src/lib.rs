@@ -1,0 +1,11 @@
+//! Fixture crate root — deliberately missing the `unsafe_code` gate, so the
+//! unsafe-audit crate-root check has a true positive to find.
+
+pub mod alloc;
+pub mod exit;
+pub mod hot;
+pub mod obs;
+pub mod ord;
+pub mod raw;
+pub mod result;
+pub mod wire;

@@ -1,0 +1,7 @@
+//! Unsanctioned unsafe: this file is not in `allow-unsafe-in`, so the block is
+//! a true positive even though it carries a comment.
+
+pub fn reinterpret(x: u64) -> i64 {
+    // Not a sanctioned site; the SAFETY note alone does not make it one.
+    unsafe { std::mem::transmute(x) }
+}

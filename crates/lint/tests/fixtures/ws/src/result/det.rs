@@ -1,0 +1,32 @@
+//! Deliberate determinism violations, plus the three suppression shapes.
+
+pub fn cache_len() -> usize {
+    std::collections::HashMap::<String, f64>::new().len()
+}
+
+pub fn stamp() -> std::time::Instant {
+    Instant::now()
+}
+
+pub fn epoch_is_unix() -> bool {
+    SystemTime::now() == std::time::UNIX_EPOCH
+}
+
+pub fn read_env() -> Option<String> {
+    std::env::var("SEED").ok()
+}
+
+pub fn suppressed_ok() -> Option<String> {
+    // lint:allow(determinism) fixture: a reasoned suppression absorbs this read
+    std::env::var("HOME").ok()
+}
+
+pub fn suppressed_empty_reason() -> Option<String> {
+    // lint:allow(determinism)
+    std::env::var("USER").ok()
+}
+
+pub fn suppressed_unknown_rule() -> u64 {
+    // lint:allow(no-such-rule) the rule name is a typo, so this must be audited
+    7
+}

@@ -1,0 +1,11 @@
+//! Deliberate json-stability violations in a wire-JSON emitter.
+
+use std::collections::HashMap;
+
+pub fn metrics_line(value: f64, tags: &HashMap<String, String>) -> String {
+    format!("{{\"tags\":{},\"value\":{:?}}}", tags.len(), value)
+}
+
+pub fn display_specs_are_fine(value: f64) -> String {
+    format!("{{\"value\":{value}}}")
+}

@@ -1,0 +1,26 @@
+//! The workspace self-check: the committed `lint.toml` + `lint-baseline.json`
+//! must lint the repository clean.  This is the same invariant CI's lint job
+//! enforces, kept here so plain `cargo test` catches a new violation before a
+//! push does.
+
+use std::path::Path;
+use tcp_lint::{collect_files, run, Baseline, LintConfig};
+
+#[test]
+fn workspace_lints_clean_under_the_committed_config() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config_text = std::fs::read_to_string(root.join("lint.toml")).unwrap();
+    let config = LintConfig::from_toml(&config_text).unwrap();
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.json")).unwrap();
+    let baseline = Baseline::from_json(&baseline_text).unwrap();
+    let files = collect_files(&root, &config).unwrap();
+    let report = run(&root, &config, &files, &baseline).unwrap();
+    assert!(
+        report.findings.is_empty(),
+        "workspace lint violations:\n{}",
+        tcp_lint::report::to_text(&report)
+    );
+    // The committed baseline stays empty: new findings are fixed or suppressed
+    // with a reason, not grandfathered silently.
+    assert_eq!(baseline.findings.len(), 0);
+}

@@ -16,6 +16,7 @@
 //!
 //! Everything operates on `f64` and is deterministic given a seeded RNG.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`

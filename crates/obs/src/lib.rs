@@ -73,6 +73,7 @@
 // delegation in [`profile`], which carries its own scoped `allow` + SAFETY note.
 #![deny(unsafe_code)]
 
+pub mod cli;
 mod export;
 pub mod health;
 mod hist;

@@ -24,7 +24,7 @@
 //!   what went wrong lately without scraping the log stream.
 
 use crate::export::{json_escape, json_number};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -225,7 +225,7 @@ enum Sink {
 struct LogState {
     sink: Sink,
     /// Per-site token buckets: `burst` capacity, `per_sec` refill.
-    buckets: HashMap<String, SiteBucket>,
+    buckets: BTreeMap<String, SiteBucket>,
     burst: f64,
     per_sec: f64,
     /// Recent warn/error records, newest last.
@@ -237,7 +237,7 @@ fn state() -> &'static Mutex<LogState> {
     STATE.get_or_init(|| {
         Mutex::new(LogState {
             sink: Sink::Stderr,
-            buckets: HashMap::new(),
+            buckets: BTreeMap::new(),
             burst: 16.0,
             per_sec: 8.0,
             ring: VecDeque::with_capacity(ERROR_RING_CAPACITY),

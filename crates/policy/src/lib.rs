@@ -11,6 +11,7 @@
 //!   Young–Daly periodic baseline and a Monte-Carlo evaluator of checkpointed execution
 //!   (Figures 8a and 8b).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`

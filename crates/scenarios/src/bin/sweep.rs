@@ -84,6 +84,7 @@ impl Heartbeat {
                 // Sleep in short slices so drop() never blocks a full interval.
                 let deadline = Instant::now() + Duration::from_secs_f64(interval);
                 while Instant::now() < deadline {
+                    // lint:allow(ordering-audit) stop flag polled in a sleep loop; staleness only delays exit by one slice
                     if flag.load(Ordering::Relaxed) {
                         return;
                     }
@@ -130,6 +131,7 @@ impl Heartbeat {
 
 impl Drop for Heartbeat {
     fn drop(&mut self) {
+        // lint:allow(ordering-audit) stop flag; the matching load tolerates one stale slice
         self.stop.store(true, Ordering::Relaxed);
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
@@ -379,25 +381,13 @@ fn main() -> ExitCode {
     let outcome = if argv.first().map(String::as_str) == Some("merge") {
         match parse_merge_args(&argv[1..]) {
             Ok(args) => run_merge(&args),
-            Err(msg) => {
-                eprintln!("{msg}");
-                return ExitCode::from(2);
-            }
+            Err(msg) => return tcp_obs::cli::usage_error(msg),
         }
     } else {
         match parse_args(&argv) {
             Ok(args) => run(&args),
-            Err(msg) => {
-                eprintln!("{msg}");
-                return ExitCode::from(2);
-            }
+            Err(msg) => return tcp_obs::cli::usage_error(msg),
         }
     };
-    match outcome {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
-        }
-    }
+    tcp_obs::cli::exit_outcome(outcome)
 }

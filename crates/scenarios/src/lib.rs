@@ -23,6 +23,7 @@
 //! Every sweep is bit-deterministic: the same spec and base seed produce byte-identical
 //! JSON/CSV reports for any `--threads` value.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`

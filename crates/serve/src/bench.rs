@@ -84,6 +84,7 @@ pub fn loopback_bench(
     let answered: usize = outputs.iter().map(|out| out.lines().count()).sum();
     if answered != lines.len() {
         return Err(format!(
+            // lint:allow(json-stability) human-readable error message, not wire JSON
             "response lines ({answered}) do not match request lines ({}); server report: {report:?}",
             lines.len()
         ));

@@ -480,6 +480,7 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
             write_exposition(&path);
             let deadline = Instant::now() + interval;
             while Instant::now() < deadline {
+                // lint:allow(ordering-audit) stop flag polled in a sleep loop; staleness only delays exit by one slice
                 if stop.load(Ordering::Relaxed) {
                     return;
                 }
@@ -488,7 +489,7 @@ fn cmd_listen(argv: &[String]) -> Result<(), String> {
         })
     });
     let report = server.join();
-    metrics_stop.store(true, Ordering::Relaxed);
+    metrics_stop.store(true, Ordering::Relaxed); // lint:allow(ordering-audit) stop flag; one stale slice is fine
     if let Some(writer) = metrics_writer {
         let _ = writer.join();
     }
@@ -770,17 +771,10 @@ fn main() -> ExitCode {
         Some("top") => cmd_top(&argv[1..]),
         Some("serve-bench") => cmd_serve_bench(&argv[1..]),
         Some("bench") => cmd_bench(&argv[1..]),
-        Some("--help" | "-h") | None => {
-            eprintln!("{USAGE}");
-            return ExitCode::from(2);
+        Some("--help" | "-h") | None => return tcp_obs::cli::usage_error(USAGE),
+        Some(other) => {
+            return tcp_obs::cli::usage_error(format_args!("unknown command `{other}`\n\n{USAGE}"))
         }
-        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
-    match outcome {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
-        }
-    }
+    tcp_obs::cli::exit_outcome(outcome)
 }

@@ -108,6 +108,7 @@
 //! bytes stay identical across `--threads`, `--workers`, metrics-enabled/disabled,
 //! traced/untraced, and SLO-armed/unarmed runs.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

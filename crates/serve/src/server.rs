@@ -321,10 +321,12 @@ impl Server {
         }
         let c = &self.shared.counters;
         ServerReport {
+            // lint:allow(ordering-audit) every writer thread was joined above; these loads cannot race
             connections: c.connections.load(Ordering::Relaxed),
-            requests: c.requests.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed), // lint:allow(ordering-audit) post-join load
+            // lint:allow(ordering-audit) post-join load
             overload_responses: c.overloads.load(Ordering::Relaxed),
-            refused_connections: c.refused.load(Ordering::Relaxed),
+            refused_connections: c.refused.load(Ordering::Relaxed), // lint:allow(ordering-audit) post-join load
         }
     }
 }
@@ -346,9 +348,13 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
             std::thread::sleep(Duration::from_millis(10));
             continue;
         };
-        let mut queue = shared.queue.lock().expect("connection queue poisoned");
+        // A worker can only panic while holding the lock between pop and depth
+        // update; the queue itself is still well-formed, so recover rather than
+        // take down the accept loop with it.
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         if queue.len() >= shared.options.max_pending {
             drop(queue);
+            // lint:allow(ordering-audit) monotone stat counter; read only after join or for reporting
             shared.counters.refused.fetch_add(1, Ordering::Relaxed);
             shared.metrics.connections_refused.incr();
             refuse(
@@ -362,6 +368,7 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
             queue.push_back(QueuedConnection {
                 stream,
                 enqueued_at: Instant::now(),
+                // lint:allow(ordering-audit) ordinal allocation needs atomicity only; uniqueness is the invariant
                 ordinal: shared.connection_seq.fetch_add(1, Ordering::Relaxed),
             });
             shared.metrics.queue_depth.set(queue.len() as f64);
@@ -375,13 +382,19 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
 
 /// Refuses a connection with one typed overload line (best effort — the client may
 /// already be gone, which is fine).
+/// Serializes one reply line; a serializer failure (impossible for these line
+/// types) degrades to a well-formed error line instead of aborting the worker.
+fn render_line<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value)
+        .unwrap_or_else(|_| "{\"error\":\"internal: response serialization failed\"}".to_string())
+}
+
 fn refuse(stream: TcpStream, error: String) {
-    let line = serde_json::to_string(&OverloadLine {
+    let line = render_line(&OverloadLine {
         error,
         code: 503,
         id: None,
-    })
-    .expect("overload lines serialize");
+    });
     let mut writer = BufWriter::new(stream);
     let _ = writer.write_all(line.as_bytes());
     let _ = writer.write_all(b"\n");
@@ -391,7 +404,7 @@ fn refuse(stream: TcpStream, error: String) {
 fn worker_loop(shared: &Shared) {
     loop {
         let connection = {
-            let mut queue = shared.queue.lock().expect("connection queue poisoned");
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(connection) = queue.pop_front() {
                     shared.metrics.queue_depth.set(queue.len() as f64);
@@ -403,7 +416,7 @@ fn worker_loop(shared: &Shared) {
                 queue = shared
                     .queue_cv
                     .wait(queue)
-                    .expect("connection queue poisoned");
+                    .unwrap_or_else(|e| e.into_inner());
             }
         };
         match connection {
@@ -469,6 +482,7 @@ fn serve_connection(connection: QueuedConnection, shared: &Shared) {
             ordinal,
         );
     }
+    // lint:allow(ordering-audit) monotone stat counter; read only after join or for reporting
     shared.counters.connections.fetch_add(1, Ordering::Relaxed);
     shared.metrics.connections_accepted.incr();
     shared.metrics.connections_active.add(1.0);
@@ -568,11 +582,10 @@ fn shutdown_connection(
         .lock()
         .map(|queue| queue.len())
         .unwrap_or_default();
-    let ack = serde_json::to_string(&ShutdownLine {
+    let ack = render_line(&ShutdownLine {
         control: "shutdown".to_string(),
         draining,
-    })
-    .expect("shutdown lines serialize");
+    });
     let _ = writer.write_all(ack.as_bytes());
     let _ = writer.write_all(b"\n");
     let _ = writer.flush();
@@ -610,15 +623,14 @@ fn flush_batch(
             Slot::Overloaded => {
                 session.process(&run, &mut out);
                 run.clear();
-                let line = serde_json::to_string(&OverloadLine {
+                let line = render_line(&OverloadLine {
                     error: format!(
                         "overloaded: in-flight budget exhausted (max {}); retry later",
                         shared.options.max_inflight
                     ),
                     code: 503,
                     id: None,
-                })
-                .expect("overload lines serialize");
+                });
                 out.push_str(&line);
                 out.push('\n');
                 overloaded += 1;
@@ -637,10 +649,12 @@ fn flush_batch(
     shared
         .counters
         .requests
+        // lint:allow(ordering-audit) monotone stat counter; read only after join or for reporting
         .fetch_add(served, Ordering::Relaxed);
     shared
         .counters
         .overloads
+        // lint:allow(ordering-audit) monotone stat counter; read only after join or for reporting
         .fetch_add(overloaded, Ordering::Relaxed);
     if served > 0 {
         shared.metrics.requests_served.add(served);

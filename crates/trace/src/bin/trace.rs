@@ -175,17 +175,10 @@ fn main() -> ExitCode {
     let outcome = match argv.first().map(String::as_str) {
         Some("gen") => cmd_gen(&argv[1..]),
         Some("stats") => cmd_stats(&argv[1..]),
-        Some("--help" | "-h") | None => {
-            eprintln!("{USAGE}");
-            return ExitCode::from(2);
+        Some("--help" | "-h") | None => return tcp_obs::cli::usage_error(USAGE),
+        Some(other) => {
+            return tcp_obs::cli::usage_error(format_args!("unknown command `{other}`\n\n{USAGE}"))
         }
-        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
-    match outcome {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
-        }
-    }
+    tcp_obs::cli::exit_outcome(outcome)
 }

@@ -22,6 +22,7 @@
 //! different from the model the paper fits (Equation 1), so goodness-of-fit results remain
 //! meaningful.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`

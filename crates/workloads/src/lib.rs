@@ -20,6 +20,7 @@
 //! * [`profiles`] — the paper's per-application job profiles (running time on the paper's
 //!   cluster shapes) used by the cost evaluation.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // `!(x > 0.0)` style comparisons are used deliberately throughout: unlike `x <= 0.0`

@@ -1,10 +1,13 @@
 //! Facade crate re-exporting the full public API.
+
+#![forbid(unsafe_code)]
 pub use tcp_advisor as advisor;
 pub use tcp_batch as batch;
 pub use tcp_calibrate as calibrate;
 pub use tcp_cloudsim as cloudsim;
 pub use tcp_core as model;
 pub use tcp_dists as dists;
+pub use tcp_lint as lint;
 pub use tcp_numerics as numerics;
 pub use tcp_obs as obs;
 pub use tcp_policy as policy;
